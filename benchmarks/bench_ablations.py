@@ -1,0 +1,155 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **Depth (Corollary 3)** — same 64 clients and the same worst-case
+   adversary count placed per Definition 4: the 3-level structure must
+   beat the 2-level one, because the deeper tree keeps every honest
+   cluster within its gamma2 tolerance while the shallow tree's clusters
+   are breached.
+2. **Correction factor (Eq. 1)** — pipeline mode with the adaptive
+   policy vs a fixed small alpha vs alpha ~ 1 (global-replaces-local):
+   training must remain stable across the range, and pipeline mode must
+   land near the synchronous accuracy (the correction factor's job).
+3. **Quorum phi (Algorithm 4)** — accuracy vs the fraction of uploads a
+   leader waits for; lower phi trades a little accuracy for the latency
+   win measured by the pipeline benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import ABDHFLConfig, LevelAggregation
+from repro.core.correction import AdaptiveCorrection, ConstantCorrection
+from repro.core.trainer import ABDHFLTrainer
+from repro.experiments import ExperimentConfig, build_abdhfl_trainer, prepare_data
+from repro.utils.reporting import emit_report
+from repro.utils.tables import format_percent, format_table
+
+N_ROUNDS = 20
+
+
+def test_ablation_depth_corollary3(benchmark):
+    """Corollary 3: deeper hierarchy tolerates more at equal adversary count."""
+
+    def run() -> dict[int, float]:
+        out = {}
+        for n_levels, cluster_size in ((3, 4), (2, 16)):
+            cfg = replace(
+                ExperimentConfig(n_rounds=N_ROUNDS),
+                n_levels=n_levels,
+                cluster_size=cluster_size,
+                malicious_fraction=0.578,
+                placement="worst_case",
+            )
+            data = prepare_data(cfg)
+            trainer = build_abdhfl_trainer(cfg, data)
+            trainer.run(cfg.n_rounds)
+            out[n_levels] = trainer.history[-1].test_accuracy
+        return out
+
+    accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_depth",
+        format_table(
+            ["levels", "bound (g1=g2=25%)", "accuracy @ 37/64 worst-case byz"],
+            [
+                [3, "57.81%", format_percent(accs[3])],
+                [2, "43.75%", format_percent(accs[2])],
+            ],
+            title="Corollary 3 ablation: depth vs tolerance (same 64 clients)",
+        ),
+    )
+    assert accs[3] > accs[2] + 0.2  # the deeper structure must win decisively
+    assert accs[3] > 0.6
+
+
+def _pipeline_trainer(correction, seed=2024):
+    cfg = ExperimentConfig(n_rounds=N_ROUNDS, malicious_fraction=0.3)
+    data = prepare_data(cfg)
+    abd_config = ABDHFLConfig(
+        training=cfg.training_config(),
+        default_intermediate=LevelAggregation(
+            "bra", cfg.partial_aggregator, cfg.partial_options
+        ),
+        default_top=LevelAggregation("cba", "voting"),
+        pipeline_mode=True,
+        flag_level=1,
+        global_arrival_iteration=2,
+    )
+    return ABDHFLTrainer(
+        hierarchy=data.hierarchy,
+        client_datasets=data.client_datasets,
+        model_template=data.model_template,
+        config=abd_config,
+        test_set=data.test_set,
+        seed=seed,
+        top_byzantine_votes=1,
+        correction=correction,
+    ), cfg, data
+
+
+def test_ablation_correction_factor(benchmark):
+    def run() -> dict[str, float]:
+        out = {}
+        for name, policy in (
+            ("adaptive", AdaptiveCorrection()),
+            ("constant-0.2", ConstantCorrection(0.2)),
+            ("replace-0.95", ConstantCorrection(0.95)),
+        ):
+            trainer, cfg, _ = _pipeline_trainer(policy)
+            trainer.run(cfg.n_rounds)
+            out[name] = trainer.history[-1].test_accuracy
+        # synchronous reference (no pipeline, same everything else)
+        cfg = ExperimentConfig(n_rounds=N_ROUNDS, malicious_fraction=0.3)
+        data = prepare_data(cfg)
+        sync = build_abdhfl_trainer(cfg, data)
+        sync.run(cfg.n_rounds)
+        out["synchronous"] = sync.history[-1].test_accuracy
+        return out
+
+    accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_correction",
+        format_table(
+            ["policy", "final accuracy (pipeline mode, 30% Type I)"],
+            [[k, format_percent(v)] for k, v in accs.items()],
+            title="Correction factor (Eq. 1) ablation",
+        ),
+    )
+    # every policy trains; pipeline mode lands near the synchronous result
+    for name, acc in accs.items():
+        assert acc > 0.5, name
+    assert abs(accs["adaptive"] - accs["synchronous"]) < 0.15
+
+
+def test_ablation_quorum(benchmark):
+    def run() -> dict[float, float]:
+        out = {}
+        for phi in (1.0, 0.75, 0.5):
+            cfg = ExperimentConfig(n_rounds=N_ROUNDS, malicious_fraction=0.2)
+            data = prepare_data(cfg)
+            abd_config = ABDHFLConfig(
+                training=cfg.training_config(),
+                default_intermediate=LevelAggregation(
+                    "bra", cfg.partial_aggregator, cfg.partial_options
+                ),
+                default_top=LevelAggregation("cba", "voting"),
+                phi=phi,
+            )
+            trainer = build_abdhfl_trainer(cfg, data, abdhfl_config=abd_config)
+            trainer.run(cfg.n_rounds)
+            out[phi] = trainer.history[-1].test_accuracy
+        return out
+
+    accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "ablation_quorum",
+        format_table(
+            ["phi (quorum)", "final accuracy (20% Type I)"],
+            [[phi, format_percent(acc)] for phi, acc in sorted(accs.items(), reverse=True)],
+            title="Quorum (Algorithm 4) ablation",
+        ),
+    )
+    # all quorum levels keep training; full quorum is not materially worse
+    for phi, acc in accs.items():
+        assert acc > 0.5, phi

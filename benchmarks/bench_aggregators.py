@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the aggregation rules (throughput, not a paper
+artefact).
+
+The paper's Table II discussion notes BRA rules "generally require low
+computational overhead" versus consensus; these benches quantify each
+rule's cost at the evaluation's scale (64 updates x ~5k parameters, the
+Appendix D model) so the scheme-cost discussion has a compute-side
+footnote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import get_aggregator
+
+K, D = 64, 5_000
+RULES = [
+    "fedavg",
+    "median",
+    "trimmed_mean",
+    "krum",
+    "multikrum",
+    "geomed",
+    "autogm",
+    "centered_clipping",
+    "clustering",
+]
+
+
+@pytest.fixture(scope="module")
+def updates() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    center = rng.standard_normal(D)
+    honest = center + 0.1 * rng.standard_normal((K - 8, D))
+    byz = center + 5.0 * rng.standard_normal((8, D))
+    return np.vstack([honest, byz])
+
+
+@pytest.mark.parametrize("rule", RULES)
+def test_aggregator_throughput(benchmark, updates, rule):
+    aggregator = get_aggregator(rule)
+    out = benchmark(aggregator, updates)
+    assert out.shape == (D,)
+    assert np.isfinite(out).all()

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the consensus protocols plus their message bills.
+
+Complements :mod:`bench_table4_schemes`: Table II says consensus methods
+"impose heavy communication costs"; this bench reports both compute time
+and the per-execution message count for each protocol at top-cluster
+scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import make_consensus
+
+N, D = 8, 5_000
+PROTOCOLS = {
+    "voting": {},
+    "committee": {"committee_size": 4},
+    "pbft": {},
+    "pos": {},
+    "approx_agreement": {"epsilon": 1e-3, "f": 1},
+}
+
+
+@pytest.fixture(scope="module")
+def proposals() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    center = rng.standard_normal(D)
+    good = center + 0.05 * rng.standard_normal((N - 1, D))
+    bad = center + 50.0
+    return np.vstack([good, bad[None, :]])
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS), ids=sorted(PROTOCOLS))
+def test_consensus_throughput(benchmark, proposals, name):
+    protocol = make_consensus(name, PROTOCOLS[name])
+    rng = np.random.default_rng(1)
+    result = benchmark(lambda: protocol.agree(proposals, rng=rng))
+    assert np.isfinite(result.value).all()
+    print(
+        f"\n{name}: {result.cost.total_messages()} messages "
+        f"({result.cost.model_messages} model / "
+        f"{result.cost.scalar_messages} scalar), "
+        f"{result.cost.rounds} round(s), excluded={result.n_excluded}"
+    )

@@ -1,0 +1,61 @@
+"""Regenerate Figure 3: convergence curves with confidence bands.
+
+Paper: accuracy vs global round for several data-poisoning scenarios,
+mean +/- CI over 5 runs, 200 rounds.
+
+Bench (reduced): two headline scenarios (IID/Type I at 50 % malicious;
+non-IID/Type I at 30 %), 2 repeats, 25 rounds.  Curves are printed as a
+per-round table (round, ABD-HFL mean +/- CI, vanilla mean +/- CI) — the
+textual equivalent of the figure's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_figure3
+from repro.utils.reporting import emit_report
+from repro.utils.tables import format_percent, format_table
+
+SCENARIOS = {
+    "iid-type1-50pct": dict(iid=True, attack="type1", fraction=0.50),
+    "noniid-type1-30pct": dict(iid=False, attack="type1", fraction=0.30),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS), ids=sorted(SCENARIOS))
+def test_figure3_scenario(benchmark, scenario):
+    spec = SCENARIOS[scenario]
+    config = replace(
+        ExperimentConfig(n_rounds=25).for_distribution(spec["iid"]),
+        attack=spec["attack"],
+        malicious_fraction=spec["fraction"],
+    )
+    abd, van = benchmark.pedantic(
+        run_figure3, args=(config,), kwargs={"n_runs": 2}, rounds=1, iterations=1
+    )
+    rows = []
+    for r in range(0, config.n_rounds, 4):
+        rows.append(
+            [
+                r,
+                f"{format_percent(abd.mean[r])} ± {format_percent(abd.ci_half_width[r])}",
+                f"{format_percent(van.mean[r])} ± {format_percent(van.ci_half_width[r])}",
+            ]
+        )
+    emit_report(
+        f"figure3_{scenario}",
+        format_table(
+            ["round", "ABD-HFL", "Vanilla FL"],
+            rows,
+            title=f"Figure 3 ({scenario}): accuracy vs global round",
+        ),
+    )
+    # Structural claims of the figure:
+    # both systems start near random chance and ABD-HFL converges upward
+    assert abd.mean[0] < 0.4
+    assert abd.final_accuracy > abd.mean[0]
+    # under Type I pressure ABD-HFL ends above vanilla
+    assert abd.final_accuracy > van.final_accuracy

@@ -1,0 +1,81 @@
+"""Regenerate Table VIII / Appendix E: flag-level selection by delay regime.
+
+For each of the paper's four delay cases (big/small tau' x big/small
+tau_g) the bench sweeps every admissible flag level under a sampled
+timing model, prints the measured efficiency indicator (Eq. 3) per
+level, and checks the qualitative recommendations:
+
+* small tau'-small tau_g and small tau'-big tau_g -> the advisor points
+  near the top, and indeed the near-top flag level already captures most
+  of the achievable efficiency;
+* lower (deeper) flag levels always yield >= efficiency (the monotone
+  trade-off of III-D2); what they cost is correction-factor exposure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.flag_level import advise_flag_level, sweep_flag_levels
+from repro.pipeline.workflow import PipelineModel
+from repro.sim.latency import LogNormalLatency
+from repro.utils.reporting import emit_report
+from repro.utils.tables import format_table
+
+N_LEVELS = 4  # L = 3: flag levels {0, 1, 2}
+CASES = {
+    "small tau'-small tau_g": (1.0, 1.0),
+    "small tau'-big tau_g": (1.0, 20.0),
+    "big tau'-small tau_g": (20.0, 1.0),
+    "big tau'-big tau_g": (20.0, 20.0),
+}
+THRESHOLD = 5.0
+
+
+def _model(partial: float, global_: float) -> PipelineModel:
+    L = N_LEVELS - 1
+    return PipelineModel(
+        collect_models={l: LogNormalLatency(median=2.0, sigma=0.2) for l in range(1, L + 1)},
+        aggregate_models={l: LogNormalLatency(median=partial, sigma=0.2) for l in range(1, L + 1)},
+        global_collect=LogNormalLatency(median=2.0, sigma=0.2),
+        global_aggregate=LogNormalLatency(median=global_, sigma=0.2),
+    )
+
+
+def test_table8_flag_level_sweep(benchmark):
+    def run_all():
+        rng = np.random.default_rng(5)
+        results = {}
+        for case, (partial, global_) in CASES.items():
+            results[case] = sweep_flag_levels(_model(partial, global_), 200, rng)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for case, (partial, global_) in CASES.items():
+        advice = advise_flag_level(partial, global_, THRESHOLD, N_LEVELS)
+        sweep = results[case]
+        effs = " / ".join(
+            f"l={f}:{sweep[f]['efficiency']:.2f}" for f in sorted(sweep)
+        )
+        rows.append([case, advice.recommendation, effs])
+    emit_report(
+        "table8_flag_levels",
+        format_table(
+            ["delay case", "Table VIII advice", "measured nu per flag level"],
+            rows,
+            title="Appendix E / Table VIII: flag-level trade-off",
+        ),
+    )
+
+    for case, sweep in results.items():
+        effs = [sweep[f]["efficiency"] for f in sorted(sweep)]
+        # deeper flag level -> more overlap (monotone)
+        assert all(a <= b + 1e-9 for a, b in zip(effs, effs[1:])), case
+    # with a big global phase, even the near-top flag level pays off a lot
+    big_g = results["small tau'-big tau_g"]
+    assert big_g[1]["efficiency"] > 0.7
+    # with everything fast and flag at top there is nothing to pipeline
+    small = results["small tau'-small tau_g"]
+    assert small[0]["efficiency"] == 0.0

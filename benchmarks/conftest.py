@@ -1,0 +1,24 @@
+"""Shared reduced-scale configurations for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+documented reduced scale (DESIGN.md): the *shape* of each result — who
+wins, where collapse points sit, cost orderings — is preserved; absolute
+accuracy values and wall-clock are not comparable to the authors' 200
+round / 28x28 runs.  ``ExperimentConfig.paper_scale()`` gives the full
+configuration for offline replication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+# The benchmark operating point: the paper's topology (3 levels, cluster
+# size 4, 4 top nodes, 64 clients) with smaller images and fewer rounds.
+BENCH_ROUNDS = 25
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(n_rounds=BENCH_ROUNDS)

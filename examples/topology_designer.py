@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Design an ABD-HFL topology from a target Byzantine tolerance.
+
+Uses the analytical machinery (Theorems 1-3, Corollaries 1-3) as a
+design tool: given the per-level mechanisms' guarantees (gamma1 at the
+top, gamma2 per intermediate cluster) and a target bottom-level
+tolerance, compute how deep the hierarchy must be (Corollary 3), print
+the per-level tolerance profile, and validate it against brute-force
+counts on an explicitly generated worst-case tree.
+
+Run:
+    python examples/topology_designer.py
+    python examples/topology_designer.py 0.25 0.25 0.70   # gamma1 gamma2 target
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.topology.analysis import (
+    brute_force_type1_counts,
+    levels_needed_for_tolerance,
+    max_byzantine_count,
+    max_byzantine_fraction,
+    nodes_at_level,
+)
+from repro.topology.tree import build_ecsm
+from repro.utils.tables import format_percent, format_table
+
+
+def main(gamma1: float, gamma2: float, target: float) -> None:
+    print(
+        f"mechanism guarantees: gamma1={format_percent(gamma1)} (top), "
+        f"gamma2={format_percent(gamma2)} (per cluster); "
+        f"target bottom tolerance {format_percent(target)}"
+    )
+    depth = levels_needed_for_tolerance(gamma1, gamma2, target)
+    n_levels = depth + 1
+    print(f"-> need bottom level l = {depth} ({n_levels} levels in total)\n")
+
+    m, n_top = 4, 4
+    rows = []
+    for level in range(depth + 1):
+        rows.append(
+            [
+                level,
+                nodes_at_level(n_top, m, level),
+                f"{max_byzantine_count(n_top, m, level, gamma1, gamma2):.0f}",
+                format_percent(max_byzantine_fraction(gamma1, gamma2, level), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["level", "nodes (N_t=4, m=4)", "max Byzantine", "max fraction"],
+            rows,
+            title="Per-level tolerance profile (Theorem 2)",
+        )
+    )
+
+    # Cross-check against an explicit worst-case two-type tree.
+    p = 1.0 - gamma2
+    if abs(p * m - round(p * m)) < 1e-9:
+        honest_counts = brute_force_type1_counts(m, p, depth)
+        print("\nbrute-force honest counts per level (single tree, worst case):")
+        for level, honest in enumerate(honest_counts):
+            floor = nodes_at_level(1, m, level) - max_byzantine_count(
+                1, m, level, 0.0, gamma2
+            )
+            status = "OK" if abs(honest - floor) < 1e-9 else "MISMATCH"
+            print(f"  level {level}: {honest} honest (Theorem 2 floor {floor:.0f}) {status}")
+
+    hierarchy = build_ecsm(n_levels=n_levels, cluster_size=m, n_top=n_top)
+    print(
+        f"\nconstructed hierarchy: {len(hierarchy.bottom_clients())} bottom "
+        f"devices across {len(hierarchy.clusters_at(hierarchy.bottom_level))} clusters"
+    )
+
+
+if __name__ == "__main__":
+    args = [float(a) for a in sys.argv[1:4]] or [0.25, 0.25, 0.55]
+    main(*args)

@@ -1,0 +1,68 @@
+"""Byzantine-robust aggregation (BRA) rules.
+
+Every rule is a callable object mapping a stack of model-update vectors
+``updates[k, d]`` (plus optional per-update weights) to a single
+aggregated vector ``[d]``.  All rules are pure NumPy, vectorised over both
+axes; none mutates its inputs.
+
+Implemented rules (Table II, "Byzantine robust aggregation" rows):
+
+====================  =====================================================
+Rule                  Measurement principle
+====================  =====================================================
+:class:`FedAvg`       weighted arithmetic mean (not Byzantine-robust)
+:class:`Median`       coordinate-wise median
+:class:`TrimmedMean`  coordinate-wise beta-trimmed mean
+:class:`Krum`         Euclidean-distance score, single winner
+:class:`MultiKrum`    Euclidean-distance score, mean of m winners
+:class:`GeoMed`       geometric median (Weiszfeld)
+:class:`AutoGM`       auto-weighted geometric median with outlier damping
+:class:`CenteredClipping`  iterative clipped re-centering
+:class:`ClusteringAggregator`  cosine-similarity largest-cluster mean
+====================  =====================================================
+"""
+
+from repro.aggregation.base import Aggregator, get_aggregator, register_aggregator, available_aggregators
+from repro.aggregation.mean import FedAvg
+from repro.aggregation.median import Median
+from repro.aggregation.trimmed_mean import TrimmedMean
+from repro.aggregation.krum import Krum, MultiKrum, krum_scores
+from repro.aggregation.geomed import GeoMed, geometric_median
+from repro.aggregation.autogm import AutoGM
+from repro.aggregation.clipping import CenteredClipping
+from repro.aggregation.clustering import ClusteringAggregator, cosine_similarity_matrix
+from repro.aggregation.lipschitz import LipschitzFilter
+from repro.aggregation.norms import pairwise_sq_distances
+from repro.aggregation.staleness import (
+    StalenessWeight,
+    ConstantStaleness,
+    PolynomialStaleness,
+    HingeStaleness,
+    apply_staleness,
+)
+
+__all__ = [
+    "Aggregator",
+    "get_aggregator",
+    "register_aggregator",
+    "available_aggregators",
+    "FedAvg",
+    "Median",
+    "TrimmedMean",
+    "Krum",
+    "MultiKrum",
+    "krum_scores",
+    "GeoMed",
+    "geometric_median",
+    "AutoGM",
+    "CenteredClipping",
+    "ClusteringAggregator",
+    "cosine_similarity_matrix",
+    "LipschitzFilter",
+    "pairwise_sq_distances",
+    "StalenessWeight",
+    "ConstantStaleness",
+    "PolynomialStaleness",
+    "HingeStaleness",
+    "apply_staleness",
+]

@@ -1,0 +1,62 @@
+"""AutoGM: automated outlier-damped geometric median.
+
+A robustified variant of GeoMed (Table II lists "AutoGM" under both the
+Euclidean-distance and median strategies): after computing the geometric
+median, updates whose distance to it exceeds ``z`` times the median
+distance are down-weighted to zero and the median is recomputed.  This
+captures the scheme's "automatic" outlier exclusion without the original's
+hyper-parameter search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.geomed import geometric_median
+
+__all__ = ["AutoGM"]
+
+
+@register_aggregator("autogm")
+class AutoGM(Aggregator):
+    """Geometric median with one round of distance-based outlier exclusion.
+
+    Parameters
+    ----------
+    z:
+        Exclusion threshold as a multiple of the median distance to the
+        first-pass geometric median.
+    max_iter, tol:
+        Inner Weiszfeld controls.
+    """
+
+    def __init__(self, z: float = 3.0, max_iter: int = 100, tol: float = 1e-8) -> None:
+        if z <= 0:
+            raise ValueError(f"z must be positive, got {z}")
+        self.z = float(z)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        center = geometric_median(
+            updates, weights, max_iter=self.max_iter, tol=self.tol
+        )
+        diffs = updates - center
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        scale = np.median(dists)
+        if scale <= 0.0:
+            # All updates identical: nothing to exclude.
+            return center
+        keep = dists <= self.z * scale
+        if keep.sum() < max(1, updates.shape[0] // 2):
+            # Refuse to exclude a majority; fall back to the plain median.
+            return center
+        kept_weights = weights[keep]
+        kept_weights = kept_weights / kept_weights.sum()
+        return geometric_median(
+            updates[keep], kept_weights, max_iter=self.max_iter, tol=self.tol
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AutoGM(z={self.z})"

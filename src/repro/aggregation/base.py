@@ -1,0 +1,105 @@
+"""Aggregator protocol, input validation and the name registry.
+
+The registry lets experiment configs refer to rules by name
+(``"multikrum"``) with keyword overrides, which is how the per-level
+BRA/CBA choice of Algorithm 3 is expressed in :mod:`repro.core.config`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Aggregator",
+    "register_aggregator",
+    "get_aggregator",
+    "available_aggregators",
+    "validate_updates",
+]
+
+_REGISTRY: dict[str, Callable[..., "Aggregator"]] = {}
+
+
+def validate_updates(
+    updates: np.ndarray, weights: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and sanity-check an update stack; returns (updates, weights).
+
+    ``weights`` defaults to uniform and is normalised to sum to 1.
+    """
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got shape {updates.shape}")
+    k = updates.shape[0]
+    if k == 0:
+        raise ValueError("cannot aggregate zero updates")
+    if not np.isfinite(updates).all():
+        raise ValueError("updates contain NaN or Inf")
+    if weights is None:
+        weights = np.full(k, 1.0 / k)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (k,):
+            raise ValueError(f"weights shape {weights.shape} != ({k},)")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        weights = weights / total
+    return updates, weights
+
+
+class Aggregator(ABC):
+    """A Byzantine-robust (or plain) aggregation rule.
+
+    Subclasses implement :meth:`_aggregate`; the public ``__call__``
+    validates inputs first so every rule shares the same error behaviour.
+    """
+
+    #: name under which the rule is registered (set by the decorator)
+    name: str = ""
+
+    def __call__(
+        self, updates: np.ndarray, weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        updates, weights = validate_updates(updates, weights)
+        return self._aggregate(updates, weights)
+
+    @abstractmethod
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        ...
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def register_aggregator(name: str) -> Callable[[type], type]:
+    """Class decorator registering an aggregator under ``name``."""
+
+    def deco(cls: type) -> type:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"aggregator {name!r} already registered")
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return deco
+
+
+def get_aggregator(name: str, **kwargs: object) -> Aggregator:
+    """Instantiate a registered rule by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown aggregator {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)  # type: ignore[call-arg]
+
+
+def available_aggregators() -> list[str]:
+    return sorted(_REGISTRY)

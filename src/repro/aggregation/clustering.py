@@ -1,0 +1,107 @@
+"""Cosine-similarity clustering aggregation (Sattler et al., 2020 flavour).
+
+Groups updates by pairwise cosine similarity (single-linkage over a
+similarity threshold), keeps the largest cluster — assumed benign, as in
+the clustered-FL literature the paper cites — and returns its weighted
+mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+
+__all__ = ["cosine_similarity_matrix", "ClusteringAggregator"]
+
+
+def cosine_similarity_matrix(updates: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """All-pairs cosine similarity of row vectors (diagonal = 1)."""
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got {updates.shape}")
+    norms = np.linalg.norm(updates, axis=1)
+    safe = np.maximum(norms, eps)
+    normalized = updates / safe[:, None]
+    sim = normalized @ normalized.T
+    np.clip(sim, -1.0, 1.0, out=sim)
+    np.fill_diagonal(sim, 1.0)
+    return sim
+
+
+def _connected_components(adjacency: np.ndarray) -> np.ndarray:
+    """Label connected components of a boolean adjacency matrix (BFS)."""
+    k = adjacency.shape[0]
+    labels = np.full(k, -1, dtype=np.int64)
+    current = 0
+    for start in range(k):
+        if labels[start] >= 0:
+            continue
+        frontier = [start]
+        labels[start] = current
+        while frontier:
+            node = frontier.pop()
+            neighbours = np.flatnonzero(adjacency[node] & (labels < 0))
+            labels[neighbours] = current
+            frontier.extend(neighbours.tolist())
+        current += 1
+    return labels
+
+
+def _lex_greater(a: np.ndarray, b: np.ndarray | None) -> bool:
+    """Lexicographic vector comparison (True if a > b)."""
+    if b is None:
+        return True
+    for x, y in zip(a, b):
+        if x != y:
+            return bool(x > y)
+    return False
+
+
+@register_aggregator("clustering")
+class ClusteringAggregator(Aggregator):
+    """Largest-cosine-cluster mean.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum cosine similarity for two updates to be linked.  The
+        benign cluster of SGD updates from similar data is strongly
+        aligned; poisoned/flipped updates point elsewhere.
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if not (-1.0 <= threshold < 1.0):
+            raise ValueError(f"threshold must be in [-1, 1), got {threshold}")
+        self.threshold = float(threshold)
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        k = updates.shape[0]
+        if k == 1:
+            return updates[0].copy()
+        sim = cosine_similarity_matrix(updates)
+        adjacency = sim >= self.threshold
+        np.fill_diagonal(adjacency, True)
+        labels = _connected_components(adjacency)
+        # Largest cluster by *weight*, tie-broken by size, then by the
+        # cluster mean's lexicographic order — a content-based tie-break,
+        # so the rule is invariant to the order updates arrive in.
+        best_mean: np.ndarray | None = None
+        best_key: tuple[float, int] | None = None
+        for cid in np.unique(labels):
+            members = labels == cid
+            w = weights[members]
+            mean = (w / w.sum()) @ updates[members] if w.sum() > 0 else updates[members].mean(axis=0)
+            key = (float(weights[members].sum()), int(members.sum()))
+            if (
+                best_key is None
+                or key > best_key
+                or (key == best_key and _lex_greater(mean, best_mean))
+            ):
+                best_key = key
+                best_mean = mean
+        assert best_mean is not None
+        return best_mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClusteringAggregator(threshold={self.threshold})"

@@ -1,0 +1,89 @@
+"""Kardam-style Lipschitz filtering (Damaskinos et al., 2018).
+
+The paper's related work lists Kardam/BYZSGD among the methods that "use
+Lipschitzness of the cost function to filter Byzantine nodes": an honest
+client's successive updates change roughly proportionally to how much the
+model changed, so the empirical Lipschitz coefficient
+
+    K_k = ||update_k(t) - update_k(t-1)|| / ||model(t) - model(t-1)||
+
+of a Byzantine fabricator is an outlier.  :class:`LipschitzFilter` keeps
+the updates whose coefficient lies within the lower quantile of the
+round's empirical coefficients and averages them.
+
+The rule is **stateful** (it remembers the previous round's updates and
+model), so one instance must be reused across rounds and fed updates in a
+stable client order — exactly how :class:`~repro.core.trainer.ABDHFLTrainer`
+holds one aggregator object per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+
+__all__ = ["LipschitzFilter"]
+
+
+@register_aggregator("lipschitz")
+class LipschitzFilter(Aggregator):
+    """Empirical-Lipschitz outlier filtering with a first-round fallback.
+
+    Parameters
+    ----------
+    quantile:
+        Fraction of lowest-coefficient updates kept each round (Kardam
+        keeps the ``n - f`` most Lipschitz-plausible; 0.75 matches an
+        assumed 25 % adversary share).
+    fallback:
+        Rule applied on the first round, before any history exists:
+        ``"median"`` (robust default) or ``"mean"``.
+    """
+
+    def __init__(self, quantile: float = 0.75, fallback: str = "median") -> None:
+        if not (0.0 < quantile <= 1.0):
+            raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+        if fallback not in ("median", "mean"):
+            raise ValueError(f"fallback must be 'median' or 'mean', got {fallback!r}")
+        self.quantile = float(quantile)
+        self.fallback = fallback
+        self._prev_updates: np.ndarray | None = None
+        self._prev_aggregate: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget history (e.g. when the client set changes)."""
+        self._prev_updates = None
+        self._prev_aggregate = None
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        k = updates.shape[0]
+        if (
+            self._prev_updates is None
+            or self._prev_updates.shape != updates.shape
+            or self._prev_aggregate is None
+        ):
+            result = (
+                np.median(updates, axis=0)
+                if self.fallback == "median"
+                else weights @ updates
+            )
+            self._prev_updates = updates.copy()
+            self._prev_aggregate = result.copy()
+            return result
+
+        model_shift = float(np.linalg.norm(updates.mean(axis=0) - self._prev_aggregate))
+        update_shifts = np.linalg.norm(updates - self._prev_updates, axis=1)
+        coefficients = update_shifts / max(model_shift, 1e-12)
+
+        keep_count = max(1, int(np.ceil(self.quantile * k)))
+        keep = np.argpartition(coefficients, keep_count - 1)[:keep_count]
+        w = weights[keep]
+        result = (w / w.sum()) @ updates[keep]
+
+        self._prev_updates = updates.copy()
+        self._prev_aggregate = result.copy()
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LipschitzFilter(quantile={self.quantile})"

@@ -1,0 +1,22 @@
+"""Weighted arithmetic mean — the FedAvg rule.
+
+Not Byzantine-robust (Blanchard et al. show a single adversary suffices to
+steer it); included as the vanilla baseline and as the inner combiner of
+several robust rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+
+__all__ = ["FedAvg"]
+
+
+@register_aggregator("fedavg")
+class FedAvg(Aggregator):
+    """``sum_k w_k * update_k`` with weights normalised to 1."""
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return weights @ updates

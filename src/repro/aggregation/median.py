@@ -1,0 +1,23 @@
+"""Coordinate-wise median (Yin et al., 2018).
+
+The rule the paper deploys in its non-IID experiments.  Robust per
+coordinate up to a 1/2 breakdown point; ignores weights (the median of a
+weighted sample is out of scope for the paper and for this rule's
+guarantees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+
+__all__ = ["Median"]
+
+
+@register_aggregator("median")
+class Median(Aggregator):
+    """Element-wise median over the update axis."""
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return np.median(updates, axis=0)

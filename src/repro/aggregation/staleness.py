@@ -1,0 +1,101 @@
+"""Staleness-aware weighting (FedAsync / Async-HFL family).
+
+The asynchronous HFL systems the paper builds on (Xie et al.'s FedAsync,
+Yu et al.'s Async-HFL) discount a model update by how many global
+versions elapsed since its base model was fetched.  This module provides
+the standard discount families plus a helper that folds staleness into
+the data-size weights the aggregation stack already consumes.
+
+Used by :class:`repro.core.fedasync.FedAsyncTrainer` (the asynchronous
+baseline) and available to :class:`~repro.core.trainer.ABDHFLTrainer`
+users who want stale quorum stragglers down-weighted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StalenessWeight",
+    "ConstantStaleness",
+    "PolynomialStaleness",
+    "HingeStaleness",
+    "apply_staleness",
+]
+
+
+class StalenessWeight(ABC):
+    """Maps staleness ``s >= 0`` (elapsed versions) to a weight in (0, 1]."""
+
+    @abstractmethod
+    def weight(self, staleness: float) -> float:
+        ...
+
+    def weights(self, staleness: np.ndarray) -> np.ndarray:
+        staleness = np.asarray(staleness, dtype=np.float64)
+        if (staleness < 0).any():
+            raise ValueError("staleness must be non-negative")
+        return np.array([self.weight(float(s)) for s in staleness])
+
+
+@dataclass(frozen=True)
+class ConstantStaleness(StalenessWeight):
+    """No discount — recovers synchronous weighting."""
+
+    def weight(self, staleness: float) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class PolynomialStaleness(StalenessWeight):
+    """``(1 + s) ** -a`` — FedAsync's polynomial family."""
+
+    a: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.a < 0:
+            raise ValueError(f"a must be non-negative, got {self.a}")
+
+    def weight(self, staleness: float) -> float:
+        return float((1.0 + staleness) ** -self.a)
+
+
+@dataclass(frozen=True)
+class HingeStaleness(StalenessWeight):
+    """FedAsync's hinge family: flat up to ``b``, then harmonic decay.
+
+    ``w(s) = 1``                     for ``s <= b``
+    ``w(s) = 1 / (1 + a (s - b))``   otherwise
+    """
+
+    a: float = 0.5
+    b: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.b < 0:
+            raise ValueError(f"a and b must be non-negative, got {self.a}, {self.b}")
+
+    def weight(self, staleness: float) -> float:
+        if staleness <= self.b:
+            return 1.0
+        return float(1.0 / (1.0 + self.a * (staleness - self.b)))
+
+
+def apply_staleness(
+    weights: np.ndarray,
+    staleness: np.ndarray,
+    policy: StalenessWeight,
+) -> np.ndarray:
+    """Multiply data weights by the staleness discount (not renormalised —
+    the aggregation layer normalises)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    staleness = np.asarray(staleness, dtype=np.float64)
+    if weights.shape != staleness.shape:
+        raise ValueError(
+            f"shape mismatch: weights {weights.shape} vs staleness "
+            f"{staleness.shape}"
+        )
+    return weights * policy.weights(staleness)

@@ -1,0 +1,46 @@
+"""Coordinate-wise trimmed mean (Yin et al., 2018).
+
+For each coordinate, discard the ``beta`` fraction of smallest and largest
+values, then average what remains.  ``beta`` must leave at least one value
+(``2*beta < 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import Aggregator, register_aggregator
+
+__all__ = ["TrimmedMean"]
+
+
+@register_aggregator("trimmed_mean")
+class TrimmedMean(Aggregator):
+    """beta-trimmed coordinate-wise mean.
+
+    Parameters
+    ----------
+    beta:
+        Fraction trimmed from *each* tail, in ``[0, 0.5)``.  The number of
+        values trimmed per tail is ``floor(beta * k)``.
+    """
+
+    def __init__(self, beta: float = 0.1) -> None:
+        if not (0.0 <= beta < 0.5):
+            raise ValueError(f"beta must be in [0, 0.5), got {beta}")
+        self.beta = float(beta)
+
+    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        k = updates.shape[0]
+        trim = int(self.beta * k)
+        if trim == 0:
+            return updates.mean(axis=0)
+        if 2 * trim >= k:
+            raise ValueError(
+                f"beta={self.beta} trims all {k} updates; reduce beta or add updates"
+            )
+        ordered = np.sort(updates, axis=0)
+        return ordered[trim : k - trim].mean(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrimmedMean(beta={self.beta})"

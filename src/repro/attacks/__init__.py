@@ -1,0 +1,29 @@
+"""Model-update (parameter-manipulation) attacks — Table I, bottom rows.
+
+These operate at upload time on the flat parameter/update vectors of the
+Byzantine nodes, in contrast to the data-poisoning attacks of
+:mod:`repro.data.poisoning` which corrupt the training set and let the
+node train "honestly".
+
+Omniscient attacks (ALIE, IPM) see all honest updates of the round, the
+strongest standard threat model.
+"""
+
+from repro.attacks.base import ModelAttack, get_attack, register_attack, available_attacks
+from repro.attacks.sign_flip import SignFlip
+from repro.attacks.noise import GaussianNoise
+from repro.attacks.alie import ALIE
+from repro.attacks.ipm import IPM
+from repro.attacks.scaling import Scaling
+
+__all__ = [
+    "ModelAttack",
+    "get_attack",
+    "register_attack",
+    "available_attacks",
+    "SignFlip",
+    "GaussianNoise",
+    "ALIE",
+    "IPM",
+    "Scaling",
+]

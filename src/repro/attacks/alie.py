@@ -1,0 +1,69 @@
+"""A Little Is Enough (ALIE; Baruch et al., 2019).
+
+Shifts the honest mean by ``z_max`` honest standard deviations per
+coordinate — small enough to pass distance- and median-based filters,
+large enough to bias the aggregate.  ``z_max`` is derived from the normal
+quantile matching the fraction of inputs the defence must keep, exactly as
+in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.attacks.base import ModelAttack, register_attack
+
+__all__ = ["ALIE", "alie_z_max"]
+
+
+def alie_z_max(n_total: int, n_byzantine: int) -> float:
+    """Original ALIE perturbation quantile.
+
+    ``s = floor(n/2 + 1) - f`` supporters are needed; the shift is the
+    standard-normal quantile of ``(n - f - s) / (n - f)``.
+    """
+    if n_total <= 0 or n_byzantine < 0 or n_byzantine >= n_total:
+        raise ValueError(f"invalid sizes n={n_total}, f={n_byzantine}")
+    n, f = n_total, n_byzantine
+    s = n // 2 + 1 - f
+    honest = n - f
+    if s <= 0:
+        # Byzantine majority: any shift passes; use a moderate default.
+        return 1.5
+    phi = max(0.0, min(1.0, (honest - s) / honest))
+    z = float(norm.ppf(phi))
+    return max(z, 0.0)
+
+
+@register_attack("alie")
+class ALIE(ModelAttack):
+    """Mean-shift attack calibrated to evade majority-keeping defences.
+
+    Parameters
+    ----------
+    z_max:
+        Fixed shift multiplier; ``None`` derives it from the round's input
+        counts via :func:`alie_z_max`.
+    negative_direction:
+        Shift against the honest mean direction (the harmful choice).
+    """
+
+    def __init__(self, z_max: float | None = None) -> None:
+        if z_max is not None and z_max < 0:
+            raise ValueError(f"z_max must be non-negative, got {z_max}")
+        self.z_max = z_max
+
+    def _attack(
+        self, honest_updates: np.ndarray, n_byzantine: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        k = honest_updates.shape[0]
+        z = (
+            self.z_max
+            if self.z_max is not None
+            else alie_z_max(k + n_byzantine, n_byzantine)
+        )
+        mean = honest_updates.mean(axis=0)
+        std = honest_updates.std(axis=0)
+        malicious = mean - z * std
+        return np.tile(malicious, (n_byzantine, 1))

@@ -1,0 +1,80 @@
+"""Attack protocol and registry.
+
+An attack receives the honest updates of the round (the omniscient threat
+model) and the count of Byzantine uploads to fabricate; it returns the
+``[n_byzantine, d]`` stack of malicious vectors.  Non-omniscient attacks
+simply ignore the honest stack beyond its shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ModelAttack", "register_attack", "get_attack", "available_attacks"]
+
+_REGISTRY: dict[str, Callable[..., "ModelAttack"]] = {}
+
+
+class ModelAttack(ABC):
+    """Fabricates Byzantine model-update vectors for one round."""
+
+    name: str = ""
+
+    def __call__(
+        self,
+        honest_updates: np.ndarray,
+        n_byzantine: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        honest_updates = np.asarray(honest_updates, dtype=np.float64)
+        if honest_updates.ndim != 2 or honest_updates.shape[0] == 0:
+            raise ValueError(
+                f"honest_updates must be a non-empty [k, d] stack, got "
+                f"{honest_updates.shape}"
+            )
+        if n_byzantine < 0:
+            raise ValueError(f"n_byzantine must be non-negative, got {n_byzantine}")
+        if n_byzantine == 0:
+            return np.empty((0, honest_updates.shape[1]))
+        out = self._attack(honest_updates, n_byzantine, rng)
+        if out.shape != (n_byzantine, honest_updates.shape[1]):
+            raise AssertionError(
+                f"{type(self).__name__} returned shape {out.shape}, expected "
+                f"({n_byzantine}, {honest_updates.shape[1]})"
+            )
+        return out
+
+    @abstractmethod
+    def _attack(
+        self,
+        honest_updates: np.ndarray,
+        n_byzantine: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        ...
+
+
+def register_attack(name: str) -> Callable[[type], type]:
+    def deco(cls: type) -> type:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"attack {name!r} already registered")
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return deco
+
+
+def get_attack(name: str, **kwargs: object) -> ModelAttack:
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown attack {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**kwargs)  # type: ignore[call-arg]
+
+
+def available_attacks() -> list[str]:
+    return sorted(_REGISTRY)

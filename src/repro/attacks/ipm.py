@@ -1,0 +1,37 @@
+"""Inner-Product Manipulation (IPM; Xie et al., 2020).
+
+Uploads ``-epsilon * mean(honest)`` so the inner product between the true
+mean and the aggregate is negative (for mean-like rules) while the vector
+stays on the honest axis — the "manipulate inner product" row of Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import ModelAttack, register_attack
+
+__all__ = ["IPM"]
+
+
+@register_attack("ipm")
+class IPM(ModelAttack):
+    """Scaled negative honest mean.
+
+    Parameters
+    ----------
+    epsilon:
+        Scale of the negated mean.  Small values (< 1) survive distance
+        filters; values > 1 flip the mean aggressively.
+    """
+
+    def __init__(self, epsilon: float = 0.5) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _attack(
+        self, honest_updates: np.ndarray, n_byzantine: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        mean = honest_updates.mean(axis=0)
+        return np.tile(-self.epsilon * mean, (n_byzantine, 1))

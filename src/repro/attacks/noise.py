@@ -1,0 +1,35 @@
+"""Gaussian-noise attack: random parameter vectors around the honest mean."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import ModelAttack, register_attack
+
+__all__ = ["GaussianNoise"]
+
+
+@register_attack("gaussian_noise")
+class GaussianNoise(ModelAttack):
+    """Upload ``mean + sigma * N(0, I)`` per Byzantine node.
+
+    Parameters
+    ----------
+    sigma:
+        Noise scale relative to the honest updates' per-coordinate std,
+        so the attack self-calibrates across training stages.
+    """
+
+    def __init__(self, sigma: float = 10.0) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = float(sigma)
+
+    def _attack(
+        self, honest_updates: np.ndarray, n_byzantine: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        mean = honest_updates.mean(axis=0)
+        std = honest_updates.std(axis=0)
+        scale = self.sigma * np.maximum(std, 1e-8)
+        noise = rng.standard_normal((n_byzantine, honest_updates.shape[1]))
+        return mean[None, :] + noise * scale[None, :]

@@ -1,0 +1,37 @@
+"""Scaling attack: amplify the honest mean by a large factor.
+
+The classic model-replacement move for FedAvg-style rules — a single
+scaled update dominates a linear combination (Blanchard et al.'s
+observation that linear aggregation tolerates no adversary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import ModelAttack, register_attack
+
+__all__ = ["Scaling"]
+
+
+@register_attack("scaling")
+class Scaling(ModelAttack):
+    """Upload ``factor * mean(honest)`` per Byzantine node.
+
+    Parameters
+    ----------
+    factor:
+        Amplification factor; negative values combine scaling with sign
+        flip.
+    """
+
+    def __init__(self, factor: float = 100.0) -> None:
+        if factor == 0:
+            raise ValueError("factor must be non-zero")
+        self.factor = float(factor)
+
+    def _attack(
+        self, honest_updates: np.ndarray, n_byzantine: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        mean = honest_updates.mean(axis=0)
+        return np.tile(self.factor * mean, (n_byzantine, 1))

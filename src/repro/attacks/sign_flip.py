@@ -1,0 +1,31 @@
+"""Sign-flip (SF) attack: upload the negated honest mean, scaled."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import ModelAttack, register_attack
+
+__all__ = ["SignFlip"]
+
+
+@register_attack("sign_flip")
+class SignFlip(ModelAttack):
+    """Send ``-scale * mean(honest updates)`` from every Byzantine node.
+
+    Parameters
+    ----------
+    scale:
+        Magnitude multiplier (1.0 = plain negation of the honest mean).
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def _attack(
+        self, honest_updates: np.ndarray, n_byzantine: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        mean = honest_updates.mean(axis=0)
+        return np.tile(-self.scale * mean, (n_byzantine, 1))

@@ -1,0 +1,48 @@
+"""Consensus-based aggregation (CBA) mechanisms — Table II, bottom rows.
+
+A consensus protocol lets the members of a cluster (in particular the
+leaderless top-level cluster ``C_{0,0}``) agree on an aggregated model
+with malicious proposals excluded, at the price of extra communication.
+
+Implemented protocols:
+
+* :class:`VotingConsensus` — the paper's evaluation mechanism
+  (Appendix D): members vote on each proposal after testing it on their
+  own validation shard; the proposals with the fewest positive votes are
+  excluded before averaging.
+* :class:`CommitteeConsensus` — a sampled committee validates proposals
+  (Li et al., committee-based blockchain FL).
+* :class:`PBFTConsensus` — a PBFT-shaped protocol: a primary proposes the
+  aggregate, replicas validate, safety holds for ``f < n/3``; message
+  complexity is accounted per phase including view changes.
+* :class:`PoSValidation` — stake-weighted validation inspired by Chen et
+  al.'s PoS-based robust blockchain FL.
+* :class:`ApproximateAgreement` — multidimensional approximate
+  ε-agreement via iterated coordinate-trimmed means (Mendes–Herlihy
+  style), with per-round message accounting.
+
+Every protocol returns a :class:`ConsensusResult` carrying the agreed
+vector, which proposals were excluded, and the communication bill — the
+quantity the scheme-comparison experiments (Table IV) consume.
+"""
+
+from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
+from repro.consensus.validation import ModelValidator, median_distance_scores
+from repro.consensus.voting import VotingConsensus
+from repro.consensus.committee import CommitteeConsensus
+from repro.consensus.pbft import PBFTConsensus
+from repro.consensus.pos import PoSValidation
+from repro.consensus.approx_agreement import ApproximateAgreement
+
+__all__ = [
+    "ConsensusProtocol",
+    "ConsensusResult",
+    "CostModel",
+    "ModelValidator",
+    "median_distance_scores",
+    "VotingConsensus",
+    "CommitteeConsensus",
+    "PBFTConsensus",
+    "PoSValidation",
+    "ApproximateAgreement",
+]

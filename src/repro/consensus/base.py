@@ -1,0 +1,107 @@
+"""Consensus protocol interface, result record and cost accounting."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
+
+
+@dataclass
+class CostModel:
+    """Communication bill of one consensus execution.
+
+    ``model_messages`` move full parameter vectors (``d * 8`` bytes each);
+    ``scalar_messages`` move votes/acks (counted at ``scalar_bytes``).
+    """
+
+    model_messages: int = 0
+    scalar_messages: int = 0
+    rounds: int = 0
+    scalar_bytes: int = 64
+
+    def add(self, other: "CostModel") -> None:
+        self.model_messages += other.model_messages
+        self.scalar_messages += other.scalar_messages
+        self.rounds += other.rounds
+
+    def total_bytes(self, d: int) -> int:
+        """Bytes on the wire given model dimension ``d``."""
+        return self.model_messages * d * 8 + self.scalar_messages * self.scalar_bytes
+
+    def total_messages(self) -> int:
+        return self.model_messages + self.scalar_messages
+
+
+@dataclass
+class ConsensusResult:
+    """Outcome of a consensus execution."""
+
+    value: np.ndarray
+    accepted: np.ndarray  # boolean mask over proposals
+    cost: CostModel = field(default_factory=CostModel)
+    info: dict = field(default_factory=dict)
+
+    @property
+    def n_excluded(self) -> int:
+        return int((~self.accepted).sum())
+
+
+class ConsensusProtocol(ABC):
+    """Agreement among ``n`` cluster members, each holding one proposal.
+
+    ``proposals[i]`` is the model vector held (and proposed) by member
+    ``i``.  ``byzantine_mask[i]`` marks members whose *protocol behaviour*
+    is adversarial (they vote/relay maliciously).  Note the distinction
+    from data poisoning: in the paper's Appendix D threat model a
+    data-poisoning node follows the protocol honestly, so its mask entry
+    is False even though its proposal was trained on poisoned data.
+    """
+
+    name: str = ""
+
+    def agree(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray | None = None,
+        byzantine_mask: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ConsensusResult:
+        proposals = np.asarray(proposals, dtype=np.float64)
+        if proposals.ndim != 2 or proposals.shape[0] == 0:
+            raise ValueError(
+                f"proposals must be a non-empty [n, d] stack, got {proposals.shape}"
+            )
+        n = proposals.shape[0]
+        if weights is None:
+            weights = np.full(n, 1.0 / n)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError(f"weights shape {weights.shape} != ({n},)")
+            if (weights < 0).any() or weights.sum() <= 0:
+                raise ValueError("weights must be non-negative, not all zero")
+            weights = weights / weights.sum()
+        if byzantine_mask is None:
+            byzantine_mask = np.zeros(n, dtype=bool)
+        else:
+            byzantine_mask = np.asarray(byzantine_mask, dtype=bool)
+            if byzantine_mask.shape != (n,):
+                raise ValueError(
+                    f"byzantine_mask shape {byzantine_mask.shape} != ({n},)"
+                )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return self._agree(proposals, weights, byzantine_mask, rng)
+
+    @abstractmethod
+    def _agree(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray,
+        byzantine_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ConsensusResult:
+        ...

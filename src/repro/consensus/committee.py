@@ -1,0 +1,97 @@
+"""Committee-based consensus (Li et al., blockchain-FL committee flavour).
+
+A random committee of ``committee_size`` members validates every proposal;
+a proposal is accepted if a majority of the committee scores it above the
+committee's median-of-best threshold.  Only committee members pay the
+validation cost, so the scheme trades robustness (a fully-Byzantine
+committee draw is possible) for a much smaller message bill than
+all-to-all voting — the trade-off the paper's Table IV describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
+from repro.consensus.validation import (
+    ModelValidator,
+    median_distance_scores,
+    upvote_matrix,
+)
+
+__all__ = ["CommitteeConsensus"]
+
+
+class CommitteeConsensus(ConsensusProtocol):
+    """Majority vote of a sampled validation committee.
+
+    Parameters
+    ----------
+    committee_size:
+        Members sampled per execution (clamped to the group size).
+    validator:
+        Optional accuracy-based scorer (falls back to median-distance).
+    vote_margin:
+        Same semantics as :class:`~repro.consensus.voting.VotingConsensus`.
+    """
+
+    name = "committee"
+
+    def __init__(
+        self,
+        committee_size: int = 3,
+        validator: ModelValidator | None = None,
+        vote_margin: float = 0.05,
+    ) -> None:
+        if committee_size < 1:
+            raise ValueError(f"committee_size must be >= 1, got {committee_size}")
+        if vote_margin < 0:
+            raise ValueError(f"vote_margin must be non-negative, got {vote_margin}")
+        self.committee_size = int(committee_size)
+        self.validator = validator
+        self.vote_margin = float(vote_margin)
+
+    def _agree(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray,
+        byzantine_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ConsensusResult:
+        n = proposals.shape[0]
+        c = min(self.committee_size, n)
+        committee = rng.choice(n, size=c, replace=False)
+
+        if self.validator is not None:
+            scores = self.validator.score_matrix(proposals, n_members=n)
+        else:
+            scores = median_distance_scores(proposals)
+        committee_scores = scores[committee]
+
+        votes = upvote_matrix(committee_scores, self.vote_margin)
+        committee_byz = byzantine_mask[committee]
+        if committee_byz.any():
+            votes[committee_byz] = ~votes[committee_byz]
+
+        upvotes = votes.sum(axis=0)
+        accepted = upvotes > c / 2.0
+        if not accepted.any():
+            # A degenerate ballot (e.g. all-Byzantine committee downvoting
+            # everything) must still decide; keep the best-scoring
+            # proposal so the protocol remains live.
+            accepted[int(np.argmax(scores.mean(axis=0)))] = True
+
+        w = weights[accepted]
+        value = (w / w.sum()) @ proposals[accepted]
+        cost = CostModel(
+            # proposals broadcast to the committee + committee ballots back
+            model_messages=n * c,
+            scalar_messages=c * (n - 1),
+            rounds=1,
+        )
+        return ConsensusResult(
+            value=value,
+            accepted=accepted,
+            cost=cost,
+            info={"committee": committee, "upvotes": upvotes},
+        )

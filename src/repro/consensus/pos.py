@@ -1,0 +1,108 @@
+"""PoS-inspired validation consensus (Chen et al., 2021 flavour).
+
+Members hold stake; each validates every proposal on its shard and issues
+a stake-weighted vote.  Proposals accumulating a majority of total stake
+are accepted and averaged with stake weighting.  Validators whose ballots
+disagree with the final outcome lose stake (slashing), so repeated
+executions progressively marginalise adversarial voters — the incentive
+dynamics the blockchain-FL literature relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
+from repro.consensus.validation import (
+    ModelValidator,
+    median_distance_scores,
+    upvote_matrix,
+)
+
+__all__ = ["PoSValidation"]
+
+
+class PoSValidation(ConsensusProtocol):
+    """Stake-weighted proposal validation with slashing.
+
+    Parameters
+    ----------
+    validator:
+        Optional accuracy scorer (falls back to median-distance).
+    vote_margin:
+        Upvote tolerance, as in voting consensus.
+    slash_factor:
+        Multiplicative stake penalty for ballots contradicting the
+        accepted outcome (applied between executions when the protocol
+        object is reused).
+    """
+
+    name = "pos"
+
+    def __init__(
+        self,
+        validator: ModelValidator | None = None,
+        vote_margin: float = 0.05,
+        slash_factor: float = 0.5,
+    ) -> None:
+        if vote_margin < 0:
+            raise ValueError(f"vote_margin must be non-negative, got {vote_margin}")
+        if not (0.0 < slash_factor <= 1.0):
+            raise ValueError(f"slash_factor must be in (0, 1], got {slash_factor}")
+        self.validator = validator
+        self.vote_margin = float(vote_margin)
+        self.slash_factor = float(slash_factor)
+        self._stake: np.ndarray | None = None
+
+    def reset_stake(self) -> None:
+        self._stake = None
+
+    def _agree(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray,
+        byzantine_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ConsensusResult:
+        n = proposals.shape[0]
+        if self._stake is None or self._stake.shape != (n,):
+            self._stake = np.ones(n)
+        stake = self._stake
+
+        if self.validator is not None:
+            scores = self.validator.score_matrix(proposals, n_members=n)
+        else:
+            scores = median_distance_scores(proposals)
+
+        votes = upvote_matrix(scores, self.vote_margin)
+        if byzantine_mask.any():
+            votes[byzantine_mask] = ~votes[byzantine_mask]
+
+        stake_for = stake @ votes  # [n_proposals]
+        accepted = stake_for > stake.sum() / 2.0
+        if not accepted.any():
+            accepted[int(np.argmax(stake_for))] = True
+
+        # Slash validators whose ballots contradict the outcome on a
+        # majority of proposals.
+        agreement = (votes == accepted[None, :]).mean(axis=1)
+        slashed = agreement < 0.5
+        stake[slashed] *= self.slash_factor
+        stake /= max(stake.sum(), 1e-12)
+        stake *= n  # keep mean stake at 1 for readability
+
+        w = weights[accepted] * stake[accepted]
+        if w.sum() <= 0:
+            w = weights[accepted]
+        value = (w / w.sum()) @ proposals[accepted]
+        cost = CostModel(
+            model_messages=n * (n - 1),
+            scalar_messages=n * (n - 1),
+            rounds=1,
+        )
+        return ConsensusResult(
+            value=value,
+            accepted=accepted,
+            cost=cost,
+            info={"stake": stake.copy(), "stake_for": stake_for, "slashed": slashed},
+        )

@@ -1,0 +1,105 @@
+"""Proposal scoring for validation-based consensus.
+
+The paper's top-level mechanism (Appendix D) gives each top node a shard
+of the test set; a node scores a proposed model by its accuracy on that
+shard.  :class:`ModelValidator` implements exactly this.  When no data is
+available (unit tests, abstract protocol studies),
+:func:`median_distance_scores` provides a data-free surrogate: proposals
+closer to the coordinate-wise median score higher.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+
+__all__ = ["ModelValidator", "median_distance_scores", "upvote_matrix"]
+
+
+class ModelValidator:
+    """Scores model vectors by validation accuracy on per-member shards.
+
+    Parameters
+    ----------
+    template:
+        A model with the right architecture; its weights are overwritten
+        on every call (one shared scratch model, no reallocation).
+    shards:
+        ``shards[i]`` is member ``i``'s validation dataset (the paper
+        splits the 10 000 test samples evenly over the 4 top nodes).
+    """
+
+    def __init__(self, template: Sequential, shards: Sequence[Dataset]) -> None:
+        if not shards:
+            raise ValueError("at least one validation shard is required")
+        for i, shard in enumerate(shards):
+            if len(shard) == 0:
+                raise ValueError(f"validation shard {i} is empty")
+        self.template = template
+        self.shards = list(shards)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.shards)
+
+    def score(self, member: int, vector: np.ndarray) -> float:
+        """Validation accuracy of ``vector`` on member's shard."""
+        shard = self.shards[member]
+        self.template.set_flat(vector)
+        return accuracy(self.template.predict(shard.X), shard.y)
+
+    def score_matrix(self, proposals: np.ndarray, n_members: int | None = None) -> np.ndarray:
+        """``[n_members, n_proposals]`` accuracy matrix.
+
+        ``n_members`` defaults to the shard count; a larger value cycles
+        the shards, which lets a validator provisioned for the top cluster
+        serve bigger intermediate clusters (members share validation data
+        round-robin — the scores stay honest, only their independence is
+        reduced).
+        """
+        proposals = np.asarray(proposals, dtype=np.float64)
+        base = np.empty((self.n_members, proposals.shape[0]))
+        for j, vector in enumerate(proposals):
+            self.template.set_flat(vector)
+            for i, shard in enumerate(self.shards):
+                base[i, j] = accuracy(self.template.predict(shard.X), shard.y)
+        if n_members is None or n_members <= self.n_members:
+            return base[: n_members or self.n_members]
+        reps = -(-n_members // self.n_members)  # ceil division
+        return np.tile(base, (reps, 1))[:n_members]
+
+
+def upvote_matrix(scores: np.ndarray, margin: float) -> np.ndarray:
+    """Convert a score matrix into boolean ballots.
+
+    Member ``i`` upvotes proposal ``j`` iff its score clears the member's
+    mid-range threshold ``(best_i + worst_i) / 2 - margin``.  The
+    mid-range split is scale-free: it separates a clearly-degraded
+    proposal from the healthy cluster whether scores are accuracies in
+    [0, 1] or unbounded distance surrogates, and when all proposals score
+    alike every ballot is positive.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")
+    best = scores.max(axis=1, keepdims=True)
+    worst = scores.min(axis=1, keepdims=True)
+    threshold = (best + worst) / 2.0 - margin
+    return scores >= threshold
+
+
+def median_distance_scores(proposals: np.ndarray) -> np.ndarray:
+    """Data-free surrogate scores: negated distance to the coordinate median.
+
+    Returns a ``[n, n]`` matrix (every member computes the same score for
+    each proposal, as the statistic needs no private data).
+    """
+    proposals = np.asarray(proposals, dtype=np.float64)
+    center = np.median(proposals, axis=0)
+    dists = np.linalg.norm(proposals - center, axis=1)
+    scores = -dists
+    return np.tile(scores, (proposals.shape[0], 1))

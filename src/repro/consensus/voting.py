@@ -1,0 +1,121 @@
+"""Voting-based consensus — the paper's top-level mechanism (Appendix D).
+
+Each member broadcasts its proposal, tests every received proposal on its
+own validation shard, and up/down-votes it.  The proposals receiving the
+fewest positive votes are considered malicious and excluded from the final
+weighted average.  Byzantine members vote adversarially (upvote the worst
+proposals, downvote the best); the mechanism tolerates a Byzantine
+minority of voters because exclusion is decided by vote *counts*.
+
+Communication: every member broadcasts its proposal to all others
+(``n(n-1)`` model messages) and its vote vector (``n(n-1)`` scalar
+messages); one logical round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
+from repro.consensus.validation import (
+    ModelValidator,
+    median_distance_scores,
+    upvote_matrix,
+)
+
+__all__ = ["VotingConsensus"]
+
+
+class VotingConsensus(ConsensusProtocol):
+    """Exclude the least-upvoted proposals, then average the rest.
+
+    Parameters
+    ----------
+    validator:
+        Scores proposals per member; ``None`` falls back to the data-free
+        median-distance surrogate.
+    n_exclude:
+        Number of proposals to exclude.  The paper *guarantees* the
+        exclusion of one Byzantine proposal among the four top-level ones
+        (gamma1 = 25 %); the mechanism itself is adaptive — "the partial
+        models that receive the fewest number of positive votes are
+        considered malicious" — so the default ``None`` excludes every
+        proposal that fails to win a majority of upvotes (at least one
+        proposal always survives).  An integer forces exactly that many
+        exclusions (clamped to leave one survivor), which is the
+        conservative fixed-γ₁ reading used in the tolerance analysis.
+    vote_margin:
+        A member upvotes proposal ``j`` iff its score is within
+        ``vote_margin`` of the member's best observed score.  The default
+        0.05 mirrors "up/down after testing": clearly-degraded models
+        (poisoned aggregates typically score far below) get downvoted
+        while honest models, whose scores differ by sampling noise only,
+        all get upvoted.
+    """
+
+    name = "voting"
+
+    def __init__(
+        self,
+        validator: ModelValidator | None = None,
+        n_exclude: int | None = None,
+        vote_margin: float = 0.05,
+    ) -> None:
+        if n_exclude is not None and n_exclude < 0:
+            raise ValueError(f"n_exclude must be non-negative, got {n_exclude}")
+        if vote_margin < 0:
+            raise ValueError(f"vote_margin must be non-negative, got {vote_margin}")
+        self.validator = validator
+        self.n_exclude = n_exclude
+        self.vote_margin = float(vote_margin)
+
+    def _agree(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray,
+        byzantine_mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ConsensusResult:
+        n = proposals.shape[0]
+        if self.validator is not None:
+            scores = self.validator.score_matrix(proposals, n_members=n)
+        else:
+            scores = median_distance_scores(proposals)
+
+        # Honest ballot: mid-range threshold minus the tolerance margin
+        # (scale-free; see validation.upvote_matrix).
+        votes = upvote_matrix(scores, self.vote_margin)
+
+        # Byzantine members invert their ballots.
+        if byzantine_mask.any():
+            votes[byzantine_mask] = ~votes[byzantine_mask]
+
+        upvotes = votes.sum(axis=0)
+        if self.n_exclude is None:
+            # Adaptive rule: accept proposals with a strict majority of
+            # positive votes; keep the best-scoring one if none qualifies.
+            accepted = upvotes > n / 2.0
+            if not accepted.any():
+                accepted[int(np.argmax(scores.mean(axis=0)))] = True
+        else:
+            n_exclude = min(self.n_exclude, n - 1)
+            accepted = np.ones(n, dtype=bool)
+            if n_exclude > 0:
+                # Exclude the n_exclude least-upvoted proposals; ties broken
+                # by lower mean score so a degraded model loses the tie.
+                order = np.lexsort((scores.mean(axis=0), upvotes))
+                accepted[order[:n_exclude]] = False
+
+        w = weights[accepted]
+        value = (w / w.sum()) @ proposals[accepted]
+        cost = CostModel(
+            model_messages=n * (n - 1),
+            scalar_messages=n * (n - 1),
+            rounds=1,
+        )
+        return ConsensusResult(
+            value=value,
+            accepted=accepted,
+            cost=cost,
+            info={"upvotes": upvotes, "scores": scores},
+        )

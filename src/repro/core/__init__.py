@@ -1,0 +1,54 @@
+"""ABD-HFL core: Algorithms 1–6 and the vanilla-FL baseline.
+
+The trainer executes the paper's learning process over a
+:class:`~repro.topology.tree.Hierarchy`:
+
+1. **LocalModelTraining** (Alg. 2) — bottom devices SGD-train from the
+   flag model, merging a late-arriving global model with the correction
+   factor (Eq. 1).
+2. **PartialModelAggregation** (Alg. 3/4) — every intermediate level
+   aggregates its clusters' uploads with a per-level BRA rule or CBA
+   protocol, subject to the quorum fraction φ.
+3. **GlobalModelAggregation** (Alg. 6) — the leaderless top cluster
+   agrees on the global model (CBA) or a top leader aggregates (BRA).
+4. **DisseminateModel** (Alg. 5) — flag and global models flow back down
+   the tree.
+
+Two execution modes share this code: the round-synchronous trainer here
+(used by the accuracy experiments, like the paper's own evaluation) and
+the event-driven timing run in :mod:`repro.pipeline`.
+"""
+
+from repro.core.config import ABDHFLConfig, LevelAggregation, TrainingConfig
+from repro.core.correction import (
+    CorrectionPolicy,
+    ConstantCorrection,
+    AdaptiveCorrection,
+)
+from repro.core.local import LocalTrainer, GlobalArrival
+from repro.core.trainer import ABDHFLTrainer, RoundRecord
+from repro.core.vanilla import VanillaFLTrainer
+from repro.core.schemes import scheme_config, SCHEME_DESCRIPTIONS
+from repro.core.fedasync import FedAsyncTrainer, AsyncRecord
+from repro.core.gossip import GossipTrainer, GossipRecord, build_topology
+
+__all__ = [
+    "ABDHFLConfig",
+    "LevelAggregation",
+    "TrainingConfig",
+    "CorrectionPolicy",
+    "ConstantCorrection",
+    "AdaptiveCorrection",
+    "LocalTrainer",
+    "GlobalArrival",
+    "ABDHFLTrainer",
+    "RoundRecord",
+    "VanillaFLTrainer",
+    "scheme_config",
+    "SCHEME_DESCRIPTIONS",
+    "FedAsyncTrainer",
+    "AsyncRecord",
+    "GossipTrainer",
+    "GossipRecord",
+    "build_topology",
+]

@@ -1,0 +1,113 @@
+"""Correction factor policies (paper §III-B, Eq. 1).
+
+When the (stale) global model arrives mid-training, the device merges it
+with its current local model:
+
+    theta' = alpha * theta_G + (1 - alpha) * theta_local
+
+The paper prescribes, qualitatively, that ``alpha`` should *decrease* with
+global-model latency (stale information is penalised) and *decrease* with
+the relative dataset size behind the flag model (a representative flag
+model leaves the global model little to add).
+:class:`AdaptiveCorrection` realises exactly those two monotonicities;
+:class:`ConstantCorrection` is the fixed-α baseline used in ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["CorrectionPolicy", "ConstantCorrection", "AdaptiveCorrection"]
+
+
+class CorrectionPolicy(ABC):
+    """Maps round context to the correction factor ``alpha`` in (0, 1]."""
+
+    @abstractmethod
+    def alpha(
+        self,
+        latency: float,
+        flag_data_fraction: float,
+    ) -> float:
+        """Compute ``alpha``.
+
+        Parameters
+        ----------
+        latency:
+            Staleness of the arriving global model, measured in local
+            iterations (or simulated seconds in the event-driven run),
+            normalised by the round length — 0 means "arrived instantly".
+        flag_data_fraction:
+            Fraction of the global dataset represented by the flag
+            partial model's subtree, in (0, 1].
+        """
+
+    def _validate(self, latency: float, flag_data_fraction: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if not (0.0 < flag_data_fraction <= 1.0):
+            raise ValueError(
+                f"flag_data_fraction must be in (0, 1], got {flag_data_fraction}"
+            )
+
+
+@dataclass
+class ConstantCorrection(CorrectionPolicy):
+    """Fixed ``alpha`` regardless of context."""
+
+    value: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.value <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.value}")
+
+    def alpha(self, latency: float, flag_data_fraction: float) -> float:
+        self._validate(latency, flag_data_fraction)
+        return self.value
+
+
+@dataclass
+class AdaptiveCorrection(CorrectionPolicy):
+    """The paper's two-factor adaptive rule.
+
+    ``alpha = clip(base * staleness_discount * novelty, alpha_min, 1)``
+
+    * ``staleness_discount = 1 / (1 + latency_scale * latency)`` — larger
+      delay, smaller alpha;
+    * ``novelty = 1 - flag_data_fraction`` — the more of the global data
+      the flag model already covered, the less the global model adds.
+
+    Attributes
+    ----------
+    base:
+        Alpha when the global model is fresh and the flag model covered
+        almost none of the data.
+    latency_scale:
+        Sensitivity to staleness.
+    alpha_min:
+        Floor keeping alpha in (0, 1] (Eq. 1 requires a positive alpha).
+    """
+
+    base: float = 0.8
+    latency_scale: float = 1.0
+    alpha_min: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.base <= 1.0):
+            raise ValueError(f"base must be in (0, 1], got {self.base}")
+        if self.latency_scale < 0:
+            raise ValueError(
+                f"latency_scale must be non-negative, got {self.latency_scale}"
+            )
+        if not (0.0 < self.alpha_min <= self.base):
+            raise ValueError(
+                f"alpha_min must be in (0, base], got {self.alpha_min}"
+            )
+
+    def alpha(self, latency: float, flag_data_fraction: float) -> float:
+        self._validate(latency, flag_data_fraction)
+        staleness_discount = 1.0 / (1.0 + self.latency_scale * latency)
+        novelty = 1.0 - flag_data_fraction
+        raw = self.base * staleness_discount * novelty
+        return float(min(1.0, max(self.alpha_min, raw)))

@@ -1,0 +1,233 @@
+"""Decentralized gossip (D-PSGD-style) baseline with robust variants.
+
+The paper's related work surveys gossip/mesh FL topologies as the other
+serverless alternative to hierarchies; this trainer provides that
+comparator.  Every node holds its own model; each round it trains locally
+and then mixes with its graph neighbours:
+
+* ``"average"`` — metropolis-weighted neighbourhood averaging (plain
+  D-PSGD; not Byzantine-robust);
+* ``"trimmed"`` — coordinate-wise trimmed mean over the neighbourhood
+  (BRIDGE-style robust gossip);
+* ``"median"`` — coordinate-wise neighbourhood median.
+
+Topologies come from :mod:`networkx` (ring, k-regular, Erdős–Rényi, or a
+caller-supplied graph).  Byzantine nodes broadcast attack vectors to all
+their neighbours (the omniscient model, matching :mod:`repro.attacks`).
+
+Evaluation reports the *mean honest-node accuracy* — decentralized
+systems have no global model, so the honest population's consensus
+quality is the comparable metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.attacks.base import ModelAttack
+from repro.core.config import TrainingConfig
+from repro.core.local import LocalTrainer
+from repro.data.dataset import Dataset
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["GossipRecord", "GossipTrainer", "build_topology"]
+
+_MIX_RULES = ("average", "trimmed", "median")
+
+
+def build_topology(
+    kind: str,
+    n_nodes: int,
+    rng: np.random.Generator,
+    degree: int = 4,
+    p: float = 0.3,
+) -> nx.Graph:
+    """Standard gossip topologies.
+
+    ``kind``: ``"ring"`` | ``"regular"`` (random d-regular) |
+    ``"erdos_renyi"`` | ``"complete"``.  The returned graph is always
+    connected (Erdős–Rényi is resampled until connected).
+    """
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+    if kind == "ring":
+        return nx.cycle_graph(n_nodes)
+    if kind == "complete":
+        return nx.complete_graph(n_nodes)
+    if kind == "regular":
+        if degree >= n_nodes or (degree * n_nodes) % 2 != 0:
+            raise ValueError(f"invalid degree {degree} for {n_nodes} nodes")
+        return nx.random_regular_graph(degree, n_nodes, seed=int(rng.integers(2**31)))
+    if kind == "erdos_renyi":
+        for _ in range(100):
+            g = nx.erdos_renyi_graph(n_nodes, p, seed=int(rng.integers(2**31)))
+            if nx.is_connected(g):
+                return g
+        raise ValueError(
+            f"could not sample a connected G({n_nodes}, {p}) in 100 tries"
+        )
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+@dataclass
+class GossipRecord:
+    """Per-round summary."""
+
+    round_index: int
+    mean_honest_accuracy: float
+    honest_disagreement: float  # mean pairwise distance between honest models
+
+
+class GossipTrainer:
+    """Fully decentralized training over a gossip graph.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology; node ids must equal the dataset keys.
+    client_datasets:
+        Per-node training shards.
+    mix_rule:
+        Neighbourhood combination: ``"average"`` | ``"trimmed"`` |
+        ``"median"``.
+    trim_fraction:
+        For ``"trimmed"``: fraction trimmed from each tail of the
+        neighbourhood (must cover the expected per-neighbourhood
+        Byzantine share; default 0.25).
+    byzantine:
+        Nodes broadcasting attack vectors.
+    model_attack:
+        Attack generator for Byzantine broadcasts (required when
+        ``byzantine`` is non-empty).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        client_datasets: dict[int, Dataset],
+        model_template: Sequential,
+        config: TrainingConfig,
+        test_set: Dataset,
+        mix_rule: str = "average",
+        trim_fraction: float = 0.25,
+        byzantine: list[int] | None = None,
+        model_attack: ModelAttack | None = None,
+        seed: int = 0,
+    ) -> None:
+        if set(graph.nodes) != set(client_datasets):
+            raise ValueError("graph nodes and dataset keys must coincide")
+        if mix_rule not in _MIX_RULES:
+            raise ValueError(f"mix_rule must be one of {_MIX_RULES}, got {mix_rule!r}")
+        if not (0.0 <= trim_fraction < 0.5):
+            raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+        self.trim_fraction = float(trim_fraction)
+        self.byzantine = set(byzantine or [])
+        unknown = self.byzantine - set(graph.nodes)
+        if unknown:
+            raise ValueError(f"byzantine ids not in graph: {sorted(unknown)}")
+        if self.byzantine and model_attack is None:
+            raise ValueError("model_attack required when byzantine nodes exist")
+        self.graph = graph
+        self.mix_rule = mix_rule
+        self.model_attack = model_attack
+        self.test_set = test_set
+        self._seeds = SeedSequenceFactory(seed)
+
+        self.trainers = {
+            node: LocalTrainer(
+                device_id=node,
+                dataset=client_datasets[node],
+                model=model_template.clone(),
+                config=config,
+                rng=self._seeds.generator("client", node),
+            )
+            for node in sorted(graph.nodes)
+        }
+        self._eval_model = model_template.clone()
+        init = model_template.get_flat()
+        self.models: dict[int, np.ndarray] = {
+            node: init.copy() for node in self.trainers
+        }
+        self.history: list[GossipRecord] = []
+        self.round_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def honest_nodes(self) -> list[int]:
+        return [n for n in sorted(self.trainers) if n not in self.byzantine]
+
+    def run(self, n_rounds: int) -> list[GossipRecord]:
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        start = len(self.history)
+        for _ in range(n_rounds):
+            self.run_round()
+        return self.history[start:]
+
+    def run_round(self) -> GossipRecord:
+        # 1. local training (every node, including data-poisoners, trains).
+        trained: dict[int, np.ndarray] = {}
+        for node, trainer in self.trainers.items():
+            trained[node] = trainer.train_round(self.models[node])
+
+        # 2. Byzantine nodes replace their broadcast with attack vectors.
+        broadcast = dict(trained)
+        if self.byzantine and self.model_attack is not None:
+            honest_stack = np.stack([trained[n] for n in self.honest_nodes])
+            rng = self._seeds.generator("attack", self.round_index)
+            malicious = self.model_attack(honest_stack, len(self.byzantine), rng)
+            for vector, node in zip(malicious, sorted(self.byzantine)):
+                broadcast[node] = vector
+
+        # 3. gossip mixing: every node combines itself with its neighbours.
+        new_models: dict[int, np.ndarray] = {}
+        for node in self.trainers:
+            neighbourhood = [broadcast[node]] + [
+                broadcast[nbr] for nbr in sorted(self.graph.neighbors(node))
+            ]
+            stack = np.stack(neighbourhood)
+            new_models[node] = self._mix(stack)
+        self.models = new_models
+
+        record = self._evaluate()
+        self.history.append(record)
+        self.round_index += 1
+        return record
+
+    def _mix(self, stack: np.ndarray) -> np.ndarray:
+        if self.mix_rule == "average":
+            return stack.mean(axis=0)
+        if self.mix_rule == "median":
+            return np.median(stack, axis=0)
+        # trimmed: drop trim_fraction of values per tail (at least one
+        # when the neighbourhood allows it)
+        k = stack.shape[0]
+        trim = int(self.trim_fraction * k)
+        if trim == 0 and k >= 3:
+            trim = 1
+        if 2 * trim >= k:
+            trim = (k - 1) // 2
+        ordered = np.sort(stack, axis=0)
+        return ordered[trim : k - trim].mean(axis=0)
+
+    def _evaluate(self) -> GossipRecord:
+        honest = self.honest_nodes
+        accs = []
+        for node in honest:
+            self._eval_model.set_flat(self.models[node])
+            accs.append(
+                accuracy(self._eval_model.predict(self.test_set.X), self.test_set.y)
+            )
+        stack = np.stack([self.models[n] for n in honest])
+        center = stack.mean(axis=0)
+        disagreement = float(np.linalg.norm(stack - center, axis=1).mean())
+        return GossipRecord(
+            round_index=self.round_index,
+            mean_honest_accuracy=float(np.mean(accs)),
+            honest_disagreement=disagreement,
+        )

@@ -1,0 +1,42 @@
+"""Dataset substrate: synthetic MNIST, partitioning, data poisoning.
+
+The real MNIST files cannot be fetched in this offline environment, so
+:mod:`repro.data.synthetic_mnist` renders a deterministic 10-class digit
+problem with the same shape and semantics (images in ``[0, 1]``, integer
+labels 0–9).  Partitioners implement the paper's IID and extreme non-IID
+(two labels per client, honest nodes jointly covering all ten labels)
+distributions; poisoning implements the paper's Type I / Type II attacks.
+"""
+
+from repro.data.dataset import Dataset, train_test_split, minibatches
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.data.partition import (
+    iid_partition,
+    noniid_label_shards,
+    dirichlet_partition,
+    PartitionResult,
+)
+from repro.data.poisoning import (
+    poison_type1,
+    poison_type2,
+    label_flip,
+    backdoor_trigger,
+    apply_poisoning,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "minibatches",
+    "SyntheticMNIST",
+    "make_synthetic_mnist",
+    "iid_partition",
+    "noniid_label_shards",
+    "dirichlet_partition",
+    "PartitionResult",
+    "poison_type1",
+    "poison_type2",
+    "label_flip",
+    "backdoor_trigger",
+    "apply_poisoning",
+]

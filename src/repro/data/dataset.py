@@ -1,0 +1,93 @@
+"""Dataset container and batching helpers.
+
+A :class:`Dataset` is a pair of aligned arrays: features ``X`` of shape
+``[n, d]`` (float64, already flattened) and labels ``y`` of shape ``[n]``
+(int64).  All slicing returns views where NumPy allows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Dataset", "train_test_split", "minibatches"]
+
+
+@dataclass
+class Dataset:
+    """Aligned features and integer labels."""
+
+    X: np.ndarray
+    y: np.ndarray
+    n_classes: int
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if self.y.shape != (self.X.shape[0],):
+            raise ValueError(
+                f"y shape {self.y.shape} does not match X rows {self.X.shape[0]}"
+            )
+        if self.n_classes <= 0:
+            raise ValueError(f"n_classes must be positive, got {self.n_classes}")
+        if self.y.size and (self.y.min() < 0 or self.y.max() >= self.n_classes):
+            raise ValueError("labels outside [0, n_classes)")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset restricted to ``indices`` (copies, so partitions own data)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.X[idx].copy(), self.y[idx].copy(), self.n_classes)
+
+    def label_counts(self) -> np.ndarray:
+        """``[n_classes]`` histogram of labels."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        perm = rng.permutation(len(self))
+        return Dataset(self.X[perm], self.y[perm], self.n_classes)
+
+    def copy(self) -> "Dataset":
+        return Dataset(self.X.copy(), self.y.copy(), self.n_classes)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split into (train, test)."""
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)
+
+
+def minibatches(
+    dataset: Dataset,
+    batch_size: int,
+    rng: np.random.Generator,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled ``(X_batch, y_batch)`` pairs covering the dataset once."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    n = len(dataset)
+    perm = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        idx = perm[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            return
+        yield dataset.X[idx], dataset.y[idx]

@@ -1,0 +1,110 @@
+"""Data-poisoning attacks (Table I, "Training datasets" rows).
+
+The paper evaluates two label-poisoning scenarios:
+
+* **Type I** — every training label is set to 9 (a targeted constant-label
+  attack; drives an undefended global model towards predicting 9).
+* **Type II** — labels are replaced by uniform random classes.
+
+Also provided: pairwise label flipping and a backdoor pixel trigger, used
+by the extension (defence-matrix) experiments.
+
+All functions return a *new* poisoned :class:`Dataset`; the honest shard is
+never mutated in place (a malicious node keeps training "honestly" on its
+poisoned data, per Appendix D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "poison_type1",
+    "poison_type2",
+    "label_flip",
+    "backdoor_trigger",
+    "apply_poisoning",
+]
+
+
+def poison_type1(dataset: Dataset, target_label: int = 9) -> Dataset:
+    """Type I attack: set every label to ``target_label``."""
+    if not (0 <= target_label < dataset.n_classes):
+        raise ValueError(f"target_label {target_label} outside label range")
+    y = np.full_like(dataset.y, target_label)
+    return Dataset(dataset.X.copy(), y, dataset.n_classes)
+
+
+def poison_type2(dataset: Dataset, rng: np.random.Generator) -> Dataset:
+    """Type II attack: replace every label with a uniform random class."""
+    y = rng.integers(0, dataset.n_classes, size=dataset.y.shape[0])
+    return Dataset(dataset.X.copy(), y.astype(np.int64), dataset.n_classes)
+
+
+def label_flip(dataset: Dataset, source: int, target: int) -> Dataset:
+    """Flip all labels ``source -> target`` (classic targeted flip)."""
+    for lbl in (source, target):
+        if not (0 <= lbl < dataset.n_classes):
+            raise ValueError(f"label {lbl} outside label range")
+    if source == target:
+        raise ValueError("source and target labels must differ")
+    y = dataset.y.copy()
+    y[y == source] = target
+    return Dataset(dataset.X.copy(), y, dataset.n_classes)
+
+
+def backdoor_trigger(
+    dataset: Dataset,
+    target_label: int,
+    trigger_value: float = 1.5,
+    n_trigger_features: int = 4,
+    poison_fraction: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Backdoor attack: stamp a trigger pattern and relabel stamped samples.
+
+    The trigger occupies the first ``n_trigger_features`` feature positions
+    (a fixed corner patch once images are flattened).  ``poison_fraction``
+    controls how many of the node's samples carry the trigger.
+    """
+    if not (0 <= target_label < dataset.n_classes):
+        raise ValueError(f"target_label {target_label} outside label range")
+    if not (0.0 < poison_fraction <= 1.0):
+        raise ValueError(f"poison_fraction must be in (0, 1], got {poison_fraction}")
+    if n_trigger_features <= 0 or n_trigger_features > dataset.n_features:
+        raise ValueError("n_trigger_features out of range")
+    X = dataset.X.copy()
+    y = dataset.y.copy()
+    n = len(dataset)
+    if poison_fraction >= 1.0:
+        chosen = np.arange(n)
+    else:
+        if rng is None:
+            raise ValueError("rng required when poison_fraction < 1")
+        k = max(1, int(round(poison_fraction * n)))
+        chosen = rng.choice(n, size=k, replace=False)
+    X[chosen[:, None], np.arange(n_trigger_features)[None, :]] = trigger_value
+    y[chosen] = target_label
+    return Dataset(X, y, dataset.n_classes)
+
+
+def apply_poisoning(
+    dataset: Dataset,
+    attack: str,
+    rng: np.random.Generator,
+    **kwargs: object,
+) -> Dataset:
+    """Dispatch by attack name: ``type1 | type2 | label_flip | backdoor | none``."""
+    if attack == "none":
+        return dataset
+    if attack == "type1":
+        return poison_type1(dataset, **kwargs)  # type: ignore[arg-type]
+    if attack == "type2":
+        return poison_type2(dataset, rng)
+    if attack == "label_flip":
+        return label_flip(dataset, **kwargs)  # type: ignore[arg-type]
+    if attack == "backdoor":
+        return backdoor_trigger(dataset, rng=rng, **kwargs)  # type: ignore[arg-type]
+    raise ValueError(f"unknown poisoning attack {attack!r}")

@@ -1,0 +1,99 @@
+"""Convergence-curve analysis for Figure-3-style outputs.
+
+Utilities that turn per-round accuracy trajectories into the summary
+facts the paper narrates: where one system overtakes another, how much
+area-under-curve separates them (a round-count-independent advantage
+measure), and when a curve has effectively converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CurveSummary", "crossover_round", "auc_gap", "convergence_round", "summarize"]
+
+
+def crossover_round(a: np.ndarray, b: np.ndarray, sustain: int = 3) -> int | None:
+    """First round where ``a`` exceeds ``b`` and stays above for
+    ``sustain`` consecutive rounds (None if never)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"curves must be equal-length 1-D, got {a.shape}, {b.shape}")
+    if sustain < 1:
+        raise ValueError(f"sustain must be >= 1, got {sustain}")
+    above = a > b
+    run = 0
+    for r, flag in enumerate(above):
+        run = run + 1 if flag else 0
+        if run >= sustain:
+            return r - sustain + 1
+    return None
+
+
+def auc_gap(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean per-round accuracy advantage of ``a`` over ``b`` (trapezoid
+    area difference normalised by length)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size < 2:
+        raise ValueError("curves must be equal-length 1-D with >= 2 points")
+    # trapezoid rule written out (np.trapezoid only exists in numpy >= 2)
+    def area(curve: np.ndarray) -> float:
+        return float((curve[:-1] + curve[1:]).sum() / 2.0)
+
+    n = a.size - 1
+    return (area(a) - area(b)) / n
+
+
+def convergence_round(
+    curve: np.ndarray, tolerance: float = 0.02, window: int = 5
+) -> int | None:
+    """First round after which the curve stays within ``tolerance`` of its
+    final value for at least ``window`` rounds (None if it never settles)."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.ndim != 1 or curve.size == 0:
+        raise ValueError("curve must be a non-empty 1-D array")
+    if tolerance < 0 or window < 1:
+        raise ValueError("tolerance must be >= 0 and window >= 1")
+    final = curve[-1]
+    settled = np.abs(curve - final) <= tolerance
+    # earliest index whose entire suffix is settled
+    unsettled = np.flatnonzero(~settled)
+    start = 0 if unsettled.size == 0 else int(unsettled[-1]) + 1
+    if curve.size - start < window:
+        return None  # too little settled evidence to call it converged
+    return start
+
+
+@dataclass(frozen=True)
+class CurveSummary:
+    """Headline facts of an A-vs-B convergence comparison."""
+
+    final_a: float
+    final_b: float
+    crossover: int | None
+    auc_advantage_a: float
+    convergence_a: int | None
+    convergence_b: int | None
+
+
+def summarize(
+    a: np.ndarray,
+    b: np.ndarray,
+    tolerance: float = 0.02,
+    window: int = 3,
+) -> CurveSummary:
+    """Full comparison summary of curve ``a`` (e.g. ABD-HFL) vs ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return CurveSummary(
+        final_a=float(a[-1]),
+        final_b=float(b[-1]),
+        crossover=crossover_round(a, b),
+        auc_advantage_a=auc_gap(a, b),
+        convergence_a=convergence_round(a, tolerance=tolerance, window=window),
+        convergence_b=convergence_round(b, tolerance=tolerance, window=window),
+    )

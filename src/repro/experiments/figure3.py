@@ -1,0 +1,88 @@
+"""Figure 3: convergence curves with confidence bands.
+
+For selected attack scenarios, train both systems for every global round,
+repeat ``n_runs`` times with sibling seeds, and report per-round mean
+accuracy plus a normal-approximation confidence interval — the gray bands
+of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.setup import (
+    ExperimentConfig,
+    build_abdhfl_trainer,
+    build_vanilla_trainer,
+    prepare_data,
+)
+from repro.utils.seeding import iter_run_seeds
+
+__all__ = ["ConvergenceCurve", "run_figure3"]
+
+
+@dataclass
+class ConvergenceCurve:
+    """Per-round accuracy trajectory of one system in one scenario."""
+
+    label: str
+    iid: bool
+    attack: str
+    malicious_fraction: float
+    rounds: np.ndarray           # [R]
+    mean: np.ndarray             # [R]
+    ci_half_width: np.ndarray    # [R] 95% normal CI half-width
+    runs: np.ndarray             # [n_runs, R] raw trajectories
+
+    @property
+    def final_accuracy(self) -> float:
+        return float(self.mean[-1])
+
+
+def _curve(
+    label: str,
+    config: ExperimentConfig,
+    trajectories: list[list[float]],
+) -> ConvergenceCurve:
+    runs = np.asarray(trajectories)
+    mean = runs.mean(axis=0)
+    if runs.shape[0] > 1:
+        sem = runs.std(axis=0, ddof=1) / np.sqrt(runs.shape[0])
+    else:
+        sem = np.zeros_like(mean)
+    return ConvergenceCurve(
+        label=label,
+        iid=config.iid,
+        attack=config.attack,
+        malicious_fraction=config.malicious_fraction,
+        rounds=np.arange(runs.shape[1]),
+        mean=mean,
+        ci_half_width=1.96 * sem,
+        runs=runs,
+    )
+
+
+def run_figure3(
+    config: ExperimentConfig,
+    n_runs: int = 3,
+) -> tuple[ConvergenceCurve, ConvergenceCurve]:
+    """One scenario's pair of curves: (ABD-HFL, vanilla FL)."""
+    if n_runs <= 0:
+        raise ValueError(f"n_runs must be positive, got {n_runs}")
+    abd_runs: list[list[float]] = []
+    van_runs: list[list[float]] = []
+    for run_seed in iter_run_seeds(config.seed, n_runs):
+        run_cfg = replace(config, seed=run_seed)
+        data = prepare_data(run_cfg)
+        abd = build_abdhfl_trainer(run_cfg, data)
+        abd.run(run_cfg.n_rounds)
+        abd_runs.append([r.test_accuracy for r in abd.history])
+        van = build_vanilla_trainer(run_cfg, data)
+        van.run(run_cfg.n_rounds)
+        van_runs.append([r.test_accuracy for r in van.history])
+    return (
+        _curve("ABD-HFL", config, abd_runs),
+        _curve("Vanilla FL", config, van_runs),
+    )

@@ -1,0 +1,119 @@
+"""Table V: final test accuracy, ABD-HFL vs vanilla FL.
+
+The grid is (data distribution) x (attack type) x (malicious proportion),
+each cell averaging the final-round accuracy over repeated runs — the
+paper uses five repeats; the reduced default uses fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.setup import (
+    ExperimentConfig,
+    build_abdhfl_trainer,
+    build_vanilla_trainer,
+    prepare_data,
+)
+from repro.utils.seeding import iter_run_seeds
+from repro.utils.tables import format_percent, format_table
+
+__all__ = ["Table5Cell", "run_cell", "run_table5", "format_table5"]
+
+# The paper's malicious-proportion axis, including the theoretical bound.
+PAPER_FRACTIONS = (0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.578, 0.65)
+
+
+@dataclass
+class Table5Cell:
+    """One (distribution, attack, fraction) cell of the grid."""
+
+    iid: bool
+    attack: str
+    malicious_fraction: float
+    abdhfl_accuracy: float
+    vanilla_accuracy: float
+    abdhfl_std: float = 0.0
+    vanilla_std: float = 0.0
+    n_runs: int = 1
+
+
+def run_cell(
+    config: ExperimentConfig,
+    n_runs: int = 1,
+) -> Table5Cell:
+    """Train both systems ``n_runs`` times; average final accuracy."""
+    abd_scores: list[float] = []
+    van_scores: list[float] = []
+    for run_seed in iter_run_seeds(config.seed, n_runs):
+        run_cfg = replace(config, seed=run_seed)
+        data = prepare_data(run_cfg)
+        abd = build_abdhfl_trainer(run_cfg, data)
+        abd.run(run_cfg.n_rounds)
+        abd_scores.append(abd.history[-1].test_accuracy)
+
+        van = build_vanilla_trainer(run_cfg, data)
+        van.run(run_cfg.n_rounds)
+        van_scores.append(van.history[-1].test_accuracy)
+    return Table5Cell(
+        iid=config.iid,
+        attack=config.attack,
+        malicious_fraction=config.malicious_fraction,
+        abdhfl_accuracy=float(np.mean(abd_scores)),
+        vanilla_accuracy=float(np.mean(van_scores)),
+        abdhfl_std=float(np.std(abd_scores)),
+        vanilla_std=float(np.std(van_scores)),
+        n_runs=n_runs,
+    )
+
+
+def run_table5(
+    base_config: ExperimentConfig | None = None,
+    fractions: tuple[float, ...] = PAPER_FRACTIONS,
+    distributions: tuple[bool, ...] = (True, False),
+    attacks: tuple[str, ...] = ("type1", "type2"),
+    n_runs: int = 1,
+) -> list[Table5Cell]:
+    """Run the full grid; returns cells in paper row order."""
+    base_config = base_config or ExperimentConfig()
+    cells: list[Table5Cell] = []
+    for iid in distributions:
+        dist_cfg = base_config.for_distribution(iid)
+        for attack in attacks:
+            for fraction in fractions:
+                cfg = replace(
+                    dist_cfg, attack=attack, malicious_fraction=fraction
+                )
+                cells.append(run_cell(cfg, n_runs=n_runs))
+    return cells
+
+
+def format_table5(cells: list[Table5Cell]) -> str:
+    """Render the grid in the paper's Table V layout."""
+    fractions = sorted({c.malicious_fraction for c in cells})
+    headers = ["Distribution", "Attack", "Model"] + [
+        format_percent(f) for f in fractions
+    ]
+    by_key: dict[tuple[bool, str], dict[float, Table5Cell]] = {}
+    for cell in cells:
+        by_key.setdefault((cell.iid, cell.attack), {})[cell.malicious_fraction] = cell
+    rows: list[list[str]] = []
+    for (iid, attack), per_frac in sorted(by_key.items(), key=lambda kv: (not kv[0][0], kv[0][1])):
+        dist = "IID" if iid else "non-IID"
+        for model in ("ABD-HFL", "Vanilla FL"):
+            row = [dist, attack, model]
+            for f in fractions:
+                cell = per_frac.get(f)
+                if cell is None:
+                    row.append("-")
+                else:
+                    acc = (
+                        cell.abdhfl_accuracy
+                        if model == "ABD-HFL"
+                        else cell.vanilla_accuracy
+                    )
+                    row.append(format_percent(acc))
+            rows.append(row)
+    return format_table(headers, rows, title="Table V - final testing accuracy")

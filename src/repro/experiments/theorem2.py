@@ -1,0 +1,65 @@
+"""Theorem 2: theoretical vs empirical Byzantine tolerance.
+
+Two parts:
+
+* exact validation — compare the closed forms against brute-force counts
+  on generated p-ratio two-type trees (delegated to
+  :mod:`repro.topology.analysis`);
+* empirical cliff — sweep the malicious proportion across the theoretical
+  bound and locate where ABD-HFL's final accuracy actually collapses.
+  The paper's worked example (gamma1 = gamma2 = 25 %, l = 2) predicts
+  57.8125 %; Table V shows ABD-HFL holding ~90 % up to that point and
+  degrading gracefully beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.setup import (
+    ExperimentConfig,
+    build_abdhfl_trainer,
+    prepare_data,
+)
+from repro.topology.analysis import max_byzantine_fraction
+
+__all__ = ["TolerancePoint", "run_theorem2"]
+
+
+@dataclass
+class TolerancePoint:
+    """One malicious-fraction sample of the empirical sweep."""
+
+    malicious_fraction: float
+    accuracy: float
+    below_bound: bool
+
+
+def run_theorem2(
+    config: ExperimentConfig | None = None,
+    fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.55, 0.7, 0.85),
+    gamma1: float = 0.25,
+    gamma2: float = 0.25,
+) -> tuple[float, list[TolerancePoint]]:
+    """Sweep malicious fractions around the Theorem-2 bound.
+
+    Returns ``(bound, points)`` where ``bound`` is the closed-form maximum
+    tolerated proportion for the configured depth.
+    """
+    config = config or ExperimentConfig()
+    bottom_level = config.n_levels - 1
+    bound = max_byzantine_fraction(gamma1, gamma2, bottom_level)
+    points: list[TolerancePoint] = []
+    for fraction in fractions:
+        cfg = replace(config, malicious_fraction=fraction)
+        data = prepare_data(cfg)
+        trainer = build_abdhfl_trainer(cfg, data)
+        trainer.run(cfg.n_rounds)
+        points.append(
+            TolerancePoint(
+                malicious_fraction=fraction,
+                accuracy=trainer.history[-1].test_accuracy,
+                below_bound=fraction <= bound,
+            )
+        )
+    return bound, points

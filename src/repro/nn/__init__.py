@@ -1,0 +1,38 @@
+"""Pure-NumPy neural-network substrate.
+
+The paper trains a small DNN with SGD on MNIST.  PyTorch is unavailable in
+this environment, so this subpackage provides the minimal framework the
+experiments need: dense layers with manual backprop, softmax
+cross-entropy, SGD with optional momentum, and flat-parameter views so the
+aggregation stack can treat a model as a single ``float64`` vector.
+
+Everything is vectorised over the batch dimension; there are no per-sample
+Python loops in the training path.
+"""
+
+from repro.nn.layers import Linear, ReLU, Tanh, Layer
+from repro.nn.losses import SoftmaxCrossEntropy, MSELoss, Loss
+from repro.nn.model import MLP, Sequential
+from repro.nn.optim import SGD, LRSchedule, ConstantLR, StepDecayLR
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.nn.regularization import Dropout
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Sequential",
+    "MLP",
+    "SGD",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "Dropout",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+]

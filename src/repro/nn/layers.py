@@ -1,0 +1,130 @@
+"""Dense layers and activations with explicit forward/backward passes.
+
+Each layer caches exactly what its backward pass needs, nothing more, and
+gradient arrays are overwritten in place between iterations where this is
+safe (guides: in-place ops, avoid copies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Layer", "Linear", "ReLU", "Tanh"]
+
+
+class Layer(ABC):
+    """A differentiable module in a feed-forward stack."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        """Compute outputs for a batch ``x`` of shape ``[batch, in_dim]``."""
+
+    @abstractmethod
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dL/d(output)`` and return ``dL/d(input)``."""
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (empty for stateless layers)."""
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradients aligned with :attr:`params`."""
+        return []
+
+
+class Linear(Layer):
+    """Affine transform ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Input/output feature sizes.
+    rng:
+        Source of the He-uniform initial weights.
+    init:
+        ``"he"`` (default, pairs with ReLU), ``"glorot"`` or ``"zeros"``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        init: str = "he",
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"dimensions must be positive, got {in_dim}x{out_dim}")
+        if init == "he":
+            bound = np.sqrt(6.0 / in_dim)
+        elif init == "glorot":
+            bound = np.sqrt(6.0 / (in_dim + out_dim))
+        elif init == "zeros":
+            bound = 0.0
+        else:
+            raise ValueError(f"unknown init scheme {init!r}")
+        self.W = rng.uniform(-bound, bound, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim, dtype=np.float64)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        # Accumulate into the pre-allocated gradient buffers.
+        np.matmul(self._x.T, grad_out, out=self.dW)
+        np.sum(grad_out, axis=0, out=self.db)
+        return grad_out @ self.W.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+
+class ReLU(Layer):
+    """Rectified linear unit, computed with a boolean mask."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0.0
+        if train:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        y = np.tanh(x)
+        if train:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * (1.0 - self._y * self._y)

@@ -1,0 +1,83 @@
+"""Loss functions with fused forward/backward where it is numerically wise.
+
+Softmax + cross-entropy is implemented as one fused op: the combined
+gradient ``softmax(logits) - onehot`` is both cheaper and numerically
+stabler than chaining the two backward passes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss", "log_softmax"]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class Loss(ABC):
+    """Batch loss: ``value`` averaged over the batch, gradient wrt inputs."""
+
+    @abstractmethod
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Return the scalar mean loss for the batch."""
+
+    @abstractmethod
+    def backward(self) -> np.ndarray:
+        """Return ``dL/d(predictions)`` for the last forward batch."""
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy over class logits with integer targets."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.ndim != 2:
+            raise ValueError(f"logits must be 2-D, got shape {predictions.shape}")
+        if targets.shape != (predictions.shape[0],):
+            raise ValueError(
+                f"targets shape {targets.shape} does not match batch "
+                f"{predictions.shape[0]}"
+            )
+        logp = log_softmax(predictions)
+        self._probs = np.exp(logp)
+        self._targets = targets
+        batch = predictions.shape[0]
+        return float(-logp[np.arange(batch), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        grad /= batch
+        return grad
+
+
+class MSELoss(Loss):
+    """Mean squared error against dense targets (used by unit tests)."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return (2.0 / self._diff.size) * self._diff

@@ -1,0 +1,46 @@
+"""Classification metrics for the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "confusion_matrix", "per_class_accuracy"]
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of correct class predictions."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(predictions == targets))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``[n_classes, n_classes]`` count matrix; rows = true, cols = predicted."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    if ((targets < 0) | (targets >= n_classes)).any():
+        raise ValueError("targets outside [0, n_classes)")
+    if ((predictions < 0) | (predictions >= n_classes)).any():
+        raise ValueError("predictions outside [0, n_classes)")
+    flat = targets * n_classes + predictions
+    counts = np.bincount(flat, minlength=n_classes * n_classes)
+    return counts.reshape(n_classes, n_classes)
+
+
+def per_class_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Per-class recall; NaN for classes absent from ``targets``."""
+    cm = confusion_matrix(predictions, targets, n_classes)
+    totals = cm.sum(axis=1).astype(np.float64)
+    correct = np.diag(cm).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, correct / totals, np.nan)

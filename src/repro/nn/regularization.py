@@ -1,0 +1,49 @@
+"""Regularisation layers (Dropout) — optional substrate extensions.
+
+The paper's DNN is small enough not to need regularisation at MNIST
+scale, but downstream users training larger models on the synthetic task
+do; Dropout follows the inverted-scaling convention (activations are
+scaled by ``1/keep`` at train time so evaluation is a no-op).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout.
+
+    Parameters
+    ----------
+    p:
+        Drop probability in ``[0, 1)``.
+    rng:
+        Mask randomness (one stream per layer instance keeps training
+        deterministic under the library's seeding discipline).
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        if not (0.0 <= p < 1.0):
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if not train or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # forward ran in eval mode (or p == 0): identity gradient
+            return grad_out
+        return grad_out * self._mask

@@ -1,0 +1,45 @@
+"""Pipeline learning workflow (paper §III-D).
+
+ABD-HFL overlaps local training with model aggregation: after uploading,
+a trainer waits only for the *flag partial model* from the flag level and
+starts the next round while partial/global aggregation of the previous
+round continues above it.  This subpackage quantifies that overlap:
+
+* :mod:`repro.pipeline.workflow` — the closed-form timing model
+  (τ series, σ_w / σ_p / σ_g, Eq. 2; efficiency indicator ν, Eq. 3);
+* :mod:`repro.pipeline.event_run` — an event-driven execution of the
+  protocol's message flow over :mod:`repro.sim`, measuring the same
+  quantities from actual simulated timestamps (Figure 2);
+* :mod:`repro.pipeline.flag_level` — the flag-level advisor
+  (Appendix E, Table VIII) and a ν-vs-ℓ_F sweep;
+* :mod:`repro.pipeline.costs` — analytic per-round communication cost of
+  the four schemes (Table IV).
+"""
+
+from repro.pipeline.workflow import LevelTiming, RoundTiming, PipelineModel
+from repro.pipeline.event_run import EventDrivenRun, TimingConfig, ClusterRoundTiming
+from repro.pipeline.flag_level import (
+    advise_flag_level,
+    delay_case,
+    sweep_flag_levels,
+    FlagLevelAdvice,
+)
+from repro.pipeline.costs import scheme_round_cost, hierarchy_message_profile
+from repro.pipeline.overall import OverallEfficiency, overall_efficiency
+
+__all__ = [
+    "LevelTiming",
+    "RoundTiming",
+    "PipelineModel",
+    "EventDrivenRun",
+    "TimingConfig",
+    "ClusterRoundTiming",
+    "advise_flag_level",
+    "delay_case",
+    "sweep_flag_levels",
+    "FlagLevelAdvice",
+    "scheme_round_cost",
+    "hierarchy_message_profile",
+    "OverallEfficiency",
+    "overall_efficiency",
+]

@@ -1,0 +1,107 @@
+"""Analytic per-round communication cost of the four schemes (Table IV).
+
+For a given hierarchy, count the model/scalar messages one global round
+needs under each scheme's partial/global choices:
+
+* a **BRA** cluster of size ``k`` costs ``(k-1)`` uploads to the leader
+  plus ``(k-1)`` copies broadcast back for storage (Alg. 3, line 8);
+* a **CBA** cluster of size ``k`` costs ``k(k-1)`` model messages (the
+  all-to-all proposal exchange) plus ``k(k-1)`` scalar votes — the voting
+  protocol's bill; protocol-specific factors can be passed in;
+* dissemination down the tree costs one model message per tree edge,
+  twice per round (flag + global).
+
+These counts are what the Table IV bench reports next to the measured
+robustness of each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.base import CostModel
+from repro.core.schemes import SCHEME_DESCRIPTIONS
+from repro.topology.tree import Hierarchy
+
+__all__ = ["hierarchy_message_profile", "scheme_round_cost", "SchemeCost"]
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Per-round bill of one scheme on one hierarchy."""
+
+    scheme: int
+    cost: CostModel
+
+    def total_bytes(self, d: int) -> int:
+        return self.cost.total_bytes(d)
+
+
+def _bra_cluster_cost(k: int) -> CostModel:
+    return CostModel(model_messages=2 * (k - 1), scalar_messages=0, rounds=1)
+
+
+def _cba_cluster_cost(k: int, cba_rounds: int = 1) -> CostModel:
+    return CostModel(
+        model_messages=cba_rounds * k * (k - 1),
+        scalar_messages=k * (k - 1),
+        rounds=cba_rounds,
+    )
+
+
+def hierarchy_message_profile(hierarchy: Hierarchy) -> dict[str, int]:
+    """Structural counts a cost model needs: cluster sizes and tree edges."""
+    dissemination_edges = 0
+    cluster_sizes: list[int] = []
+    for level in range(1, hierarchy.n_levels):
+        for cluster in hierarchy.clusters_at(level):
+            cluster_sizes.append(cluster.size)
+            dissemination_edges += cluster.size
+    return {
+        "n_intermediate_clusters": len(cluster_sizes),
+        "dissemination_edges": dissemination_edges,
+        "top_size": hierarchy.top_cluster.size,
+        "n_devices": len(hierarchy.bottom_clients()),
+    }
+
+
+def scheme_round_cost(
+    hierarchy: Hierarchy,
+    scheme: int,
+    cba_rounds: int = 1,
+) -> SchemeCost:
+    """Count one global round's messages under ``scheme`` (1-4).
+
+    Parameters
+    ----------
+    cba_rounds:
+        Multiplier for iterative consensus protocols (e.g. approximate
+        agreement needs several all-to-all rounds; PBFT needs 3 phases).
+    """
+    if scheme not in SCHEME_DESCRIPTIONS:
+        raise ValueError(f"scheme must be 1-4, got {scheme}")
+    if cba_rounds < 1:
+        raise ValueError(f"cba_rounds must be >= 1, got {cba_rounds}")
+    desc = SCHEME_DESCRIPTIONS[scheme]
+    total = CostModel()
+
+    # Partial aggregation: all clusters below the top.
+    for level in range(1, hierarchy.n_levels):
+        for cluster in hierarchy.clusters_at(level):
+            if desc["partial"] == "bra":
+                total.add(_bra_cluster_cost(cluster.size))
+            else:
+                total.add(_cba_cluster_cost(cluster.size, cba_rounds))
+
+    # Global aggregation at the top cluster.
+    top_k = hierarchy.top_cluster.size
+    if desc["global"] == "bra":
+        total.add(_bra_cluster_cost(top_k))
+    else:
+        total.add(_cba_cluster_cost(top_k, cba_rounds))
+
+    # Dissemination: flag + global model flow down every tree edge.
+    profile = hierarchy_message_profile(hierarchy)
+    total.model_messages += 2 * profile["dissemination_edges"]
+
+    return SchemeCost(scheme=scheme, cost=total)

@@ -1,0 +1,334 @@
+"""Event-driven execution of the ABD-HFL message flow (Figure 2).
+
+This runs the *timing skeleton* of the protocol over the discrete-event
+substrate: devices compute for sampled durations, leaders collect a
+quorum and aggregate for sampled durations, flag models trigger the next
+round at the bottom while upper levels keep aggregating — the pipeline of
+Fig. 2 emerging from actual message causality rather than the closed-form
+model.  Model mathematics is deliberately absent (the round-synchronous
+trainer owns accuracy); payloads are round numbers.
+
+Measured per (round, bottom cluster), in the paper's notation:
+
+* ``first_upload`` — leader receives its first local model (start of τ_L);
+* ``flag_arrival`` — the flag partial model returns (σ_w elapsed);
+* ``global_arrival`` — the global model returns (σ elapsed);
+* ``efficiency`` — Eq. 3 computed from those timestamps,
+  ``(σ - σ_w) / σ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.network import Channel
+from repro.topology.cluster import Cluster
+from repro.topology.tree import Hierarchy
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = ["TimingConfig", "ClusterRoundTiming", "EventDrivenRun"]
+
+
+@dataclass
+class TimingConfig:
+    """Duration models for the event-driven run.
+
+    Attributes
+    ----------
+    local_compute:
+        Per-device local-training duration per round.
+    partial_aggregate:
+        τ'_l : aggregation compute time at intermediate levels (one model
+        applies to all levels unless ``per_level_aggregate`` overrides).
+    global_aggregate:
+        τ'_g : top-level aggregation/consensus duration (consensus-based
+        schemes make this large — the "big τ_g" regimes of Table VIII).
+    link:
+        Network latency applied to every message.
+    phi:
+        Quorum fraction (Algorithm 4).
+    per_level_aggregate:
+        Optional per-level overrides of ``partial_aggregate``.
+    """
+
+    local_compute: LatencyModel
+    partial_aggregate: LatencyModel
+    global_aggregate: LatencyModel
+    link: LatencyModel = field(default_factory=lambda: FixedLatency(0.01))
+    phi: float = 1.0
+    per_level_aggregate: dict[int, LatencyModel] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.phi <= 1.0):
+            raise ValueError(f"phi must be in (0, 1], got {self.phi}")
+
+    def aggregate_model(self, level: int) -> LatencyModel:
+        if level in self.per_level_aggregate:
+            return self.per_level_aggregate[level]
+        return self.global_aggregate if level == 0 else self.partial_aggregate
+
+
+@dataclass
+class ClusterRoundTiming:
+    """Timestamps of one bottom cluster in one round."""
+
+    round_index: int
+    cluster_index: int
+    first_upload: float = math.nan
+    flag_arrival: float = math.nan
+    global_arrival: float = math.nan
+
+    @property
+    def sigma_w(self) -> float:
+        return self.flag_arrival - self.first_upload
+
+    @property
+    def sigma(self) -> float:
+        return self.global_arrival - self.first_upload
+
+    @property
+    def efficiency(self) -> float:
+        """Eq. 3 from measured timestamps: (sigma - sigma_w) / sigma."""
+        if not (math.isfinite(self.sigma) and self.sigma > 0):
+            return math.nan
+        return (self.sigma - self.sigma_w) / self.sigma
+
+
+class _LeaderState:
+    """Per-(round, cluster) collection state at one level."""
+
+    __slots__ = ("received", "quorum_met", "aggregated")
+
+    def __init__(self) -> None:
+        self.received: int = 0
+        self.quorum_met: bool = False
+        self.aggregated: bool = False
+
+
+class EventDrivenRun:
+    """Simulate ``n_rounds`` of the pipelined protocol over a hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The tree (Byzantine flags are irrelevant here — timing only).
+    config:
+        Duration models and quorum.
+    flag_level:
+        ``l_F``; 0 puts the flag at the top (no pipelining benefit).
+    seed:
+        Root seed for all sampled durations.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        config: TimingConfig,
+        flag_level: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not (0 <= flag_level < hierarchy.bottom_level):
+            raise ValueError(
+                f"flag_level must be in [0, {hierarchy.bottom_level}), got "
+                f"{flag_level}"
+            )
+        self.hierarchy = hierarchy
+        self.config = config
+        self.flag_level = flag_level
+        seeds = SeedSequenceFactory(seed)
+        self.sim = Simulator()
+        self.channel = Channel(self.sim, config.link, seeds.generator("link"))
+        self._compute_rng = seeds.generator("compute")
+        self._agg_rng = seeds.generator("agg")
+
+        self.n_rounds = 0
+        self.timings: dict[tuple[int, int], ClusterRoundTiming] = {}
+        self._leader_state: dict[tuple[int, int, int], _LeaderState] = {}
+        self._device_busy_until: dict[int, float] = {}
+        # Map bottom cluster -> its ancestor cluster index at the flag level.
+        self._flag_ancestor: dict[int, int] = {}
+        for cluster in hierarchy.clusters_at(hierarchy.bottom_level):
+            self._flag_ancestor[cluster.index] = self._ancestor_index(
+                cluster, flag_level
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, n_rounds: int) -> list[ClusterRoundTiming]:
+        """Execute the pipeline for ``n_rounds``; returns all timings."""
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        self.n_rounds = n_rounds
+        bottom = self.hierarchy.bottom_level
+        for cluster in self.hierarchy.clusters_at(bottom):
+            for device in cluster.members:
+                self._start_training(device, cluster, round_index=0)
+        self.sim.run()
+        return sorted(
+            self.timings.values(), key=lambda t: (t.round_index, t.cluster_index)
+        )
+
+    def efficiencies(self) -> np.ndarray:
+        """Per-(round, cluster) Eq. 3 values (NaN rows dropped)."""
+        vals = np.array([t.efficiency for t in self.timings.values()])
+        return vals[np.isfinite(vals)]
+
+    def round_durations(self) -> np.ndarray:
+        """Wall-clock length of each completed round (global arrival spans)."""
+        by_round: dict[int, list[float]] = {}
+        for t in self.timings.values():
+            if math.isfinite(t.global_arrival):
+                by_round.setdefault(t.round_index, []).append(t.global_arrival)
+        completed = sorted(by_round)
+        ends = [max(by_round[r]) for r in completed]
+        if not ends:
+            return np.array([])
+        starts = [0.0] + ends[:-1]
+        return np.array(ends) - np.array(starts)
+
+    # ------------------------------------------------------------------
+    # actors
+    # ------------------------------------------------------------------
+    def _start_training(
+        self, device: int, cluster: Cluster, round_index: int
+    ) -> None:
+        if round_index >= self.n_rounds:
+            return
+        start = max(self.sim.now, self._device_busy_until.get(device, 0.0))
+        duration = self.config.local_compute.sample(self._compute_rng)
+        finish = start + duration
+        self._device_busy_until[device] = finish
+
+        def upload() -> None:
+            leader = cluster.leader if cluster.leader is not None else cluster.members[0]
+            self.channel.send(
+                src=device,
+                dst=leader,
+                kind="local_model",
+                payload=round_index,
+                size_bytes=1,
+                on_delivery=lambda msg: self._on_upload(
+                    cluster, round_index, msg.delivered_at
+                ),
+            )
+
+        self.sim.schedule_at(finish, upload)
+
+    def _on_upload(
+        self, cluster: Cluster, round_index: int, delivered_at: float
+    ) -> None:
+        key = (cluster.level, cluster.index, round_index)
+        state = self._leader_state.setdefault(key, _LeaderState())
+        state.received += 1
+        if cluster.level == self.hierarchy.bottom_level and state.received == 1:
+            timing = self._timing(round_index, cluster.index)
+            timing.first_upload = delivered_at
+        quorum = max(1, math.ceil(self.config.phi * cluster.size))
+        if state.received >= quorum and not state.quorum_met:
+            state.quorum_met = True
+            duration = self.config.aggregate_model(cluster.level).sample(
+                self._agg_rng
+            )
+            self.sim.schedule(
+                duration, lambda: self._on_aggregated(cluster, round_index)
+            )
+
+    def _on_aggregated(self, cluster: Cluster, round_index: int) -> None:
+        key = (cluster.level, cluster.index, round_index)
+        state = self._leader_state[key]
+        if state.aggregated:
+            return
+        state.aggregated = True
+
+        # Flag dissemination: when this level is the flag level, every
+        # bottom cluster whose flag ancestor is this cluster receives the
+        # flag model and starts the next round.  (flag_level == 0 is
+        # handled inside the global dissemination instead.)
+        if cluster.level == self.flag_level and self.flag_level > 0:
+            self._disseminate_flag(cluster, round_index)
+
+        if cluster.level == 0:
+            self._disseminate_global(round_index)
+            return
+
+        # Upload the partial model to the parent cluster's leader.
+        parent = self.hierarchy.cluster_of(
+            cluster.leader
+            if cluster.leader is not None
+            else cluster.members[0],
+            cluster.level - 1,
+        )
+        src = cluster.leader if cluster.leader is not None else cluster.members[0]
+        dst = parent.leader if parent.leader is not None else parent.members[0]
+        self.channel.send(
+            src=src,
+            dst=dst,
+            kind="partial_model",
+            payload=round_index,
+            size_bytes=1,
+            on_delivery=lambda msg: self._on_upload(
+                parent, round_index, msg.delivered_at
+            ),
+        )
+
+    def _disseminate_flag(self, flag_cluster: Cluster, round_index: int) -> None:
+        link = self.config.link
+        bottom = self.hierarchy.bottom_level
+        for cluster in self.hierarchy.clusters_at(bottom):
+            if self._flag_ancestor[cluster.index] != flag_cluster.index:
+                continue
+            delay = link.sample(self._compute_rng)
+
+            def arrive(c: Cluster = cluster) -> None:
+                # The flag produced by round r's partial aggregation is
+                # theta_F^(r+1); sigma_w of round r ends at its arrival.
+                prev = self._timing(round_index, c.index)
+                if math.isnan(prev.flag_arrival):
+                    prev.flag_arrival = self.sim.now
+                if round_index + 1 < self.n_rounds:
+                    for device in c.members:
+                        self._start_training(device, c, round_index + 1)
+
+            self.sim.schedule(delay, arrive)
+
+    def _disseminate_global(self, round_index: int) -> None:
+        link = self.config.link
+        bottom = self.hierarchy.bottom_level
+        for cluster in self.hierarchy.clusters_at(bottom):
+            delay = link.sample(self._compute_rng)
+
+            def arrive(c: Cluster = cluster) -> None:
+                timing = self._timing(round_index, c.index)
+                if math.isnan(timing.global_arrival):
+                    timing.global_arrival = self.sim.now
+                # Flag at the top level: the global model IS the trigger
+                # for the next round.
+                if self.flag_level == 0:
+                    if math.isnan(timing.flag_arrival):
+                        timing.flag_arrival = self.sim.now
+                    if round_index + 1 < self.n_rounds:
+                        for device in c.members:
+                            self._start_training(device, c, round_index + 1)
+
+            self.sim.schedule(delay, arrive)
+
+    def _timing(self, round_index: int, cluster_index: int) -> ClusterRoundTiming:
+        key = (round_index, cluster_index)
+        if key not in self.timings:
+            self.timings[key] = ClusterRoundTiming(
+                round_index=round_index, cluster_index=cluster_index
+            )
+        return self.timings[key]
+
+    def _ancestor_index(self, cluster: Cluster, target_level: int) -> int:
+        current = cluster
+        while current.level > target_level:
+            leader = current.leader
+            if leader is None:
+                leader = current.members[0]
+            current = self.hierarchy.cluster_of(leader, current.level - 1)
+        return current.index

@@ -1,0 +1,119 @@
+"""Flag-level selection (Appendix E, Table VIII).
+
+Two tools:
+
+* :func:`advise_flag_level` — the paper's qualitative rule table: classify
+  the delay regime by (τ' big/small, τ_g big/small) and recommend where
+  ``l_F`` should sit;
+* :func:`sweep_flag_levels` — the quantitative companion: evaluate the
+  efficiency indicator ν (Eq. 3) and a correction-cost proxy for every
+  admissible flag level under a sampled timing model, exposing the
+  efficiency-vs-staleness trade-off of §III-D2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.workflow import PipelineModel
+
+__all__ = ["FlagLevelAdvice", "delay_case", "advise_flag_level", "sweep_flag_levels"]
+
+
+@dataclass(frozen=True)
+class FlagLevelAdvice:
+    """Outcome of the qualitative rule (one row of Table VIII)."""
+
+    case: str
+    recommendation: str
+    suggested_level: int | None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.case}: {self.recommendation}"
+
+
+def delay_case(
+    partial_delay: float, global_delay: float, threshold: float
+) -> str:
+    """Classify the regime: ``{big|small} tau' - {big|small} tau_g``."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    p = "big" if partial_delay > threshold else "small"
+    g = "big" if global_delay > threshold else "small"
+    return f"{p} tau'-{g} tau_g"
+
+
+def advise_flag_level(
+    partial_delay: float,
+    global_delay: float,
+    threshold: float,
+    n_levels: int,
+) -> FlagLevelAdvice:
+    """Apply Table VIII.
+
+    * small τ'–small τ_g → flag close to the top (correction cost
+      dominates; suggest level 1 below the top... i.e. ``l_F = 0`` is the
+      degenerate choice, the paper recommends "close to top level" which
+      we realise as ``l_F = 1``);
+    * small τ'–big τ_g  → close to the top (``l_F = 1``): partial delays
+      are cheap to wait for, and pipelining hides the expensive global
+      phase;
+    * big τ'–small τ_g and big τ'–big τ_g → "depends on other factors":
+      no level is suggested (``None``), the quantitative sweep decides.
+    """
+    if n_levels < 2:
+        raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+    case = delay_case(partial_delay, global_delay, threshold)
+    near_top = min(1, n_levels - 2)
+    if case == "small tau'-small tau_g":
+        return FlagLevelAdvice(case, "close to top level", near_top)
+    if case == "small tau'-big tau_g":
+        return FlagLevelAdvice(case, "close to top level", near_top)
+    return FlagLevelAdvice(case, "depends on other factors", None)
+
+
+def sweep_flag_levels(
+    model: PipelineModel,
+    n_rounds: int,
+    rng: np.random.Generator,
+    correction_weight: float = 0.0,
+) -> dict[int, dict[str, float]]:
+    """Evaluate every admissible flag level under a sampled timing model.
+
+    Returns ``{flag_level: {"efficiency": mean nu, "sigma_w": ...,
+    "correction_cost": ..., "score": ...}}``.
+
+    The correction-cost proxy is the mean overlapped time
+    ``sigma_p + sigma_g`` normalised by sigma: the longer training runs on
+    a flag model before the global model lands, the more Eq. 1 must
+    correct — the §III-D2 trade-off.  ``score = efficiency -
+    correction_weight * correction_cost`` lets callers pick an operating
+    point (the default weight 0 ranks purely by ν).
+    """
+    if n_rounds <= 0:
+        raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+    if correction_weight < 0:
+        raise ValueError(
+            f"correction_weight must be non-negative, got {correction_weight}"
+        )
+    rounds = model.sample_rounds(n_rounds, rng)
+    out: dict[int, dict[str, float]] = {}
+    for flag_level in range(0, model.bottom_level):
+        effs = np.array([r.efficiency(flag_level) for r in rounds])
+        sigmas_w = np.array([r.sigma_w(flag_level) for r in rounds])
+        overlapped = np.array(
+            [r.sigma_p(flag_level) + r.sigma_g(flag_level) for r in rounds]
+        )
+        sigmas = np.array([r.sigma(flag_level) for r in rounds])
+        correction_cost = float(np.mean(overlapped / np.maximum(sigmas, 1e-12)))
+        eff = float(effs.mean())
+        out[flag_level] = {
+            "efficiency": eff,
+            "sigma_w": float(sigmas_w.mean()),
+            "sigma": float(sigmas.mean()),
+            "correction_cost": correction_cost,
+            "score": eff - correction_weight * correction_cost,
+        }
+    return out

@@ -1,0 +1,101 @@
+"""Overall efficiency indicator — the paper's stated future work.
+
+Section III-D1 notes that the per-round, per-cluster efficiency indicator
+ν (Eq. 3) "will vary from round to round" and that "the precise
+calculation for the effective overall efficiency indicator is a future
+work".  This module supplies that calculation on measured timings:
+
+The overall indicator aggregates *time*, not ratios: summing the
+overlapped and total durations before dividing weights each (round,
+cluster) contribution by how long it actually took —
+
+    nu_overall = sum(sigma - sigma_w) / sum(sigma)
+
+which is the fraction of all cluster-observed latency that overlapped
+useful local training.  A plain mean of per-round ν values would
+over-weight short rounds; both are reported so the bias is visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.event_run import ClusterRoundTiming
+
+__all__ = ["OverallEfficiency", "overall_efficiency"]
+
+
+@dataclass(frozen=True)
+class OverallEfficiency:
+    """Aggregated pipeline efficiency over a measured run.
+
+    Attributes
+    ----------
+    time_weighted:
+        ``sum(overlapped time) / sum(total time)`` — the effective
+        overall indicator.
+    unweighted_mean:
+        Plain mean of the per-(round, cluster) ν values (for comparison;
+        biased toward short rounds).
+    per_round:
+        Time-weighted indicator per round index.
+    total_waiting:
+        Sum of all σ_w (pure waiting) across the run.
+    total_overlapped:
+        Sum of all σ − σ_w (aggregation time hidden behind training).
+    """
+
+    time_weighted: float
+    unweighted_mean: float
+    per_round: dict[int, float]
+    total_waiting: float
+    total_overlapped: float
+
+    @property
+    def total_time(self) -> float:
+        return self.total_waiting + self.total_overlapped
+
+
+def overall_efficiency(timings: list[ClusterRoundTiming]) -> OverallEfficiency:
+    """Compute the overall indicator from measured cluster timings.
+
+    Entries with incomplete timestamps (rounds cut off at the end of the
+    simulation) are skipped.
+    """
+    waiting: dict[int, float] = {}
+    overlapped: dict[int, float] = {}
+    nus: list[float] = []
+    for t in timings:
+        if not (
+            math.isfinite(t.first_upload)
+            and math.isfinite(t.flag_arrival)
+            and math.isfinite(t.global_arrival)
+        ):
+            continue
+        sigma_w = t.sigma_w
+        sigma = t.sigma
+        if sigma <= 0:
+            continue
+        waiting[t.round_index] = waiting.get(t.round_index, 0.0) + sigma_w
+        overlapped[t.round_index] = overlapped.get(t.round_index, 0.0) + (
+            sigma - sigma_w
+        )
+        nus.append(t.efficiency)
+    if not nus:
+        raise ValueError("no complete timings to aggregate")
+    total_wait = float(sum(waiting.values()))
+    total_overlap = float(sum(overlapped.values()))
+    per_round = {
+        r: overlapped[r] / max(waiting[r] + overlapped[r], 1e-12)
+        for r in sorted(waiting)
+    }
+    return OverallEfficiency(
+        time_weighted=total_overlap / max(total_wait + total_overlap, 1e-12),
+        unweighted_mean=float(np.mean(nus)),
+        per_round=per_round,
+        total_waiting=total_wait,
+        total_overlapped=total_overlap,
+    )

@@ -1,0 +1,185 @@
+"""Closed-form pipeline timing model (Eq. 2 and Eq. 3).
+
+Per round, each level ``l`` contributes a collection duration ``tau_l``
+(first upload until quorum) and an aggregation duration ``tau'_l``; the
+top level contributes ``tau_g`` and ``tau'_g``.  With flag level ``l_F``:
+
+* waiting time      ``sigma_w = sum_{i=l_F..L} (tau_i + tau'_i)``
+* pipelined partials``sigma_p = sum_{i=1..l_F-1} (tau_i + tau'_i)``
+* global            ``sigma_g = tau_g + tau'_g``
+* total             ``sigma   = sigma_w + sigma_p + sigma_g``  (Eq. 2)
+* efficiency        ``nu      = (sigma_p + sigma_g) / sigma``  (Eq. 3)
+
+:class:`PipelineModel` samples these per round from latency models, which
+is what the flag-level sweep and the Table VIII bench consume; the
+event-driven run in :mod:`repro.pipeline.event_run` measures the same
+quantities from actual message timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.latency import LatencyModel
+
+__all__ = ["LevelTiming", "RoundTiming", "PipelineModel"]
+
+
+@dataclass(frozen=True)
+class LevelTiming:
+    """One level's (tau, tau') pair for one round."""
+
+    collect: float
+    aggregate: float
+
+    def __post_init__(self) -> None:
+        if self.collect < 0 or self.aggregate < 0:
+            raise ValueError(
+                f"durations must be non-negative, got ({self.collect}, "
+                f"{self.aggregate})"
+            )
+
+    @property
+    def total(self) -> float:
+        return self.collect + self.aggregate
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """All timing components of one global round.
+
+    ``levels[l]`` holds the (tau_l, tau'_l) pair for level ``l`` from 1 to
+    L (level 0's pair is ``global_timing``).
+    """
+
+    levels: dict[int, LevelTiming]
+    global_timing: LevelTiming
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("at least one intermediate level is required")
+        expected = set(range(1, max(self.levels) + 1))
+        if set(self.levels) != expected:
+            raise ValueError(
+                f"levels must be contiguous 1..L, got {sorted(self.levels)}"
+            )
+
+    @property
+    def bottom_level(self) -> int:
+        return max(self.levels)
+
+    def sigma_w(self, flag_level: int) -> float:
+        """Waiting time from first upload until the flag model returns."""
+        self._check_flag(flag_level)
+        start = max(flag_level, 1)
+        total = sum(
+            self.levels[l].total for l in range(start, self.bottom_level + 1)
+        )
+        if flag_level == 0:
+            # Flag at the top: the trainer additionally waits for global
+            # collection+aggregation before anything comes back.
+            total += self.global_timing.total
+        return total
+
+    def sigma_p(self, flag_level: int) -> float:
+        """Partial-aggregation time overlapped with next-round training."""
+        self._check_flag(flag_level)
+        if flag_level <= 1:
+            return 0.0
+        return sum(self.levels[l].total for l in range(1, flag_level))
+
+    def sigma_g(self, flag_level: int) -> float:
+        """Global aggregation time (overlapped unless the flag is at top)."""
+        self._check_flag(flag_level)
+        return 0.0 if flag_level == 0 else self.global_timing.total
+
+    def sigma(self, flag_level: int) -> float:
+        """Eq. 2: total time from first local model to global arrival."""
+        return (
+            self.sigma_w(flag_level)
+            + self.sigma_p(flag_level)
+            + self.sigma_g(flag_level)
+        )
+
+    def efficiency(self, flag_level: int) -> float:
+        """Eq. 3: fraction of the round pipelined rather than waited."""
+        total = self.sigma(flag_level)
+        if total <= 0:
+            return 0.0
+        return (self.sigma_p(flag_level) + self.sigma_g(flag_level)) / total
+
+    def _check_flag(self, flag_level: int) -> None:
+        if not (0 <= flag_level <= self.bottom_level):
+            raise ValueError(
+                f"flag_level must be in [0, {self.bottom_level}], got {flag_level}"
+            )
+
+
+class PipelineModel:
+    """Samples per-round :class:`RoundTiming` from latency models.
+
+    Parameters
+    ----------
+    collect_models:
+        ``collect_models[l]`` is the tau_l duration model for intermediate
+        level ``l`` (keys 1..L).
+    aggregate_models:
+        Same keys, the tau'_l models.
+    global_collect, global_aggregate:
+        The top level's tau_g / tau'_g models.
+    """
+
+    def __init__(
+        self,
+        collect_models: dict[int, LatencyModel],
+        aggregate_models: dict[int, LatencyModel],
+        global_collect: LatencyModel,
+        global_aggregate: LatencyModel,
+    ) -> None:
+        if set(collect_models) != set(aggregate_models):
+            raise ValueError("collect and aggregate model keys must match")
+        if not collect_models:
+            raise ValueError("need at least one intermediate level")
+        expected = set(range(1, max(collect_models) + 1))
+        if set(collect_models) != expected:
+            raise ValueError(
+                f"levels must be contiguous 1..L, got {sorted(collect_models)}"
+            )
+        self.collect_models = dict(collect_models)
+        self.aggregate_models = dict(aggregate_models)
+        self.global_collect = global_collect
+        self.global_aggregate = global_aggregate
+
+    @property
+    def bottom_level(self) -> int:
+        return max(self.collect_models)
+
+    def sample_round(self, rng: np.random.Generator) -> RoundTiming:
+        levels = {
+            l: LevelTiming(
+                collect=self.collect_models[l].sample(rng),
+                aggregate=self.aggregate_models[l].sample(rng),
+            )
+            for l in self.collect_models
+        }
+        top = LevelTiming(
+            collect=self.global_collect.sample(rng),
+            aggregate=self.global_aggregate.sample(rng),
+        )
+        return RoundTiming(levels=levels, global_timing=top)
+
+    def sample_rounds(
+        self, n_rounds: int, rng: np.random.Generator
+    ) -> list[RoundTiming]:
+        if n_rounds <= 0:
+            raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+        return [self.sample_round(rng) for _ in range(n_rounds)]
+
+    def mean_efficiency(
+        self, flag_level: int, n_rounds: int, rng: np.random.Generator
+    ) -> float:
+        """Monte-Carlo mean of Eq. 3 over ``n_rounds`` sampled rounds."""
+        rounds = self.sample_rounds(n_rounds, rng)
+        return float(np.mean([r.efficiency(flag_level) for r in rounds]))

@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+The paper assumes partial synchrony (Assumption 1: message delivery time
+is arbitrary, finite, but unbounded) and studies the *timing structure* of
+the pipeline workflow.  This subpackage provides the event-driven machine
+used to measure it: a deterministic event queue, a simulator clock, and
+message channels with pluggable latency models (including heavy-tailed
+straggler distributions).
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.engine import Simulator
+from repro.sim.latency import (
+    LatencyModel,
+    FixedLatency,
+    UniformLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    StragglerLatency,
+)
+from repro.sim.network import Channel, Message, NetworkStats
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "StragglerLatency",
+    "Channel",
+    "Message",
+    "NetworkStats",
+]

@@ -1,0 +1,70 @@
+"""The simulator: a clock driving the event queue."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Time is a float in abstract "seconds"; causality is enforced (an
+    event may only schedule at or after the current time).
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule at an absolute time (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        return self.queue.push(time, callback)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self.now:
+            raise AssertionError("event queue returned a past event")
+        self.now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the queue, optionally bounded by time and/or event count.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` if
+        the queue empties (or only holds later events) first.
+        """
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                return
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,107 @@
+"""Latency models for channels and compute durations.
+
+All models are sampled from an injected generator so a simulation is
+reproducible from its seed.  The straggler model composes a base model
+with a heavy tail — the phenomenon asynchronous FL (FedAsync, Async-HFL)
+exists to absorb.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "LogNormalLatency",
+    "StragglerLatency",
+]
+
+
+class LatencyModel(ABC):
+    """A positive random duration source."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        ...
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.array([self.sample(rng) for _ in range(n)])
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Uniform on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not (0 <= low <= high):
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential with mean ``mean`` plus a floor ``minimum``."""
+
+    def __init__(self, mean: float, minimum: float = 0.0) -> None:
+        if mean <= 0 or minimum < 0:
+            raise ValueError(f"invalid parameters mean={mean}, minimum={minimum}")
+        self.mean = float(mean)
+        self.minimum = float(minimum)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.minimum + float(rng.exponential(self.mean))
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normal with given median and sigma (multiplicative spread)."""
+
+    def __init__(self, median: float, sigma: float = 0.5) -> None:
+        if median <= 0 or sigma < 0:
+            raise ValueError(f"invalid parameters median={median}, sigma={sigma}")
+        self.mu = float(np.log(median))
+        self.sigma = float(sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+
+class StragglerLatency(LatencyModel):
+    """Base latency with probability ``p`` of a ``factor``-times tail event.
+
+    Models the intermittent stragglers of unreliable edge channels: with
+    probability ``p`` the sampled delay is multiplied by ``factor``.
+    """
+
+    def __init__(self, base: LatencyModel, p: float = 0.1, factor: float = 10.0) -> None:
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.base = base
+        self.p = float(p)
+        self.factor = float(factor)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = self.base.sample(rng)
+        if rng.random() < self.p:
+            value *= self.factor
+        return value

@@ -1,0 +1,56 @@
+"""ABD-HFL network architecture: nodes, clusters, hierarchy builders.
+
+The architecture (paper §III-A) is a collection of trees "derived upwards
+from leaves": bottom-level devices form clusters, each cluster elects a
+leader, the leaders of level ``l`` form level ``l-1`` and are clustered
+again, up to the single top-level cluster ``C_{0,0}`` whose members
+jointly own the global model (no central server).
+
+Physical identity follows the paper's simulation: every node above the
+bottom is a bottom device acting in a leader role, so bottom count equals
+total device count.
+"""
+
+from repro.topology.node import NodeInfo
+from repro.topology.cluster import Cluster
+from repro.topology.tree import (
+    Hierarchy,
+    build_ecsm,
+    build_acsm,
+    assign_byzantine,
+)
+from repro.topology.dynamics import (
+    ChurnProcess,
+    join_cluster,
+    leave_cluster,
+)
+from repro.topology.analysis import (
+    type1_count,
+    type1_fraction,
+    nodes_at_level,
+    max_byzantine_count,
+    max_byzantine_fraction,
+    relative_reliable_number,
+    acsm_max_byzantine_fraction,
+    paper_worked_example,
+)
+
+__all__ = [
+    "NodeInfo",
+    "Cluster",
+    "Hierarchy",
+    "build_ecsm",
+    "build_acsm",
+    "assign_byzantine",
+    "ChurnProcess",
+    "join_cluster",
+    "leave_cluster",
+    "type1_count",
+    "type1_fraction",
+    "nodes_at_level",
+    "max_byzantine_count",
+    "max_byzantine_fraction",
+    "relative_reliable_number",
+    "acsm_max_byzantine_fraction",
+    "paper_worked_example",
+]

@@ -1,0 +1,225 @@
+"""Byzantine tolerance analysis — Theorems 1–3 and Corollaries 1–3.
+
+Closed forms from the paper's Appendix B/C plus brute-force validators
+that count nodes on explicitly generated trees; the property tests and the
+Theorem-2 bench cross-check the two.
+
+Level convention matches the paper: level 0 is the top, level ``l`` counts
+downward; a structure of "depth L" has bottom level ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "type1_count",
+    "type1_fraction",
+    "nodes_at_level",
+    "max_byzantine_count",
+    "max_byzantine_fraction",
+    "min_honest_fraction",
+    "levels_needed_for_tolerance",
+    "relative_reliable_number",
+    "acsm_max_byzantine_fraction",
+    "paper_worked_example",
+    "brute_force_type1_counts",
+    "TwoTypeTree",
+]
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 — p-ratio two-type complete m-ary trees
+# ----------------------------------------------------------------------
+def type1_count(p: float, m: int, level: int) -> float:
+    """Number of type-I (honest) nodes at ``level``: ``(p*m)**level``.
+
+    Exact when ``p*m`` is integral at every level (the regime in which the
+    tree is realisable); returned as a float otherwise.
+    """
+    _check_ratio(p, "p")
+    _check_arity(m)
+    _check_level(level)
+    return float((p * m) ** level)
+
+
+def type1_fraction(p: float, level: int) -> float:
+    """Proportion of type-I nodes at ``level``: ``p**level``."""
+    _check_ratio(p, "p")
+    _check_level(level)
+    return float(p**level)
+
+
+# ----------------------------------------------------------------------
+# Corollary 1 — node counts per level of a p-ratio ABD-HFL structure
+# ----------------------------------------------------------------------
+def nodes_at_level(n_top: int, m: int, level: int) -> int:
+    """Total nodes at ``level``: ``N_t * m**level``."""
+    if n_top < 1:
+        raise ValueError(f"n_top must be >= 1, got {n_top}")
+    _check_arity(m)
+    _check_level(level)
+    return int(n_top * m**level)
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 — maximum tolerated Byzantine nodes per level
+# ----------------------------------------------------------------------
+def max_byzantine_count(
+    n_top: int, m: int, level: int, gamma1: float, gamma2: float
+) -> float:
+    """``N_t m^l - (1 - g1) N_t [(1 - g2) m]^l`` (Theorem 2)."""
+    _check_ratio(gamma1, "gamma1")
+    _check_ratio(gamma2, "gamma2")
+    total = nodes_at_level(n_top, m, level)
+    honest = (1.0 - gamma1) * n_top * ((1.0 - gamma2) * m) ** level
+    return float(total - honest)
+
+
+def max_byzantine_fraction(gamma1: float, gamma2: float, level: int) -> float:
+    """``1 - (1 - g1)(1 - g2)**l`` (Theorem 2).
+
+    The paper's worked example: ``max_byzantine_fraction(0.25, 0.25, 2)``
+    = 0.578125.
+    """
+    _check_ratio(gamma1, "gamma1")
+    _check_ratio(gamma2, "gamma2")
+    _check_level(level)
+    return float(1.0 - (1.0 - gamma1) * (1.0 - gamma2) ** level)
+
+
+def min_honest_fraction(gamma1: float, gamma2: float, level: int) -> float:
+    """Complement of :func:`max_byzantine_fraction`."""
+    return 1.0 - max_byzantine_fraction(gamma1, gamma2, level)
+
+
+def levels_needed_for_tolerance(
+    gamma1: float, gamma2: float, target_fraction: float
+) -> int:
+    """Smallest bottom level ``l`` with tolerance >= ``target_fraction``.
+
+    Implements the design guidance of Corollary 3: deeper hierarchies
+    tolerate a larger bottom-level Byzantine share.  Raises if ``gamma2``
+    is 0 and the target exceeds ``gamma1`` (no depth suffices).
+    """
+    _check_ratio(gamma1, "gamma1")
+    _check_ratio(gamma2, "gamma2")
+    if not (0.0 <= target_fraction < 1.0):
+        raise ValueError(f"target_fraction must be in [0, 1), got {target_fraction}")
+    level = 0
+    while max_byzantine_fraction(gamma1, gamma2, level) < target_fraction:
+        level += 1
+        if gamma2 == 0.0 and level > 1:
+            raise ValueError(
+                f"target {target_fraction} unreachable with gamma2=0 "
+                f"(tolerance is flat at {gamma1})"
+            )
+        if level > 64:
+            raise ValueError("target tolerance unreachable within 64 levels")
+    return level
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 / ACSM — relative reliable number
+# ----------------------------------------------------------------------
+def relative_reliable_number(
+    cluster_sizes: np.ndarray | list[int], honest_cluster: np.ndarray | list[bool]
+) -> float:
+    """``psi_l`` (Definition 7): node share of honest clusters at a level."""
+    sizes = np.asarray(cluster_sizes, dtype=np.float64)
+    honest = np.asarray(honest_cluster, dtype=bool)
+    if sizes.shape != honest.shape:
+        raise ValueError(f"shape mismatch: {sizes.shape} vs {honest.shape}")
+    if sizes.size == 0 or (sizes <= 0).any():
+        raise ValueError("cluster sizes must be positive and non-empty")
+    return float(sizes[honest].sum() / sizes.sum())
+
+
+def acsm_max_byzantine_fraction(gamma2: float, psi: float) -> float:
+    """Theorem 3 bound for intermediate levels: ``P_l <= 1 - (1-g2) psi_l``."""
+    _check_ratio(gamma2, "gamma2")
+    if not (0.0 <= psi <= 1.0):
+        raise ValueError(f"psi must be in [0, 1], got {psi}")
+    return float(1.0 - (1.0 - gamma2) * psi)
+
+
+def paper_worked_example() -> float:
+    """The evaluation section's tolerance bound: 57.8125 %.
+
+    gamma1 = gamma2 = 25 %, bottom level l = 2 (three levels in total).
+    """
+    return max_byzantine_fraction(0.25, 0.25, 2)
+
+
+# ----------------------------------------------------------------------
+# Brute-force validators
+# ----------------------------------------------------------------------
+@dataclass
+class TwoTypeTree:
+    """Explicitly generated p-ratio two-type complete m-ary tree.
+
+    ``levels[l]`` is a boolean array over the ``m**l`` nodes of level
+    ``l``; True = type-I (honest).  Requires ``p*m`` integral so the tree
+    is exactly realisable (Definition 2 fixes the type-I share of a
+    type-I node's children to exactly ``p``).
+    """
+
+    m: int
+    p: float
+    depth: int
+    levels: list[np.ndarray]
+
+    @classmethod
+    def generate(cls, m: int, p: float, depth: int) -> "TwoTypeTree":
+        _check_arity(m)
+        _check_ratio(p, "p")
+        if depth < 0:
+            raise ValueError(f"depth must be non-negative, got {depth}")
+        pm = p * m
+        if abs(pm - round(pm)) > 1e-9:
+            raise ValueError(
+                f"p*m must be integral for an exact two-type tree, got {pm}"
+            )
+        k = int(round(pm))
+        levels = [np.array([True])]  # root is type-I
+        for _ in range(depth):
+            parents = levels[-1]
+            children = np.zeros(parents.size * m, dtype=bool)
+            # A type-I parent has exactly k type-I children (placed first —
+            # positions don't affect counts); type-II parents have none.
+            type1_parents = np.flatnonzero(parents)
+            for parent in type1_parents:
+                children[parent * m : parent * m + k] = True
+            levels.append(children)
+        return cls(m=m, p=p, depth=depth, levels=levels)
+
+    def type1_counts(self) -> list[int]:
+        return [int(level.sum()) for level in self.levels]
+
+    def type1_fractions(self) -> list[float]:
+        return [float(level.mean()) for level in self.levels]
+
+
+def brute_force_type1_counts(m: int, p: float, depth: int) -> list[int]:
+    """Count type-I nodes per level on a generated tree (Theorem 1 check)."""
+    return TwoTypeTree.generate(m, p, depth).type1_counts()
+
+
+# ----------------------------------------------------------------------
+# argument checks
+# ----------------------------------------------------------------------
+def _check_ratio(value: float, name: str) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_arity(m: int) -> None:
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+
+def _check_level(level: int) -> None:
+    if level < 0:
+        raise ValueError(f"level must be non-negative, got {level}")

@@ -1,0 +1,55 @@
+"""Cluster: a learning group at one level of the hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cluster"]
+
+
+@dataclass
+class Cluster:
+    """The set of nodes ``C_{l,i}`` with its leader ``A_{l,i}``.
+
+    Attributes
+    ----------
+    level:
+        Level index; 0 is the top, larger is lower.
+    index:
+        Cluster index ``i`` within its level.
+    members:
+        Device ids of the cluster's members, in deterministic order.
+    leader:
+        Device id of the elected leader; ``None`` only for the top
+        cluster when a leaderless (CBA) configuration is used — a leader
+        can still be designated for BRA-at-top configurations.
+    """
+
+    level: int
+    index: int
+    members: list[int]
+    leader: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError(f"level must be non-negative, got {self.level}")
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+        if not self.members:
+            raise ValueError(f"cluster ({self.level},{self.index}) has no members")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(
+                f"cluster ({self.level},{self.index}) has duplicate members"
+            )
+        if self.leader is not None and self.leader not in self.members:
+            raise ValueError(
+                f"leader {self.leader} is not a member of cluster "
+                f"({self.level},{self.index})"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, device_id: int) -> bool:
+        return device_id in self.members

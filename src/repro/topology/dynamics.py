@@ -1,0 +1,214 @@
+"""Membership dynamics (Assumption 3).
+
+The paper assumes "nodes can join or leave the existing clusters, but no
+clusters will be split or combined".  This module implements exactly that
+churn model on a live :class:`~repro.topology.tree.Hierarchy`:
+
+* :func:`join_cluster` — a new device enters an existing bottom cluster;
+* :func:`leave_cluster` — a bottom device departs; if it held leader
+  roles, each affected cluster re-elects from its remaining members and
+  the leader chain above is repaired in place;
+* :class:`ChurnProcess` — a seeded stream of join/leave events for churn
+  experiments, with rate knobs and invariant checking after every event.
+
+Clusters are never split or merged; a cluster shrinking to a single
+member keeps operating (its aggregation degenerates to pass-through), and
+removing the last member of a cluster is rejected — Assumption 2 ("there
+are always enough clusters") is the caller's responsibility, so the
+library refuses to silently violate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.cluster import Cluster
+from repro.topology.node import NodeInfo
+from repro.topology.tree import Hierarchy
+
+__all__ = ["join_cluster", "leave_cluster", "ChurnProcess", "ChurnEvent"]
+
+
+def join_cluster(
+    hierarchy: Hierarchy,
+    cluster_index: int,
+    device_id: int | None = None,
+    byzantine: bool = False,
+) -> int:
+    """Add a device to bottom cluster ``cluster_index``; returns its id.
+
+    ``device_id`` defaults to one past the current maximum so ids stay
+    unique.  The newcomer never displaces the current leader.
+    """
+    bottom = hierarchy.bottom_level
+    clusters = hierarchy.clusters_at(bottom)
+    if not (0 <= cluster_index < len(clusters)):
+        raise IndexError(f"no bottom cluster {cluster_index}")
+    cluster = clusters[cluster_index]
+    if device_id is None:
+        device_id = max(hierarchy.nodes) + 1 if hierarchy.nodes else 0
+    if device_id in hierarchy.nodes:
+        raise ValueError(f"device {device_id} already participates")
+    cluster.members.append(device_id)
+    info = NodeInfo(device_id=device_id, byzantine=byzantine)
+    info.roles.add(bottom)
+    hierarchy.nodes[device_id] = info
+    hierarchy.validate()
+    return device_id
+
+
+def _elect_replacement(cluster: Cluster, departing: int) -> int:
+    """Deterministically pick a new leader among the remaining members."""
+    remaining = [m for m in cluster.members if m != departing]
+    if not remaining:
+        raise ValueError(
+            f"cannot remove the last member of cluster "
+            f"({cluster.level},{cluster.index}); Assumption 2 would be violated"
+        )
+    return min(remaining)
+
+
+def leave_cluster(hierarchy: Hierarchy, device_id: int) -> list[tuple[int, int]]:
+    """Remove a bottom device, repairing leader roles it held.
+
+    The device is removed from its bottom cluster and from every upper
+    level where it acted as a leader; each cluster it led re-elects a
+    replacement (lowest remaining id), and that replacement is promoted
+    into the upper-level cluster in the departing device's place.
+
+    Returns the list of ``(level, cluster_index)`` pairs whose leader
+    changed, from the bottom upward.
+    """
+    if device_id not in hierarchy.nodes:
+        raise KeyError(f"device {device_id} does not participate")
+    bottom = hierarchy.bottom_level
+
+    repaired: list[tuple[int, int]] = []
+    # Walk from the bottom up: at each level the device appears in, it
+    # must be replaced by the new leader of the cluster it leads one
+    # level below (at the bottom, simply removed).
+    replacement: int | None = None
+    for level in range(bottom, -1, -1):
+        try:
+            cluster = hierarchy.cluster_of(device_id, level)
+        except KeyError:
+            break  # device does not appear at this level or above
+        if level == bottom:
+            if len(cluster.members) <= 1:
+                raise ValueError(
+                    f"cannot remove the last member of cluster "
+                    f"({level},{cluster.index})"
+                )
+            if cluster.leader == device_id:
+                replacement = _elect_replacement(cluster, device_id)
+                cluster.leader = replacement
+                repaired.append((level, cluster.index))
+            cluster.members.remove(device_id)
+        else:
+            # The device sits here as leader of a cluster below; its
+            # replacement (already elected below) takes the seat.
+            if replacement is None:
+                raise AssertionError(
+                    f"device {device_id} at level {level} without a "
+                    "replacement from below"
+                )
+            idx = cluster.members.index(device_id)
+            cluster.members[idx] = replacement
+            hierarchy.nodes[replacement].roles.add(level)
+            if cluster.leader == device_id:
+                # It also led this cluster: elect among the new membership;
+                # the elected leader takes the departing device's seat at
+                # the next level up.
+                cluster.leader = min(cluster.members)
+                repaired.append((level, cluster.index))
+                replacement = cluster.leader
+            else:
+                # Member-only at this level: the seat swap suffices.
+                replacement = None
+                break
+    del hierarchy.nodes[device_id]
+    hierarchy.validate()
+    return repaired
+
+
+@dataclass
+class ChurnEvent:
+    """One membership change."""
+
+    kind: str  # "join" | "leave"
+    device_id: int
+    cluster_index: int | None = None
+
+
+@dataclass
+class ChurnProcess:
+    """Seeded join/leave stream over a hierarchy's bottom level.
+
+    Attributes
+    ----------
+    hierarchy:
+        The live tree (mutated in place).
+    rng:
+        Event randomness.
+    join_probability:
+        Probability that an event is a join (otherwise a leave).
+    byzantine_join_fraction:
+        Probability that a joining device is Byzantine.
+    """
+
+    hierarchy: Hierarchy
+    rng: np.random.Generator
+    join_probability: float = 0.5
+    byzantine_join_fraction: float = 0.0
+    log: list[ChurnEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.join_probability <= 1.0):
+            raise ValueError(
+                f"join_probability must be in [0, 1], got {self.join_probability}"
+            )
+        if not (0.0 <= self.byzantine_join_fraction <= 1.0):
+            raise ValueError(
+                "byzantine_join_fraction must be in [0, 1], got "
+                f"{self.byzantine_join_fraction}"
+            )
+
+    def step(self) -> ChurnEvent | None:
+        """Apply one random membership event; returns it (None if the
+        sampled leave was structurally impossible and was skipped)."""
+        bottom = self.hierarchy.bottom_level
+        clusters = self.hierarchy.clusters_at(bottom)
+        if self.rng.random() < self.join_probability:
+            cluster_index = int(self.rng.integers(0, len(clusters)))
+            byz = self.rng.random() < self.byzantine_join_fraction
+            device = join_cluster(self.hierarchy, cluster_index, byzantine=byz)
+            event = ChurnEvent("join", device, cluster_index)
+        else:
+            candidates = [
+                m
+                for c in clusters
+                if len(c.members) > 1
+                for m in c.members
+            ]
+            if not candidates:
+                return None
+            device = int(self.rng.choice(candidates))
+            cluster_index = self.hierarchy.cluster_of(device, bottom).index
+            leave_cluster(self.hierarchy, device)
+            event = ChurnEvent("leave", device, cluster_index)
+        self.log.append(event)
+        return event
+
+    def run(self, n_events: int) -> list[ChurnEvent]:
+        """Apply ``n_events`` membership events; hierarchy invariants are
+        re-validated after every one."""
+        if n_events < 0:
+            raise ValueError(f"n_events must be non-negative, got {n_events}")
+        out = []
+        for _ in range(n_events):
+            event = self.step()
+            if event is not None:
+                out.append(event)
+        return out

@@ -1,0 +1,35 @@
+"""Per-device bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeInfo"]
+
+
+@dataclass
+class NodeInfo:
+    """A physical participating device.
+
+    Attributes
+    ----------
+    device_id:
+        Stable integer identity (bottom-level client id in the paper's
+        simulation).
+    byzantine:
+        Whether this device is malicious.  In the data-poisoning threat
+        model (Appendix D) a Byzantine device trains on poisoned data but
+        otherwise follows the protocol — including honest aggregation when
+        it holds a leader role.
+    roles:
+        Levels at which the device appears (bottom level always; lower
+        numbers if it was elected leader upward).
+    """
+
+    device_id: int
+    byzantine: bool = False
+    roles: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be non-negative, got {self.device_id}")

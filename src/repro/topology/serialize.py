@@ -1,0 +1,79 @@
+"""Hierarchy (de)serialization — plain-dict and JSON round trips.
+
+Long experiments checkpoint their topology (including Byzantine flags and
+any churn the membership dynamics applied) so a run can be resumed or a
+placement audited; the format is stable, versioned JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.topology.cluster import Cluster
+from repro.topology.tree import Hierarchy
+
+__all__ = ["hierarchy_to_dict", "hierarchy_from_dict", "save_hierarchy", "load_hierarchy"]
+
+_FORMAT_VERSION = 1
+
+
+def hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
+    """Plain-dict snapshot (JSON-safe) of structure + flags."""
+    return {
+        "version": _FORMAT_VERSION,
+        "levels": [
+            [
+                {
+                    "index": cluster.index,
+                    "members": list(cluster.members),
+                    "leader": cluster.leader,
+                }
+                for cluster in clusters
+            ]
+            for clusters in hierarchy.levels
+        ],
+        "byzantine": sorted(hierarchy.byzantine_devices()),
+    }
+
+
+def hierarchy_from_dict(payload: dict) -> Hierarchy:
+    """Rebuild (and re-validate) a hierarchy from its snapshot."""
+    if not isinstance(payload, dict) or "levels" not in payload:
+        raise ValueError("payload is not a hierarchy snapshot")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported hierarchy format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    levels: list[list[Cluster]] = []
+    for level_idx, clusters in enumerate(payload["levels"]):
+        level = [
+            Cluster(
+                level=level_idx,
+                index=int(c["index"]),
+                members=[int(m) for m in c["members"]],
+                leader=None if c.get("leader") is None else int(c["leader"]),
+            )
+            for c in clusters
+        ]
+        levels.append(level)
+    hierarchy = Hierarchy(levels=levels)
+    for device in payload.get("byzantine", []):
+        device = int(device)
+        if device not in hierarchy.nodes:
+            raise ValueError(f"byzantine id {device} not present in structure")
+        hierarchy.nodes[device].byzantine = True
+    return hierarchy
+
+
+def save_hierarchy(path: str | Path, hierarchy: Hierarchy) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(hierarchy_to_dict(hierarchy), indent=2), "utf-8")
+    return path
+
+
+def load_hierarchy(path: str | Path) -> Hierarchy:
+    return hierarchy_from_dict(json.loads(Path(path).read_text("utf-8")))

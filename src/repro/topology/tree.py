@@ -1,0 +1,458 @@
+"""Hierarchy construction: ECSM, ACSM, leader election, Byzantine placement.
+
+Builders produce a validated :class:`Hierarchy`.  Construction goes
+bottom-up exactly as the paper describes: bottom devices cluster, each
+cluster elects a leader, the leaders form the next level, repeating until
+a single top cluster remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.cluster import Cluster
+from repro.topology.node import NodeInfo
+
+__all__ = [
+    "Hierarchy",
+    "build_ecsm",
+    "build_acsm",
+    "assign_byzantine",
+    "worst_case_placement",
+]
+
+
+@dataclass
+class Hierarchy:
+    """A full ABD-HFL tree structure.
+
+    ``levels[0]`` is the top level (one cluster); ``levels[-1]`` is the
+    bottom level of local trainers.  Every member id refers to a physical
+    bottom device (leaders act at multiple levels).
+    """
+
+    levels: list[list[Cluster]]
+    nodes: dict[int, NodeInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+        # Record role levels on the node infos.
+        for level_idx, clusters in enumerate(self.levels):
+            for cluster in clusters:
+                for member in cluster.members:
+                    if member not in self.nodes:
+                        self.nodes[member] = NodeInfo(device_id=member)
+                    self.nodes[member].roles.add(level_idx)
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Total number of levels (paper: ``L + 1``)."""
+        return len(self.levels)
+
+    @property
+    def bottom_level(self) -> int:
+        """Index of the bottom level (paper's ``L``)."""
+        return len(self.levels) - 1
+
+    @property
+    def top_cluster(self) -> Cluster:
+        return self.levels[0][0]
+
+    def clusters_at(self, level: int) -> list[Cluster]:
+        if not (0 <= level < self.n_levels):
+            raise IndexError(f"level {level} outside [0, {self.n_levels})")
+        return self.levels[level]
+
+    def bottom_clients(self) -> list[int]:
+        out: list[int] = []
+        for cluster in self.levels[self.bottom_level]:
+            out.extend(cluster.members)
+        return out
+
+    def cluster_of(self, device_id: int, level: int) -> Cluster:
+        """The cluster containing ``device_id`` at ``level``."""
+        for cluster in self.clusters_at(level):
+            if device_id in cluster:
+                return cluster
+        raise KeyError(f"device {device_id} not present at level {level}")
+
+    def led_cluster(self, device_id: int, level: int) -> Cluster | None:
+        """The cluster at ``level`` whose leader is ``device_id`` (or None)."""
+        for cluster in self.clusters_at(level):
+            if cluster.leader == device_id:
+                return cluster
+        return None
+
+    def descendants(self, cluster: Cluster) -> list[int]:
+        """All bottom-level device ids below ``cluster`` (inclusive at bottom).
+
+        Dissemination (Algorithm 5) follows exactly this fan-out: a
+        cluster's members each lead a cluster one level lower, down to the
+        local trainers.
+        """
+        if cluster.level == self.bottom_level:
+            return list(cluster.members)
+        out: list[int] = []
+        for member in cluster.members:
+            child = self.led_cluster(member, cluster.level + 1)
+            if child is not None:
+                out.extend(self.descendants(child))
+        return out
+
+    def byzantine_devices(self) -> list[int]:
+        return sorted(d for d, info in self.nodes.items() if info.byzantine)
+
+    def is_byzantine(self, device_id: int) -> bool:
+        return self.nodes[device_id].byzantine
+
+    def cluster_byzantine_fraction(self, cluster: Cluster) -> float:
+        flags = [self.is_byzantine(m) for m in cluster.members]
+        return float(np.mean(flags))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the structural invariants of §III-A.
+
+        * at least two levels (top + bottom);
+        * the top level is a single cluster;
+        * every cluster at level ``l`` (l >= 1) has a leader, and that
+          leader appears as a member at level ``l - 1``;
+        * members within a level are unique (a device belongs to exactly
+          one cluster per level it participates in).
+        """
+        if len(self.levels) < 2:
+            raise ValueError("hierarchy needs at least a top and a bottom level")
+        if len(self.levels[0]) != 1:
+            raise ValueError(
+                f"top level must be a single cluster, got {len(self.levels[0])}"
+            )
+        for level_idx, clusters in enumerate(self.levels):
+            seen: set[int] = set()
+            for cluster in clusters:
+                if cluster.level != level_idx:
+                    raise ValueError(
+                        f"cluster at position level={level_idx} records "
+                        f"level={cluster.level}"
+                    )
+                overlap = seen.intersection(cluster.members)
+                if overlap:
+                    raise ValueError(
+                        f"devices {sorted(overlap)} appear in two clusters of "
+                        f"level {level_idx}"
+                    )
+                seen.update(cluster.members)
+            if level_idx >= 1:
+                upper_members = {
+                    m for c in self.levels[level_idx - 1] for m in c.members
+                }
+                for cluster in clusters:
+                    if cluster.leader is None:
+                        raise ValueError(
+                            f"cluster ({level_idx},{cluster.index}) below the "
+                            "top must have a leader"
+                        )
+                    if cluster.leader not in upper_members:
+                        raise ValueError(
+                            f"leader {cluster.leader} of cluster "
+                            f"({level_idx},{cluster.index}) is not a member of "
+                            f"level {level_idx - 1}"
+                        )
+
+
+def _elect_leaders(
+    clusters: list[Cluster], rng: np.random.Generator | None
+) -> list[int]:
+    """Pick one leader per cluster (random if rng given, else first member)."""
+    leaders = []
+    for cluster in clusters:
+        if rng is None:
+            leader = cluster.members[0]
+        else:
+            leader = int(rng.choice(cluster.members))
+        cluster.leader = leader
+        leaders.append(leader)
+    return leaders
+
+
+def build_ecsm(
+    n_levels: int,
+    cluster_size: int,
+    n_top: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Hierarchy:
+    """Build the Equal Cluster Size Model.
+
+    Every cluster below the top has ``cluster_size`` members; the top
+    cluster has ``n_top`` members (default ``cluster_size``).  Each top
+    node is then the root of a complete ``cluster_size``-ary tree of depth
+    ``n_levels - 1``, matching Definition 4.  The paper's evaluation
+    instance is ``build_ecsm(n_levels=3, cluster_size=4, n_top=4)`` with
+    64 bottom clients.
+
+    Parameters
+    ----------
+    n_levels:
+        Total level count ``L + 1`` (>= 2).
+    cluster_size:
+        The arity ``m``.
+    n_top:
+        Top-cluster size ``N_t``.
+    rng:
+        If given, leaders are elected uniformly at random; otherwise the
+        first member of each cluster leads (deterministic, id-ordered).
+    """
+    if n_levels < 2:
+        raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+    if cluster_size < 1:
+        raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
+    n_top = cluster_size if n_top is None else n_top
+    if n_top < 1:
+        raise ValueError(f"n_top must be >= 1, got {n_top}")
+
+    depth = n_levels - 1  # paper's L
+    n_bottom = n_top * cluster_size**depth
+    device_ids = list(range(n_bottom))
+
+    # Bottom-up construction: cluster the current population, elect
+    # leaders, recurse on the leaders.
+    levels_rev: list[list[Cluster]] = []
+    population = device_ids
+    for level_idx in range(depth, 0, -1):
+        clusters = [
+            Cluster(
+                level=level_idx,
+                index=i,
+                members=population[i * cluster_size : (i + 1) * cluster_size],
+            )
+            for i in range(len(population) // cluster_size)
+        ]
+        leaders = _elect_leaders(clusters, rng)
+        levels_rev.append(clusters)
+        population = leaders
+    if len(population) != n_top:
+        raise AssertionError(
+            f"construction produced {len(population)} top nodes, expected {n_top}"
+        )
+    top = [Cluster(level=0, index=0, members=population)]
+    levels = [top] + list(reversed(levels_rev))
+    return Hierarchy(levels=levels)
+
+
+def build_acsm(
+    cluster_sizes: list[list[int]],
+    rng: np.random.Generator | None = None,
+) -> Hierarchy:
+    """Build an Arbitrary Cluster Size Model hierarchy.
+
+    Parameters
+    ----------
+    cluster_sizes:
+        ``cluster_sizes[k]`` lists the sizes of the clusters at level
+        ``k + 1`` (i.e. excluding the top), ordered bottom-first:
+        ``cluster_sizes[-1]`` are the bottom clusters.  Consistency is
+        required: the number of clusters at one level must equal the total
+        member count of the level above it, and the top level's member
+        count equals ``len(cluster_sizes[0])``.
+    """
+    if not cluster_sizes:
+        raise ValueError("cluster_sizes must describe at least the bottom level")
+    for level_list in cluster_sizes:
+        if not level_list or any(s < 1 for s in level_list):
+            raise ValueError("every level needs clusters of size >= 1")
+    # Validate the stacking constraint bottom-up.
+    for upper, lower in zip(cluster_sizes[:-1], cluster_sizes[1:]):
+        if sum(upper) != len(lower):
+            raise ValueError(
+                f"level with sizes {upper} has {sum(upper)} members but the "
+                f"level below has {len(lower)} clusters (must be equal)"
+            )
+
+    n_bottom = sum(cluster_sizes[-1])
+    population = list(range(n_bottom))
+    levels_rev: list[list[Cluster]] = []
+    n_levels = len(cluster_sizes) + 1
+    for offset, sizes in enumerate(reversed(cluster_sizes)):
+        level_idx = n_levels - 1 - offset
+        clusters = []
+        pos = 0
+        for i, size in enumerate(sizes):
+            clusters.append(
+                Cluster(level=level_idx, index=i, members=population[pos : pos + size])
+            )
+            pos += size
+        if pos != len(population):
+            raise ValueError(
+                f"level {level_idx} sizes sum to {pos} but {len(population)} "
+                "nodes are available"
+            )
+        leaders = _elect_leaders(clusters, rng)
+        levels_rev.append(clusters)
+        population = leaders
+    top = [Cluster(level=0, index=0, members=population)]
+    return Hierarchy(levels=[top] + list(reversed(levels_rev)))
+
+
+def assign_byzantine(
+    hierarchy: Hierarchy,
+    fraction: float,
+    rng: np.random.Generator,
+    placement: str = "random",
+) -> list[int]:
+    """Mark a fraction of bottom devices as Byzantine.
+
+    Placement strategies:
+
+    * ``"random"`` — uniform over bottom devices (the paper's
+      data-poisoning setup);
+    * ``"prefix"`` — lowest device ids first (deterministic worst-case
+      concentration given id-ordered clustering);
+    * ``"spread"`` — round-robin across bottom clusters, bounding each
+      cluster's Byzantine share (the ECSM analysis regime);
+    * ``"worst_case"`` — the Definition-4 two-type arrangement realising
+      ``fraction`` (see :func:`worst_case_placement`): gamma1 is one top
+      node when the fraction allows it, and gamma2 is solved from
+      Theorem 2 so the marked bottom share approximates ``fraction``.
+
+    Returns the sorted list of Byzantine device ids and sets the flags on
+    the hierarchy in place (clearing any previous assignment).
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    clients = hierarchy.bottom_clients()
+    n_byz = int(round(fraction * len(clients)))
+    for info in hierarchy.nodes.values():
+        info.byzantine = False
+    if n_byz == 0:
+        return []
+    if placement == "worst_case":
+        # Search integer per-cluster quotas (k1 Byzantine top nodes, k2
+        # Byzantine members per honest cluster) whose Definition-4
+        # arrangement best realises the requested fraction.  Gammas are
+        # centred between quota steps so floating-point floors are exact.
+        n_top = hierarchy.top_cluster.size
+        m = min(c.size for c in hierarchy.clusters_at(hierarchy.bottom_level))
+        target = n_byz
+        best: tuple[int, list[int]] | None = None
+        for k1 in range(n_top):
+            for k2 in range(m):
+                marked = worst_case_placement(
+                    hierarchy, (k1 + 0.5) / n_top, (k2 + 0.5) / m
+                )
+                gap = abs(len(marked) - target)
+                if best is None or gap < best[0]:
+                    best = (gap, marked)
+                if gap == 0:
+                    break
+            if best is not None and best[0] == 0:
+                break
+        assert best is not None
+        # worst_case_placement already set the flags for the last trial;
+        # re-apply the best one.
+        for info in hierarchy.nodes.values():
+            info.byzantine = False
+        for device in best[1]:
+            hierarchy.nodes[device].byzantine = True
+        return sorted(best[1])
+    if placement == "random":
+        chosen = rng.choice(len(clients), size=n_byz, replace=False)
+        byz = [clients[int(i)] for i in chosen]
+    elif placement == "prefix":
+        byz = sorted(clients)[:n_byz]
+    elif placement == "spread":
+        clusters = hierarchy.clusters_at(hierarchy.bottom_level)
+        byz = []
+        rank = 0
+        while len(byz) < n_byz:
+            for cluster in clusters:
+                if rank < cluster.size and len(byz) < n_byz:
+                    byz.append(cluster.members[rank])
+            rank += 1
+            if rank > max(c.size for c in clusters):
+                break
+        byz = byz[:n_byz]
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    for device in byz:
+        hierarchy.nodes[device].byzantine = True
+    return sorted(byz)
+
+
+def worst_case_placement(
+    hierarchy: Hierarchy,
+    gamma1: float,
+    gamma2: float,
+) -> list[int]:
+    """Mark Byzantine devices in the Definition-4 worst-case arrangement.
+
+    The p-ratio ABD-HFL structure of the tolerance analysis places
+    adversaries so that every *honest* cluster is filled exactly to its
+    tolerance: ``floor(gamma1 * N_t)`` top nodes root fully-Byzantine
+    subtrees, and every honest cluster below the top contains
+    ``floor(gamma2 * size)`` members whose entire subtrees are Byzantine.
+    Leaders are kept honest in honest clusters (a type-I node's parent
+    seat is type-I by construction).
+
+    With exact divisibility the marked bottom fraction equals Theorem 2's
+    ``1 - (1 - gamma1)(1 - gamma2)**L`` bound.  Byzantine flags are reset
+    first; the sorted Byzantine device list is returned.
+    """
+    if not (0.0 <= gamma1 <= 1.0) or not (0.0 <= gamma2 <= 1.0):
+        raise ValueError(f"gammas must be in [0, 1], got {gamma1}, {gamma2}")
+    for info in hierarchy.nodes.values():
+        info.byzantine = False
+
+    byz: set[int] = set()
+    bottom = hierarchy.bottom_level
+
+    def mark_subtree(cluster: Cluster) -> None:
+        """Mark every bottom descendant of ``cluster`` Byzantine."""
+        for device in hierarchy.descendants(cluster):
+            byz.add(device)
+
+    def fill_honest_cluster(cluster: Cluster) -> None:
+        """Fill an honest cluster to its gamma2 capacity, recursing into
+        the subtrees of its honest members."""
+        quota = int(gamma2 * cluster.size)
+        # never sacrifice the leader: it holds the honest seat above
+        candidates = [m for m in cluster.members if m != cluster.leader]
+        chosen = candidates[:quota]
+        for member in chosen:
+            if cluster.level == bottom:
+                byz.add(member)
+            else:
+                # The member roots a fully-Byzantine subtree (its own
+                # bottom-device identity is among those descendants).
+                led = hierarchy.led_cluster(member, cluster.level + 1)
+                if led is not None:
+                    mark_subtree(led)
+        if cluster.level == bottom:
+            return
+        for member in cluster.members:
+            if member in chosen:
+                continue
+            led = hierarchy.led_cluster(member, cluster.level + 1)
+            if led is not None:
+                fill_honest_cluster(led)
+
+    top = hierarchy.top_cluster
+    top_quota = int(gamma1 * top.size)
+    byz_tops = top.members[:top_quota]
+    for member in top.members:
+        led = hierarchy.led_cluster(member, 1)
+        if led is None:
+            continue
+        if member in byz_tops:
+            mark_subtree(led)
+        else:
+            fill_honest_cluster(led)
+
+    for device in byz:
+        hierarchy.nodes[device].byzantine = True
+    return sorted(byz)

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic seeding, parameter flattening, reporting.
+
+These are deliberately small, dependency-free helpers used by every other
+subpackage.  Nothing in here knows about federated learning.
+"""
+
+from repro.utils.seeding import SeedSequenceFactory, spawn_rngs
+from repro.utils.flatten import FlatSpec, flatten_arrays, unflatten_vector
+from repro.utils.tables import format_table, format_percent
+
+__all__ = [
+    "SeedSequenceFactory",
+    "spawn_rngs",
+    "FlatSpec",
+    "flatten_arrays",
+    "unflatten_vector",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,94 @@
+"""Flat-vector views of structured parameter sets.
+
+All Byzantine-robust aggregation in the paper operates on model-update
+*vectors*; the neural-network substrate stores parameters as a list of
+arrays (weights/biases per layer).  :class:`FlatSpec` records the shapes so
+that the two representations can be converted without ambiguity.
+
+Following the HPC guides, conversions minimise copies: ``unflatten_vector``
+returns *views* into the flat buffer when ``copy=False``, so a model can be
+pointed directly at an aggregated vector without duplicating memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FlatSpec", "flatten_arrays", "unflatten_vector"]
+
+
+@dataclass(frozen=True)
+class FlatSpec:
+    """Shape bookkeeping for a list of parameter arrays."""
+
+    shapes: tuple[tuple[int, ...], ...]
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(int(np.prod(s, dtype=np.int64)) for s in self.shapes)
+
+    @property
+    def total_size(self) -> int:
+        return int(sum(self.sizes))
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        """Start offset of each array inside the flat vector."""
+        out = []
+        acc = 0
+        for size in self.sizes:
+            out.append(acc)
+            acc += size
+        return tuple(out)
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]) -> "FlatSpec":
+        return cls(shapes=tuple(tuple(a.shape) for a in arrays))
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate parameter arrays into one contiguous float64 vector.
+
+    Parameters
+    ----------
+    arrays:
+        Parameter arrays (any shapes).
+    out:
+        Optional destination buffer of the right total size; reused in the
+        training hot loop to avoid per-round allocation.
+    """
+    spec = FlatSpec.from_arrays(arrays)
+    total = spec.total_size
+    if out is None:
+        out = np.empty(total, dtype=np.float64)
+    elif out.shape != (total,):
+        raise ValueError(f"out has shape {out.shape}, expected ({total},)")
+    pos = 0
+    for a in arrays:
+        size = a.size
+        out[pos : pos + size] = a.reshape(-1)
+        pos += size
+    return out
+
+
+def unflatten_vector(
+    vector: np.ndarray, spec: FlatSpec, copy: bool = True
+) -> list[np.ndarray]:
+    """Split a flat vector back into arrays shaped per ``spec``.
+
+    With ``copy=False`` the returned arrays are views into ``vector`` —
+    mutating them mutates the vector (used to bind a model's weights to an
+    externally-owned buffer).
+    """
+    if vector.ndim != 1 or vector.shape[0] != spec.total_size:
+        raise ValueError(
+            f"vector has shape {vector.shape}, expected ({spec.total_size},)"
+        )
+    out: list[np.ndarray] = []
+    for shape, size, offset in zip(spec.shapes, spec.sizes, spec.offsets):
+        chunk = vector[offset : offset + size].reshape(shape)
+        out.append(chunk.copy() if copy else chunk)
+    return out

@@ -1,0 +1,31 @@
+"""Report emission for the benchmark harness.
+
+Benchmarks regenerate the paper's tables/figures as text; pytest captures
+stdout, so each report is *also* persisted under ``benchmarks/results/``
+(relative to the working directory) where EXPERIMENTS.md points.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["emit_report", "results_dir"]
+
+
+def results_dir() -> Path:
+    """The report directory (created on demand)."""
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def emit_report(name: str, text: str) -> Path:
+    """Print ``text`` and persist it as ``benchmarks/results/<name>.txt``."""
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"invalid report name {name!r}")
+    print()
+    print(text)
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

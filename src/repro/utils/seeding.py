@@ -1,0 +1,95 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library draws from a
+:class:`numpy.random.Generator` that is *spawned* from a single root seed.
+This gives three properties the experiments rely on:
+
+* a whole experiment is reproducible from one integer seed;
+* independent components (each client, each channel, each attack) get
+  statistically independent streams, so adding a component never perturbs
+  the draws of another;
+* repeated runs (the paper's 5-run confidence bands) use sibling child
+  seeds, so the band itself is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SeedSequenceFactory", "spawn_rngs", "derive_seed"]
+
+
+def derive_seed(root_seed: int, *path: int | str) -> int:
+    """Derive a stable 63-bit child seed from ``root_seed`` and a path.
+
+    String path components are hashed with a stable (non-salted) scheme so
+    that seeds do not change across interpreter runs.
+    """
+    acc = np.uint64(root_seed & 0x7FFF_FFFF_FFFF_FFFF)
+    golden = np.uint64(0x9E3779B97F4A7C15)
+    with np.errstate(over="ignore"):
+        for part in path:
+            if isinstance(part, str):
+                h = np.uint64(2166136261)
+                prime = np.uint64(16777619)
+                for ch in part.encode("utf-8"):
+                    h = np.uint64((int(h) ^ ch) * int(prime) & 0xFFFF_FFFF_FFFF_FFFF)
+                value = h
+            else:
+                value = np.uint64(int(part) & 0xFFFF_FFFF_FFFF_FFFF)
+            acc = np.uint64((int(acc) * 6364136223846793005 + int(value) + int(golden)) & 0xFFFF_FFFF_FFFF_FFFF)
+    return int(acc & np.uint64(0x7FFF_FFFF_FFFF_FFFF))
+
+
+class SeedSequenceFactory:
+    """Hierarchical factory of independent :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    root_seed:
+        The single integer from which the whole experiment derives.
+
+    Examples
+    --------
+    >>> f = SeedSequenceFactory(1234)
+    >>> g1 = f.generator("client", 0)
+    >>> g2 = f.generator("client", 1)
+    >>> float(g1.random()) != float(g2.random())
+    True
+    >>> f2 = SeedSequenceFactory(1234)
+    >>> float(f2.generator("client", 0).random()) == float(
+    ...     SeedSequenceFactory(1234).generator("client", 0).random())
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        if root_seed < 0:
+            raise ValueError(f"root_seed must be non-negative, got {root_seed}")
+        self.root_seed = int(root_seed)
+
+    def seed(self, *path: int | str) -> int:
+        """Return the deterministic child seed for ``path``."""
+        return derive_seed(self.root_seed, *path)
+
+    def generator(self, *path: int | str) -> np.random.Generator:
+        """Return a fresh generator seeded for ``path``."""
+        return np.random.default_rng(self.seed(*path))
+
+    def child(self, *path: int | str) -> "SeedSequenceFactory":
+        """Return a sub-factory rooted at ``path`` (for nested components)."""
+        return SeedSequenceFactory(self.seed(*path))
+
+
+def spawn_rngs(root_seed: int, n: int, label: str = "stream") -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators below ``root_seed``."""
+    factory = SeedSequenceFactory(root_seed)
+    return [factory.generator(label, i) for i in range(n)]
+
+
+def iter_run_seeds(root_seed: int, n_runs: int) -> Iterator[int]:
+    """Yield the per-repeat seeds used for repeated-run confidence bands."""
+    factory = SeedSequenceFactory(root_seed)
+    for run in range(n_runs):
+        yield factory.seed("run", run)

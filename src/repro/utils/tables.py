@@ -1,0 +1,50 @@
+"""ASCII table rendering for the experiment harness.
+
+The benchmarks print the same row/column layout as the paper's tables so
+the two are visually comparable; this module owns that formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_percent", "format_float"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction in [0, 1] as a percentage string (``0.578 -> '57.8%'``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a monospaced table with column-width alignment."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    n_cols = len(headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError(f"row has {len(row)} cells, header has {n_cols}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic datasets, models and hierarchies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.nn.model import MLP
+from repro.topology.tree import build_ecsm
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset(rng: np.random.Generator) -> Dataset:
+    """200-sample, 36-feature synthetic digits."""
+    train, _ = make_synthetic_mnist(
+        200, 50, rng, config=SyntheticMNIST(side=8, noise_sigma=0.2)
+    )
+    return train
+
+
+@pytest.fixture
+def tiny_test_set(rng: np.random.Generator) -> Dataset:
+    _, test = make_synthetic_mnist(
+        200, 100, rng, config=SyntheticMNIST(side=8, noise_sigma=0.2)
+    )
+    return test
+
+
+@pytest.fixture
+def tiny_model(rng: np.random.Generator) -> MLP:
+    return MLP(in_dim=64, hidden=(16,), n_classes=10, rng=rng)
+
+
+@pytest.fixture
+def paper_hierarchy():
+    """The Appendix D topology: 3 levels, cluster size 4, 4 top, 64 clients."""
+    return build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+
+
+@pytest.fixture
+def small_hierarchy():
+    """2 levels: one top cluster of 3, bottom of 3 clusters x 3 = 9 clients."""
+    return build_ecsm(n_levels=2, cluster_size=3, n_top=3)

@@ -1,0 +1,76 @@
+"""Tests for the Kardam-style Lipschitz filter."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import LipschitzFilter, get_aggregator
+
+
+def honest_sequence(rng, k=10, d=12, rounds=5, drift=0.1):
+    """Simulate honest updates that evolve smoothly across rounds."""
+    base = rng.standard_normal((k, d))
+    out = []
+    for _ in range(rounds):
+        base = base + drift * rng.standard_normal((k, d))
+        out.append(base.copy())
+    return out
+
+
+class TestLipschitzFilter:
+    def test_registered(self):
+        rule = get_aggregator("lipschitz", quantile=0.8)
+        assert isinstance(rule, LipschitzFilter)
+
+    def test_first_round_fallback_median(self, rng):
+        rule = LipschitzFilter(fallback="median")
+        updates = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(rule(updates), np.median(updates, axis=0))
+
+    def test_first_round_fallback_mean(self, rng):
+        rule = LipschitzFilter(fallback="mean")
+        updates = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(rule(updates), updates.mean(axis=0))
+
+    def test_smooth_honest_updates_pass(self, rng):
+        rule = LipschitzFilter(quantile=1.0)
+        rounds = honest_sequence(rng)
+        for updates in rounds:
+            out = rule(updates)
+        np.testing.assert_allclose(out, updates.mean(axis=0), atol=1e-9)
+
+    def test_erratic_client_filtered(self, rng):
+        """A client whose update jumps wildly between rounds is excluded."""
+        rule = LipschitzFilter(quantile=0.8)
+        rounds = honest_sequence(rng, k=10)
+        # client 0 broadcasts an erratic vector from round 2 on
+        poisoned = None
+        for i, updates in enumerate(rounds):
+            if i >= 2:
+                updates = updates.copy()
+                updates[0] = 500.0 * rng.standard_normal(updates.shape[1])
+            poisoned = updates
+            out = rule(updates)
+        honest_mean = rounds[-1][1:].mean(axis=0)
+        filtered_err = np.linalg.norm(out - honest_mean)
+        unfiltered_err = np.linalg.norm(poisoned.mean(axis=0) - honest_mean)
+        # the filter must remove almost all of the erratic client's pull
+        assert filtered_err < 0.1 * unfiltered_err
+
+    def test_reset_restores_fallback(self, rng):
+        rule = LipschitzFilter()
+        updates = rng.standard_normal((5, 3))
+        rule(updates)
+        rule.reset()
+        np.testing.assert_allclose(rule(updates), np.median(updates, axis=0))
+
+    def test_shape_change_triggers_fallback(self, rng):
+        rule = LipschitzFilter()
+        rule(rng.standard_normal((5, 3)))
+        bigger = rng.standard_normal((7, 3))
+        np.testing.assert_allclose(rule(bigger), np.median(bigger, axis=0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LipschitzFilter(quantile=0.0)
+        with pytest.raises(ValueError):
+            LipschitzFilter(fallback="mode")

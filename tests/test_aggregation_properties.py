@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the aggregation invariants.
+
+Invariants checked across rules:
+
+* permutation invariance — shuffling the update stack never changes the
+  aggregate (up to floating-point noise for iterative rules);
+* translation equivariance — shifting all updates by ``c`` shifts the
+  aggregate by ``c`` (holds for all implemented rules);
+* bounded output — coordinate-wise, the aggregate stays inside the
+  coordinate range of the inputs for the order-statistic rules;
+* identical-input fixpoint — if all updates are equal, the aggregate
+  equals them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.aggregation import (
+    CenteredClipping,
+    ClusteringAggregator,
+    FedAvg,
+    GeoMed,
+    Krum,
+    Median,
+    MultiKrum,
+    TrimmedMean,
+)
+
+RULES = {
+    "fedavg": lambda: FedAvg(),
+    "median": lambda: Median(),
+    "trimmed_mean": lambda: TrimmedMean(beta=0.2),
+    "krum": lambda: Krum(byzantine_fraction=0.2),
+    "multikrum": lambda: MultiKrum(byzantine_fraction=0.2),
+    "geomed": lambda: GeoMed(),
+    "centered_clipping": lambda: CenteredClipping(),
+    "clustering": lambda: ClusteringAggregator(),
+}
+
+# Values are quantised to 1e-3 so additive shifts never run into
+# floating-point absorption (1 + 1e-300 == 1), which would break exact
+# equivariance for reasons unrelated to the rules under test.
+updates_strategy = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(4, 10), st.integers(1, 6)),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False).map(
+        lambda v: round(v, 3)
+    ),
+)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULES))
+@settings(max_examples=25, deadline=None)
+@given(updates=updates_strategy, perm_seed=st.integers(0, 2**31))
+def test_permutation_invariance(rule_name, updates, perm_seed):
+    rule = RULES[rule_name]()
+    perm = np.random.default_rng(perm_seed).permutation(updates.shape[0])
+    out1 = rule(updates)
+    out2 = rule(updates[perm])
+    np.testing.assert_allclose(out1, out2, atol=1e-6, rtol=1e-6)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULES))
+@settings(max_examples=25, deadline=None)
+@given(
+    updates=updates_strategy,
+    shift=st.floats(-50, 50, allow_nan=False, allow_infinity=False).map(
+        lambda v: round(v, 3)
+    ),
+)
+def test_translation_equivariance(rule_name, updates, shift):
+    if rule_name == "clustering":
+        pytest.skip("cosine similarity is not translation equivariant")
+    rule = RULES[rule_name]()
+    out1 = rule(updates) + shift
+    out2 = rule(updates + shift)
+    np.testing.assert_allclose(out1, out2, atol=1e-5, rtol=1e-5)
+
+
+@pytest.mark.parametrize(
+    "rule_name", ["median", "trimmed_mean", "krum", "multikrum", "fedavg", "geomed"]
+)
+@settings(max_examples=25, deadline=None)
+@given(updates=updates_strategy)
+def test_output_in_coordinate_hull(rule_name, updates):
+    """Order-statistic / convex rules stay inside the per-coordinate range."""
+    rule = RULES[rule_name]()
+    out = rule(updates)
+    lo = updates.min(axis=0) - 1e-9
+    hi = updates.max(axis=0) + 1e-9
+    assert np.all(out >= lo) and np.all(out <= hi)
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULES))
+@settings(max_examples=20, deadline=None)
+@given(
+    vector=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 8),
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    ),
+    k=st.integers(4, 9),
+)
+def test_identical_inputs_fixpoint(rule_name, vector, k):
+    rule = RULES[rule_name]()
+    updates = np.tile(vector, (k, 1))
+    np.testing.assert_allclose(rule(updates), vector, atol=1e-7)
+
+
+@pytest.mark.parametrize("rule_name", ["median", "trimmed_mean", "krum", "multikrum", "geomed"])
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n_byz=st.integers(1, 3),
+    magnitude=st.floats(1e3, 1e8),
+)
+def test_breakdown_resistance(rule_name, seed, n_byz, magnitude):
+    """A Byzantine minority at arbitrary magnitude cannot drag the robust
+    rules far from the honest cluster."""
+    rng = np.random.default_rng(seed)
+    center = rng.standard_normal(6)
+    honest = center + 0.1 * rng.standard_normal((9, 6))
+    byz = np.full((n_byz, 6), magnitude)
+    updates = np.vstack([honest, byz])
+    k = updates.shape[0]
+    # Every rule is configured for the actual adversary count — robustness
+    # guarantees are conditional on f (or beta) covering the Byzantine share.
+    rule = RULES[rule_name]()
+    if rule_name == "krum":
+        rule = Krum(f=n_byz)
+    elif rule_name == "multikrum":
+        rule = MultiKrum(f=n_byz)
+    elif rule_name == "trimmed_mean":
+        rule = TrimmedMean(beta=n_byz / k)
+    out = rule(updates)
+    assert np.linalg.norm(out - center) < 5.0

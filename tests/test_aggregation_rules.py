@@ -1,0 +1,297 @@
+"""Per-rule tests for the Byzantine-robust aggregation stack."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AutoGM,
+    CenteredClipping,
+    ClusteringAggregator,
+    FedAvg,
+    GeoMed,
+    Krum,
+    Median,
+    MultiKrum,
+    TrimmedMean,
+    available_aggregators,
+    cosine_similarity_matrix,
+    geometric_median,
+    get_aggregator,
+    krum_scores,
+    pairwise_sq_distances,
+)
+from repro.aggregation.base import validate_updates
+
+
+def honest_cluster(rng, k=10, d=20, center=None, noise=0.1):
+    center = center if center is not None else rng.standard_normal(d)
+    return center + noise * rng.standard_normal((k, d)), center
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            validate_updates(np.zeros(5), None)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_updates(np.zeros((0, 3)), None)
+
+    def test_rejects_nan(self):
+        updates = np.zeros((2, 2))
+        updates[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            validate_updates(updates, None)
+
+    def test_weights_normalised(self):
+        _, w = validate_updates(np.zeros((4, 2)), np.array([1.0, 1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(w, 0.25)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            validate_updates(np.zeros((2, 2)), np.array([1.0, -1.0]))
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            validate_updates(np.zeros((2, 2)), np.zeros(2))
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        names = available_aggregators()
+        for expected in (
+            "fedavg",
+            "median",
+            "trimmed_mean",
+            "krum",
+            "multikrum",
+            "geomed",
+            "autogm",
+            "centered_clipping",
+            "clustering",
+        ):
+            assert expected in names
+
+    def test_get_with_options(self):
+        rule = get_aggregator("trimmed_mean", beta=0.2)
+        assert rule.beta == 0.2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_aggregator("nope")
+
+
+class TestNorms:
+    def test_pairwise_matches_naive(self, rng):
+        x = rng.standard_normal((6, 8))
+        d2 = pairwise_sq_distances(x)
+        for i in range(6):
+            for j in range(6):
+                expected = float(np.sum((x[i] - x[j]) ** 2))
+                np.testing.assert_allclose(d2[i, j], expected, atol=1e-9)
+
+    def test_diagonal_zero(self, rng):
+        d2 = pairwise_sq_distances(rng.standard_normal((4, 3)))
+        np.testing.assert_array_equal(np.diag(d2), 0.0)
+
+    def test_non_negative(self, rng):
+        x = rng.standard_normal((5, 3)) * 1e-8  # stress round-off
+        assert (pairwise_sq_distances(x) >= 0).all()
+
+
+class TestFedAvg:
+    def test_uniform_mean(self, rng):
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(FedAvg()(x), x.mean(axis=0))
+
+    def test_weighted(self):
+        x = np.array([[0.0], [10.0]])
+        out = FedAvg()(x, weights=np.array([3.0, 1.0]))
+        np.testing.assert_allclose(out, [2.5])
+
+    def test_not_robust_to_one_outlier(self, rng):
+        """Blanchard et al.: a single adversary steers the linear rule."""
+        honest, center = honest_cluster(rng)
+        attacker = center + 1e6
+        updates = np.vstack([honest, attacker[None, :]])
+        out = FedAvg()(updates)
+        assert np.linalg.norm(out - center) > 100
+
+
+class TestMedian:
+    def test_robust_to_minority_outliers(self, rng):
+        honest, center = honest_cluster(rng, k=9)
+        outliers = np.full((4, 20), 1e6)
+        updates = np.vstack([honest, outliers])
+        out = Median()(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_odd_count_exact(self):
+        x = np.array([[1.0], [5.0], [3.0]])
+        np.testing.assert_allclose(Median()(x), [3.0])
+
+
+class TestTrimmedMean:
+    def test_trims_outliers(self, rng):
+        honest, center = honest_cluster(rng, k=8)
+        updates = np.vstack([honest, np.full((2, 20), 1e6)])
+        out = TrimmedMean(beta=0.2)(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_beta_zero_is_mean(self, rng):
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(TrimmedMean(beta=0.0)(x), x.mean(axis=0))
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(beta=0.5)
+        with pytest.raises(ValueError):
+            TrimmedMean(beta=-0.1)
+
+
+class TestKrum:
+    def test_scores_prefer_central(self, rng):
+        honest, _ = honest_cluster(rng, k=8)
+        outlier = honest.mean(axis=0) + 100.0
+        updates = np.vstack([honest, outlier[None, :]])
+        scores = krum_scores(updates, f=1)
+        assert np.argmax(scores) == 8  # outlier has the worst score
+
+    def test_selects_an_input(self, rng):
+        honest, _ = honest_cluster(rng, k=8)
+        out = Krum(f=1)(honest)
+        assert any(np.array_equal(out, row) for row in honest)
+
+    def test_excludes_far_attacker(self, rng):
+        honest, center = honest_cluster(rng, k=10)
+        attacker = np.full((2, 20), 500.0)
+        updates = np.vstack([honest, attacker])
+        out = Krum(f=2)(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_single_update_passthrough(self, rng):
+        x = rng.standard_normal((1, 5))
+        np.testing.assert_array_equal(Krum()(x), x[0])
+
+    def test_small_k_falls_back_to_median(self, rng):
+        x = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(Krum()(x), np.median(x, axis=0))
+
+    def test_f_too_large_raises_in_scores(self, rng):
+        with pytest.raises(ValueError):
+            krum_scores(rng.standard_normal((5, 3)), f=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Krum(f=-1)
+        with pytest.raises(ValueError):
+            Krum(byzantine_fraction=1.0)
+
+
+class TestMultiKrum:
+    def test_averages_selected(self, rng):
+        honest, center = honest_cluster(rng, k=12)
+        attacker = np.full((3, 20), 100.0)
+        updates = np.vstack([honest, attacker])
+        out = MultiKrum(f=3)(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_m_one_equals_krum(self, rng):
+        x, _ = honest_cluster(rng, k=8)
+        np.testing.assert_array_equal(MultiKrum(f=1, m=1)(x), Krum(f=1)(x))
+
+    def test_paper_setting_on_cluster_of_4(self, rng):
+        """The evaluation uses Multi-Krum with assumed 25% Byzantine on
+        clusters of 4: one poisoned member must be excluded."""
+        honest, center = honest_cluster(rng, k=3, noise=0.05)
+        poisoned = center + 50.0
+        updates = np.vstack([honest, poisoned[None, :]])
+        out = MultiKrum(byzantine_fraction=0.25)(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiKrum(m=0)
+
+
+class TestGeoMed:
+    def test_matches_median_in_1d(self, rng):
+        x = rng.standard_normal((9, 1))
+        gm = geometric_median(x)
+        np.testing.assert_allclose(gm, np.median(x, axis=0), atol=1e-4)
+
+    def test_robust(self, rng):
+        honest, center = honest_cluster(rng, k=9)
+        updates = np.vstack([honest, np.full((4, 20), 1e5)])
+        out = GeoMed()(updates)
+        assert np.linalg.norm(out - center) < 1.0
+
+    def test_coincident_point(self):
+        x = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        out = geometric_median(x)
+        np.testing.assert_allclose(out, [1.0, 1.0], atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoMed(max_iter=0)
+        with pytest.raises(ValueError):
+            GeoMed(tol=0)
+
+
+class TestAutoGM:
+    def test_identical_updates(self, rng):
+        x = np.tile(rng.standard_normal(6), (5, 1))
+        np.testing.assert_allclose(AutoGM()(x), x[0], atol=1e-9)
+
+    def test_excludes_gross_outliers(self, rng):
+        honest, center = honest_cluster(rng, k=10)
+        updates = np.vstack([honest, np.full((2, 20), 1e4)])
+        out = AutoGM(z=3.0)(updates)
+        assert np.linalg.norm(out - center) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoGM(z=0)
+
+
+class TestCenteredClipping:
+    def test_robust_to_large_outlier(self, rng):
+        honest, center = honest_cluster(rng, k=9)
+        updates = np.vstack([honest, np.full((2, 20), 1e6)])
+        out = CenteredClipping()(updates)
+        assert np.linalg.norm(out - center) < 2.0
+
+    def test_clean_inputs_near_mean(self, rng):
+        honest, _ = honest_cluster(rng, k=10, noise=0.01)
+        out = CenteredClipping(tau=10.0)(honest)
+        assert np.linalg.norm(out - honest.mean(axis=0)) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CenteredClipping(tau=0.0)
+        with pytest.raises(ValueError):
+            CenteredClipping(n_iter=0)
+
+
+class TestClustering:
+    def test_similarity_matrix(self, rng):
+        x = rng.standard_normal((4, 6))
+        sim = cosine_similarity_matrix(x)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+        assert (sim <= 1.0 + 1e-12).all() and (sim >= -1.0 - 1e-12).all()
+
+    def test_keeps_majority_cluster(self, rng):
+        center = np.ones(10)
+        honest = center + 0.05 * rng.standard_normal((7, 10))
+        flipped = -center + 0.05 * rng.standard_normal((3, 10))
+        updates = np.vstack([honest, flipped])
+        out = ClusteringAggregator(threshold=0.5)(updates)
+        assert np.linalg.norm(out - center) < 0.5
+
+    def test_single_update(self, rng):
+        x = rng.standard_normal((1, 4))
+        np.testing.assert_array_equal(ClusteringAggregator()(x), x[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteringAggregator(threshold=1.0)

@@ -1,0 +1,142 @@
+"""Tests for the model-update attack suite."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ALIE,
+    IPM,
+    GaussianNoise,
+    Scaling,
+    SignFlip,
+    available_attacks,
+    get_attack,
+)
+from repro.attacks.alie import alie_z_max
+
+
+def honest_updates(rng, k=10, d=16):
+    return 1.0 + 0.1 * rng.standard_normal((k, d))
+
+
+class TestBase:
+    def test_registry(self):
+        names = available_attacks()
+        for expected in ("sign_flip", "gaussian_noise", "alie", "ipm", "scaling"):
+            assert expected in names
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_attack("nope")
+
+    def test_zero_byzantine(self, rng):
+        out = SignFlip()(honest_updates(rng), 0, rng)
+        assert out.shape == (0, 16)
+
+    def test_output_shape(self, rng):
+        out = SignFlip()(honest_updates(rng), 3, rng)
+        assert out.shape == (3, 16)
+
+    def test_rejects_empty_honest(self, rng):
+        with pytest.raises(ValueError):
+            SignFlip()(np.zeros((0, 4)), 1, rng)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            SignFlip()(honest_updates(rng), -1, rng)
+
+
+class TestSignFlip:
+    def test_negates_mean(self, rng):
+        honest = honest_updates(rng)
+        out = SignFlip(scale=1.0)(honest, 2, rng)
+        np.testing.assert_allclose(out[0], -honest.mean(axis=0))
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_scale(self, rng):
+        honest = honest_updates(rng)
+        out = SignFlip(scale=3.0)(honest, 1, rng)
+        np.testing.assert_allclose(out[0], -3.0 * honest.mean(axis=0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignFlip(scale=0.0)
+
+
+class TestGaussianNoise:
+    def test_centered_near_mean(self, rng):
+        honest = honest_updates(rng, k=20)
+        out = GaussianNoise(sigma=1.0)(honest, 500, rng)
+        np.testing.assert_allclose(
+            out.mean(axis=0), honest.mean(axis=0), atol=0.05
+        )
+
+    def test_sigma_scales_spread(self, rng):
+        honest = honest_updates(rng)
+        small = GaussianNoise(sigma=1.0)(honest, 100, np.random.default_rng(0))
+        large = GaussianNoise(sigma=20.0)(honest, 100, np.random.default_rng(0))
+        assert large.std() > 5 * small.std()
+
+
+class TestALIE:
+    def test_z_max_formula(self):
+        # n=20, f=4: s = 10+1-4 = 7, honest = 16, phi = 9/16
+        z = alie_z_max(20, 4)
+        assert 0.0 <= z <= 1.0
+
+    def test_z_max_byzantine_majority(self):
+        assert alie_z_max(10, 6) == 1.5
+
+    def test_z_max_validation(self):
+        with pytest.raises(ValueError):
+            alie_z_max(0, 0)
+        with pytest.raises(ValueError):
+            alie_z_max(5, 5)
+
+    def test_shift_is_z_std(self, rng):
+        honest = honest_updates(rng)
+        out = ALIE(z_max=2.0)(honest, 2, rng)
+        expected = honest.mean(axis=0) - 2.0 * honest.std(axis=0)
+        np.testing.assert_allclose(out[0], expected)
+
+    def test_stealthy_within_spread(self, rng):
+        """ALIE stays within a few std of the mean — the attack's point."""
+        honest = honest_updates(rng, k=30)
+        out = ALIE()(honest, 5, rng)
+        z = (out[0] - honest.mean(axis=0)) / np.maximum(honest.std(axis=0), 1e-9)
+        assert np.abs(z).max() < 4.0
+
+
+class TestIPM:
+    def test_negative_inner_product(self, rng):
+        honest = honest_updates(rng)
+        mean = honest.mean(axis=0)
+        out = IPM(epsilon=0.5)(honest, 1, rng)
+        assert float(out[0] @ mean) < 0
+
+    def test_epsilon_scale(self, rng):
+        honest = honest_updates(rng)
+        out = IPM(epsilon=2.0)(honest, 1, rng)
+        np.testing.assert_allclose(out[0], -2.0 * honest.mean(axis=0))
+
+
+class TestScaling:
+    def test_amplifies(self, rng):
+        honest = honest_updates(rng)
+        out = Scaling(factor=100.0)(honest, 1, rng)
+        np.testing.assert_allclose(out[0], 100.0 * honest.mean(axis=0))
+
+    def test_breaks_fedavg(self, rng):
+        """One scaled update dominates the linear rule (Table I story)."""
+        from repro.aggregation import FedAvg
+
+        honest = honest_updates(rng, k=19)
+        byz = Scaling(factor=-100.0)(honest, 1, rng)
+        updates = np.vstack([honest, byz])
+        out = FedAvg()(updates)
+        # aggregate points away from the honest mean
+        assert float(out @ honest.mean(axis=0)) < 0
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ValueError):
+            Scaling(factor=0.0)

@@ -1,0 +1,113 @@
+"""Property-based tests for consensus invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import (
+    ApproximateAgreement,
+    PBFTConsensus,
+    PoSValidation,
+    VotingConsensus,
+)
+
+
+def proposals_from(seed: int, n: int, d: int, spread: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    center = rng.standard_normal(d)
+    return center + spread * rng.standard_normal((n, d))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(3, 9),
+    d=st.integers(1, 8),
+    spread=st.floats(0.01, 5.0),
+)
+def test_voting_output_in_hull(seed, n, d, spread):
+    """The agreed value is a convex combination of accepted proposals, so
+    it lies inside the coordinate-wise hull of the inputs."""
+    proposals = proposals_from(seed, n, d, spread)
+    result = VotingConsensus().agree(proposals, rng=np.random.default_rng(seed))
+    lo = proposals.min(axis=0) - 1e-9
+    hi = proposals.max(axis=0) + 1e-9
+    assert np.all(result.value >= lo) and np.all(result.value <= hi)
+    assert result.accepted.any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(4, 10),
+    n_byz=st.integers(0, 3),
+)
+def test_approx_agreement_validity(seed, n, n_byz):
+    """Validity: the agreed vector stays inside the honest inputs'
+    coordinate range for any admissible (n, f)."""
+    if n <= 3 * n_byz:
+        return  # outside the protocol's precondition
+    rng = np.random.default_rng(seed)
+    proposals = rng.standard_normal((n, 4)) * 3
+    mask = np.zeros(n, dtype=bool)
+    mask[:n_byz] = True
+    honest = proposals[~mask]
+    result = ApproximateAgreement(epsilon=1e-5, f=n_byz).agree(
+        proposals, byzantine_mask=mask, rng=rng
+    )
+    lo = honest.min(axis=0) - 1e-6
+    hi = honest.max(axis=0) + 1e-6
+    assert np.all(result.value >= lo) and np.all(result.value <= hi)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(4, 10),
+    n_byz=st.integers(0, 9),
+)
+def test_pbft_safety_precondition(seed, n, n_byz):
+    """PBFT accepts exactly the f < n/3 regimes and rejects the rest."""
+    n_byz = min(n_byz, n)
+    rng = np.random.default_rng(seed)
+    proposals = rng.standard_normal((n, 3))
+    mask = np.zeros(n, dtype=bool)
+    mask[:n_byz] = True
+    protocol = PBFTConsensus()
+    if 3 * n_byz >= n and n > 1:
+        with pytest.raises(ValueError):
+            protocol.agree(proposals, byzantine_mask=mask, rng=rng)
+    else:
+        result = protocol.agree(proposals, byzantine_mask=mask, rng=rng)
+        assert np.isfinite(result.value).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_voting_deterministic_given_rng(seed):
+    proposals = proposals_from(seed, 5, 6, 1.0)
+    r1 = VotingConsensus().agree(proposals, rng=np.random.default_rng(seed))
+    r2 = VotingConsensus().agree(proposals, rng=np.random.default_rng(seed))
+    np.testing.assert_array_equal(r1.value, r2.value)
+    np.testing.assert_array_equal(r1.accepted, r2.accepted)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    rounds=st.integers(1, 4),
+)
+def test_pos_stake_stays_normalised(seed, rounds):
+    """Slashing never destroys the stake pool: total stays ~n."""
+    protocol = PoSValidation()
+    rng = np.random.default_rng(seed)
+    proposals = proposals_from(seed, 6, 4, 1.0)
+    mask = np.zeros(6, dtype=bool)
+    mask[0] = True
+    for _ in range(rounds):
+        result = protocol.agree(proposals, byzantine_mask=mask, rng=rng)
+    stake = result.info["stake"]
+    assert stake.shape == (6,)
+    np.testing.assert_allclose(stake.sum(), 6.0, rtol=1e-9)
+    assert (stake >= 0).all()

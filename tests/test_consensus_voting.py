@@ -1,0 +1,109 @@
+"""Tests for voting-based consensus (the paper's top-level mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.consensus import VotingConsensus
+from repro.consensus.validation import median_distance_scores
+
+
+def proposals_with_outlier(rng, n=4, d=12):
+    center = rng.standard_normal(d)
+    good = center + 0.05 * rng.standard_normal((n - 1, d))
+    bad = center + 100.0
+    return np.vstack([good, bad[None, :]]), center
+
+
+class TestAdaptiveVoting:
+    def test_excludes_outlier(self, rng):
+        proposals, center = proposals_with_outlier(rng)
+        result = VotingConsensus().agree(proposals, rng=rng)
+        assert not result.accepted[-1]
+        assert result.accepted[:-1].all()
+        assert np.linalg.norm(result.value - center) < 1.0
+
+    def test_excludes_multiple_outliers(self, rng):
+        """Adaptive mode can exclude more than gamma1 proposals — the
+        behaviour behind the paper's 65 % result.  (The data-free median
+        surrogate needs an honest majority, hence 3 good vs 2 bad.)"""
+        center = rng.standard_normal(8)
+        good = center + 0.05 * rng.standard_normal((3, 8))
+        bad = np.full((2, 8), 1000.0)
+        proposals = np.vstack([good, bad])
+        result = VotingConsensus().agree(proposals, rng=rng)
+        assert result.n_excluded == 2
+        assert np.linalg.norm(result.value - center) < 1.0
+
+    def test_all_equal_accept_all(self, rng):
+        proposals = np.tile(rng.standard_normal(6), (4, 1))
+        result = VotingConsensus().agree(proposals, rng=rng)
+        assert result.accepted.all()
+        np.testing.assert_allclose(result.value, proposals[0])
+
+    def test_byzantine_minority_votes_cannot_flip(self, rng):
+        proposals, center = proposals_with_outlier(rng, n=4)
+        byz = np.array([False, False, False, True])  # outlier votes maliciously
+        result = VotingConsensus().agree(proposals, byzantine_mask=byz, rng=rng)
+        assert not result.accepted[-1]
+        assert np.linalg.norm(result.value - center) < 1.0
+
+
+class TestFixedExclusion:
+    def test_excludes_exactly_one(self, rng):
+        proposals, _ = proposals_with_outlier(rng)
+        result = VotingConsensus(n_exclude=1).agree(proposals, rng=rng)
+        assert result.n_excluded == 1
+        assert not result.accepted[-1]
+
+    def test_clamped_to_leave_survivor(self, rng):
+        proposals, _ = proposals_with_outlier(rng, n=3)
+        result = VotingConsensus(n_exclude=10).agree(proposals, rng=rng)
+        assert result.accepted.sum() == 1
+
+    def test_zero_exclusion_keeps_all(self, rng):
+        proposals, _ = proposals_with_outlier(rng)
+        result = VotingConsensus(n_exclude=0).agree(proposals, rng=rng)
+        assert result.accepted.all()
+
+
+class TestCostAndWeights:
+    def test_message_bill(self, rng):
+        proposals, _ = proposals_with_outlier(rng, n=5)
+        result = VotingConsensus().agree(proposals, rng=rng)
+        assert result.cost.model_messages == 5 * 4
+        assert result.cost.scalar_messages == 5 * 4
+        assert result.cost.rounds == 1
+
+    def test_weighted_average_of_accepted(self, rng):
+        proposals = np.array([[0.0], [10.0], [1000.0]])
+        weights = np.array([3.0, 1.0, 1.0])
+        result = VotingConsensus().agree(proposals, weights=weights, rng=rng)
+        if result.accepted[:2].all() and not result.accepted[2]:
+            np.testing.assert_allclose(result.value, [2.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VotingConsensus(n_exclude=-1)
+        with pytest.raises(ValueError):
+            VotingConsensus(vote_margin=-0.1)
+
+    def test_rejects_bad_proposals(self, rng):
+        with pytest.raises(ValueError):
+            VotingConsensus().agree(np.zeros(5), rng=rng)
+        with pytest.raises(ValueError):
+            VotingConsensus().agree(
+                np.zeros((2, 2)), weights=np.array([1.0]), rng=rng
+            )
+
+
+class TestMedianDistanceScores:
+    def test_outlier_scores_lowest(self, rng):
+        proposals, _ = proposals_with_outlier(rng)
+        scores = median_distance_scores(proposals)
+        assert np.argmin(scores[0]) == proposals.shape[0] - 1
+
+    def test_rows_identical(self, rng):
+        proposals, _ = proposals_with_outlier(rng)
+        scores = median_distance_scores(proposals)
+        for row in scores[1:]:
+            np.testing.assert_array_equal(row, scores[0])

@@ -1,0 +1,118 @@
+"""Tests for ABDHFLConfig, LevelAggregation and correction policies."""
+
+import pytest
+
+from repro.core.config import ABDHFLConfig, LevelAggregation, TrainingConfig
+from repro.core.correction import AdaptiveCorrection, ConstantCorrection
+
+
+class TestLevelAggregation:
+    def test_valid(self):
+        agg = LevelAggregation("bra", "median")
+        assert agg.kind == "bra"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            LevelAggregation("magic", "median")
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            LevelAggregation("bra", "")
+
+
+class TestTrainingConfig:
+    def test_defaults(self):
+        cfg = TrainingConfig()
+        assert cfg.local_iterations == 5  # the paper's T
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(local_iterations=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0)
+
+
+class TestABDHFLConfig:
+    def test_default_resolution(self):
+        cfg = ABDHFLConfig()
+        assert cfg.aggregation_for(0).kind == "cba"
+        assert cfg.aggregation_for(1).kind == "bra"
+        assert cfg.aggregation_for(2).kind == "bra"
+
+    def test_explicit_override(self):
+        cfg = ABDHFLConfig(
+            level_aggregation={1: LevelAggregation("cba", "pbft")}
+        )
+        assert cfg.aggregation_for(1).name == "pbft"
+        assert cfg.aggregation_for(2).name == "multikrum"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ABDHFLConfig(phi=0.0)
+        with pytest.raises(ValueError):
+            ABDHFLConfig(phi=1.5)
+        with pytest.raises(ValueError):
+            ABDHFLConfig(flag_level=-1)
+        with pytest.raises(ValueError):
+            ABDHFLConfig(level_aggregation={-1: LevelAggregation("bra", "median")})
+        with pytest.raises(TypeError):
+            ABDHFLConfig(level_aggregation={0: "median"})
+
+
+class TestConstantCorrection:
+    def test_constant(self):
+        policy = ConstantCorrection(0.7)
+        assert policy.alpha(0.0, 0.5) == 0.7
+        assert policy.alpha(10.0, 0.01) == 0.7
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            ConstantCorrection(0.0)
+        with pytest.raises(ValueError):
+            ConstantCorrection(1.5)
+
+    def test_argument_validation(self):
+        policy = ConstantCorrection()
+        with pytest.raises(ValueError):
+            policy.alpha(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            policy.alpha(0.0, 0.0)
+        with pytest.raises(ValueError):
+            policy.alpha(0.0, 1.5)
+
+
+class TestAdaptiveCorrection:
+    def test_monotone_in_latency(self):
+        """Paper: larger delay -> smaller alpha."""
+        policy = AdaptiveCorrection(alpha_min=0.001)
+        alphas = [policy.alpha(lat, 0.2) for lat in (0.0, 0.5, 1.0, 5.0)]
+        assert all(a >= b for a, b in zip(alphas, alphas[1:]))
+        assert alphas[0] > alphas[-1]
+
+    def test_monotone_in_flag_fraction(self):
+        """Paper: more representative flag model -> smaller alpha."""
+        policy = AdaptiveCorrection(alpha_min=0.001)
+        alphas = [policy.alpha(0.5, f) for f in (0.1, 0.3, 0.6, 0.9)]
+        assert all(a >= b for a, b in zip(alphas, alphas[1:]))
+        assert alphas[0] > alphas[-1]
+
+    def test_bounded_in_unit_interval(self):
+        policy = AdaptiveCorrection()
+        for lat in (0.0, 1.0, 100.0):
+            for frac in (0.01, 0.5, 1.0):
+                a = policy.alpha(lat, frac)
+                assert 0.0 < a <= 1.0
+
+    def test_floor_respected(self):
+        policy = AdaptiveCorrection(alpha_min=0.2)
+        assert policy.alpha(1000.0, 1.0) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveCorrection(base=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveCorrection(latency_scale=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveCorrection(base=0.5, alpha_min=0.6)

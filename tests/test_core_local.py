@@ -1,0 +1,102 @@
+"""Tests for the local trainer (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.local import GlobalArrival, LocalTrainer
+from repro.data.dataset import Dataset
+
+
+def make_trainer(rng, tiny_model, n=60, iterations=5):
+    X = rng.standard_normal((n, 64))
+    y = rng.integers(0, 10, n)
+    return LocalTrainer(
+        device_id=0,
+        dataset=Dataset(X, y, 10),
+        model=tiny_model.clone(),
+        config=TrainingConfig(local_iterations=iterations, batch_size=16, learning_rate=0.1),
+        rng=rng,
+    )
+
+
+class TestGlobalArrival:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalArrival(iteration=-1, vector=np.zeros(3), alpha=0.5)
+        with pytest.raises(ValueError):
+            GlobalArrival(iteration=0, vector=np.zeros(3), alpha=0.0)
+        with pytest.raises(ValueError):
+            GlobalArrival(iteration=0, vector=np.zeros(3), alpha=1.5)
+
+
+class TestLocalTrainer:
+    def test_empty_dataset_rejected(self, rng, tiny_model):
+        with pytest.raises(ValueError):
+            LocalTrainer(
+                device_id=0,
+                dataset=Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 10),
+                model=tiny_model,
+                config=TrainingConfig(),
+                rng=rng,
+            )
+
+    def test_starts_from_given_vector(self, rng, tiny_model):
+        trainer = make_trainer(rng, tiny_model)
+        start = np.zeros(trainer.model.n_params)
+        trainer.train_round(start)
+        # model was loaded from `start` then trained: must differ from start
+        assert not np.allclose(trainer.model.get_flat(), start)
+
+    def test_runs_exactly_t_iterations(self, rng, tiny_model):
+        trainer = make_trainer(rng, tiny_model, iterations=7)
+        trainer.train_round(trainer.model.get_flat())
+        assert len(trainer.last_losses) == 7
+
+    def test_loss_trend_downward(self, rng, tiny_model):
+        trainer = make_trainer(rng, tiny_model, n=200, iterations=60)
+        trainer.train_round(trainer.model.get_flat())
+        first = np.mean(trainer.last_losses[:10])
+        last = np.mean(trainer.last_losses[-10:])
+        assert last < first
+
+    def test_merge_alpha_one_replaces(self, rng, tiny_model):
+        """alpha=1 with arrival at T: final params equal the global model
+        exactly (Eq. 1 degenerate case)."""
+        trainer = make_trainer(rng, tiny_model, iterations=3)
+        global_vec = np.full(trainer.model.n_params, 0.123)
+        arrival = GlobalArrival(iteration=99, vector=global_vec, alpha=1.0)
+        result = trainer.train_round(trainer.model.get_flat(), arrival)
+        np.testing.assert_allclose(result, global_vec)
+
+    def test_merge_interpolates(self, tiny_model):
+        """Eq. 1: theta' = alpha*theta_G + (1-alpha)*theta, applied after
+        the last iteration when arrival.iteration >= T."""
+        trainer = make_trainer(np.random.default_rng(7), tiny_model, iterations=2)
+        start = trainer.model.get_flat()
+        no_merge = trainer.train_round(start)
+
+        trainer2 = make_trainer(np.random.default_rng(7), tiny_model, iterations=2)
+        global_vec = np.ones(trainer2.model.n_params)
+        arrival = GlobalArrival(iteration=99, vector=global_vec, alpha=0.25)
+        merged = trainer2.train_round(start, arrival)
+        np.testing.assert_allclose(
+            merged, 0.25 * global_vec + 0.75 * no_merge, atol=1e-9
+        )
+
+    def test_mid_training_merge_changes_outcome(self, tiny_model):
+        trainer = make_trainer(np.random.default_rng(7), tiny_model, iterations=5)
+        start = trainer.model.get_flat()
+        plain = trainer.train_round(start)
+        trainer2 = make_trainer(np.random.default_rng(7), tiny_model, iterations=5)
+        arrival = GlobalArrival(
+            iteration=2, vector=np.zeros_like(start), alpha=0.9
+        )
+        merged = trainer2.train_round(start, arrival)
+        assert not np.allclose(plain, merged)
+
+    def test_deterministic_given_seed(self, tiny_model):
+        a = make_trainer(np.random.default_rng(5), tiny_model)
+        b = make_trainer(np.random.default_rng(5), tiny_model)
+        start = a.model.get_flat()
+        np.testing.assert_array_equal(a.train_round(start), b.train_round(start))

@@ -1,0 +1,141 @@
+"""Tests for the vanilla-FL baseline and the scheme presets."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import Scaling
+from repro.core.config import TrainingConfig
+from repro.core.schemes import SCHEME_DESCRIPTIONS, scheme_config
+from repro.core.vanilla import VanillaFLTrainer
+from repro.data.partition import iid_partition
+from repro.data.poisoning import poison_type1
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.nn.model import MLP
+from repro.utils.seeding import SeedSequenceFactory
+
+
+def vanilla_setup(n_clients=8, poison_ids=(), seed=0):
+    seeds = SeedSequenceFactory(seed)
+    cfg = SyntheticMNIST(side=8, noise_sigma=0.15)
+    train, test = make_synthetic_mnist(n_clients * 80, 300, seeds.generator("d"), cfg)
+    partition = iid_partition(train, n_clients, seeds.generator("p"))
+    datasets = {}
+    for cid, shard in enumerate(partition.shards):
+        datasets[cid] = poison_type1(shard) if cid in poison_ids else shard
+    model = MLP(64, (16,), 10, seeds.generator("i"))
+    return datasets, model, test
+
+
+TRAIN_CFG = TrainingConfig(local_iterations=8, batch_size=16, learning_rate=0.8)
+
+
+class TestVanillaFL:
+    def test_trains(self):
+        datasets, model, test = vanilla_setup()
+        trainer = VanillaFLTrainer(datasets, model, TRAIN_CFG, test, seed=1)
+        history = trainer.run(20)
+        assert history[-1].test_accuracy > 0.5
+
+    def test_fedavg_poisoned_majority_collapses(self):
+        """The vanilla failure mode of Table V: poisoned majority + linear
+        aggregation drives accuracy to the constant-label level."""
+        datasets, model, test = vanilla_setup(poison_ids=tuple(range(5)))
+        trainer = VanillaFLTrainer(
+            datasets, model, TRAIN_CFG, test, aggregator="fedavg", seed=1
+        )
+        trainer.run(15)
+        assert trainer.history[-1].test_accuracy < 0.45
+
+    def test_multikrum_resists_minority(self):
+        datasets, model, test = vanilla_setup(poison_ids=(0, 1))
+        trainer = VanillaFLTrainer(
+            datasets,
+            model,
+            TRAIN_CFG,
+            test,
+            aggregator="multikrum",
+            aggregator_options={"byzantine_fraction": 0.25},
+            seed=1,
+        )
+        trainer.run(20)
+        assert trainer.history[-1].test_accuracy > 0.5
+
+    def test_model_attack(self):
+        datasets, model, test = vanilla_setup()
+        robust = VanillaFLTrainer(
+            datasets,
+            model,
+            TRAIN_CFG,
+            test,
+            aggregator="median",
+            byzantine=[0, 1],
+            model_attack=Scaling(factor=-50.0),
+            seed=2,
+        )
+        robust.run(18)
+        datasets2, model2, test2 = vanilla_setup()
+        fragile = VanillaFLTrainer(
+            datasets2,
+            model2,
+            TRAIN_CFG,
+            test2,
+            aggregator="fedavg",
+            byzantine=[0, 1],
+            model_attack=Scaling(factor=-50.0),
+            seed=2,
+        )
+        fragile.run(18)
+        assert robust.history[-1].test_accuracy > 0.4
+        assert robust.history[-1].test_accuracy > fragile.history[-1].test_accuracy
+
+    def test_unknown_byzantine_id_rejected(self):
+        datasets, model, test = vanilla_setup()
+        with pytest.raises(ValueError):
+            VanillaFLTrainer(datasets, model, TRAIN_CFG, test, byzantine=[99])
+
+    def test_empty_clients_rejected(self):
+        _, model, test = vanilla_setup()
+        with pytest.raises(ValueError):
+            VanillaFLTrainer({}, model, TRAIN_CFG, test)
+
+    def test_deterministic(self):
+        finals = []
+        for _ in range(2):
+            datasets, model, test = vanilla_setup(seed=3)
+            trainer = VanillaFLTrainer(datasets, model, TRAIN_CFG, test, seed=3)
+            trainer.run(3)
+            finals.append(trainer.global_model.copy())
+        np.testing.assert_array_equal(finals[0], finals[1])
+
+
+class TestSchemes:
+    def test_descriptions_cover_table3(self):
+        assert set(SCHEME_DESCRIPTIONS) == {1, 2, 3, 4}
+        assert SCHEME_DESCRIPTIONS[1]["partial"] == "bra"
+        assert SCHEME_DESCRIPTIONS[1]["global"] == "cba"
+        assert SCHEME_DESCRIPTIONS[2]["partial"] == "cba"
+        assert SCHEME_DESCRIPTIONS[2]["global"] == "bra"
+        assert SCHEME_DESCRIPTIONS[3] ["partial"] == "bra"
+        assert SCHEME_DESCRIPTIONS[3]["global"] == "bra"
+        assert SCHEME_DESCRIPTIONS[4]["partial"] == "cba"
+        assert SCHEME_DESCRIPTIONS[4]["global"] == "cba"
+
+    def test_scheme_config_mapping(self):
+        for scheme in (1, 2, 3, 4):
+            cfg = scheme_config(scheme)
+            desc = SCHEME_DESCRIPTIONS[scheme]
+            assert cfg.aggregation_for(1).kind == desc["partial"]
+            assert cfg.aggregation_for(0).kind == desc["global"]
+
+    def test_scheme_names_propagated(self):
+        cfg = scheme_config(3, bra_name="median")
+        assert cfg.aggregation_for(0).name == "median"
+        assert cfg.aggregation_for(1).name == "median"
+
+    def test_config_kwargs_forwarded(self):
+        cfg = scheme_config(1, phi=0.8)
+        assert cfg.phi == 0.8
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            scheme_config(5)

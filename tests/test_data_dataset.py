@@ -1,0 +1,88 @@
+"""Tests for the Dataset container and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, minibatches, train_test_split
+
+
+def make_ds(n=20, d=4, n_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.standard_normal((n, d)), rng.integers(0, n_classes, n), n_classes)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = make_ds()
+        assert len(ds) == 20
+        assert ds.n_features == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2, 2)), np.zeros(3), 2)  # 3-D X
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4), 2)  # length mismatch
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), 2)  # label range
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(3), 0)  # n_classes
+
+    def test_subset_copies(self):
+        ds = make_ds()
+        sub = ds.subset(np.array([0, 1]))
+        sub.X[0, 0] = 999.0
+        assert ds.X[0, 0] != 999.0
+
+    def test_label_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_array_equal(ds.label_counts(), [2, 1, 1, 0])
+
+    def test_shuffled_preserves_pairs(self, rng):
+        ds = make_ds()
+        shuffled = ds.shuffled(rng)
+        # every (x, y) pair still present
+        orig = {(round(float(x[0]), 9), int(y)) for x, y in zip(ds.X, ds.y)}
+        new = {(round(float(x[0]), 9), int(y)) for x, y in zip(shuffled.X, shuffled.y)}
+        assert orig == new
+
+
+class TestSplit:
+    def test_sizes(self, rng):
+        train, test = train_test_split(make_ds(100), 0.2, rng)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint_and_complete(self, rng):
+        ds = make_ds(50)
+        ds.X[:, 0] = np.arange(50)  # unique marker
+        train, test = train_test_split(ds, 0.3, rng)
+        markers = sorted(train.X[:, 0].tolist() + test.X[:, 0].tolist())
+        assert markers == list(range(50))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make_ds(), 0.0, rng)
+        with pytest.raises(ValueError):
+            train_test_split(make_ds(), 1.0, rng)
+
+
+class TestMinibatches:
+    def test_covers_dataset(self, rng):
+        ds = make_ds(25)
+        total = sum(len(y) for _, y in minibatches(ds, 8, rng))
+        assert total == 25
+
+    def test_drop_last(self, rng):
+        ds = make_ds(25)
+        sizes = [len(y) for _, y in minibatches(ds, 8, rng, drop_last=True)]
+        assert sizes == [8, 8, 8]
+
+    def test_batch_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(minibatches(make_ds(), 0, rng))
+
+    def test_shuffling_differs_between_rngs(self):
+        ds = make_ds(32)
+        b1 = next(iter(minibatches(ds, 32, np.random.default_rng(1))))[1]
+        b2 = next(iter(minibatches(ds, 32, np.random.default_rng(2))))[1]
+        assert not np.array_equal(b1, b2)

@@ -1,0 +1,104 @@
+"""Tests for IID / non-IID / Dirichlet partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import dirichlet_partition, iid_partition, noniid_label_shards
+
+
+def balanced_dataset(n=400, n_classes=10, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.tile(np.arange(n_classes), n // n_classes)
+    return Dataset(rng.standard_normal((n, d)), y, n_classes)
+
+
+class TestIID:
+    def test_sizes_near_equal(self, rng):
+        result = iid_partition(balanced_dataset(), 7, rng)
+        sizes = result.sizes()
+        assert sizes.sum() == 400
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_disjoint_cover(self, rng):
+        ds = balanced_dataset(100)
+        ds.X[:, 0] = np.arange(100)
+        result = iid_partition(ds, 4, rng)
+        markers = sorted(
+            float(x) for shard in result.shards for x in shard.X[:, 0]
+        )
+        assert markers == [float(i) for i in range(100)]
+
+    def test_each_client_sees_most_labels(self, rng):
+        result = iid_partition(balanced_dataset(1000), 10, rng)
+        for labels in result.labels_per_client:
+            assert len(labels) >= 8  # IID: nearly all classes present
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(balanced_dataset(10), 0, rng)
+        with pytest.raises(ValueError):
+            iid_partition(balanced_dataset(10), 11, rng)
+
+
+class TestNonIID:
+    def test_two_labels_per_client(self, rng):
+        result = noniid_label_shards(balanced_dataset(), 8, rng)
+        for shard, labels in zip(result.shards, result.labels_per_client):
+            assert len(labels) == 2
+            assert set(np.unique(shard.y)) <= set(labels)
+
+    def test_equal_shard_sizes(self, rng):
+        result = noniid_label_shards(balanced_dataset(400), 8, rng)
+        sizes = result.sizes()
+        assert sizes.max() - sizes.min() <= 0  # 400/8 exact
+
+    def test_honest_cover_all_labels(self, rng):
+        """The paper's special design: honest clients jointly cover all 10."""
+        honest = [0, 2, 4, 6, 8, 10, 12, 14]
+        result = noniid_label_shards(
+            balanced_dataset(800), 16, rng, honest_clients=honest
+        )
+        assert result.covered_labels(honest) == set(range(10))
+
+    def test_honest_cover_property_many_seeds(self):
+        honest = list(range(5))  # 5 honest x 2 labels = 10 = all classes
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            result = noniid_label_shards(
+                balanced_dataset(600), 12, rng, honest_clients=honest
+            )
+            assert result.covered_labels(honest) == set(range(10)), seed
+
+    def test_too_few_honest_rejected(self, rng):
+        with pytest.raises(ValueError):
+            noniid_label_shards(
+                balanced_dataset(), 8, rng, honest_clients=[0, 1, 2, 3]
+            )  # 4 x 2 = 8 < 10
+
+    def test_out_of_range_honest(self, rng):
+        with pytest.raises(ValueError):
+            noniid_label_shards(balanced_dataset(), 4, rng, honest_clients=[99])
+
+    def test_labels_per_client_validation(self, rng):
+        with pytest.raises(ValueError):
+            noniid_label_shards(balanced_dataset(), 4, rng, labels_per_client=0)
+        with pytest.raises(ValueError):
+            noniid_label_shards(balanced_dataset(), 4, rng, labels_per_client=11)
+
+
+class TestDirichlet:
+    def test_cover_all_samples(self, rng):
+        result = dirichlet_partition(balanced_dataset(300), 6, rng, alpha=0.5)
+        assert result.sizes().sum() == 300
+
+    def test_small_alpha_is_skewed(self):
+        rng = np.random.default_rng(0)
+        result = dirichlet_partition(balanced_dataset(1000), 10, rng, alpha=0.05)
+        label_spread = [len(labels) for labels in result.labels_per_client]
+        # strong skew: typical client sees few classes
+        assert float(np.mean(label_spread)) < 6
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(balanced_dataset(), 4, rng, alpha=0.0)

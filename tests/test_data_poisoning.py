@@ -1,0 +1,111 @@
+"""Tests for data-poisoning attacks."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.poisoning import (
+    apply_poisoning,
+    backdoor_trigger,
+    label_flip,
+    poison_type1,
+    poison_type2,
+)
+
+
+def small_dataset(seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.random((50, 16)), rng.integers(0, 10, 50), 10)
+
+
+class TestType1:
+    def test_all_labels_become_target(self):
+        poisoned = poison_type1(small_dataset(), target_label=9)
+        assert np.all(poisoned.y == 9)
+
+    def test_features_unchanged(self):
+        ds = small_dataset()
+        poisoned = poison_type1(ds)
+        np.testing.assert_array_equal(poisoned.X, ds.X)
+
+    def test_original_not_mutated(self):
+        ds = small_dataset()
+        before = ds.y.copy()
+        poison_type1(ds)
+        np.testing.assert_array_equal(ds.y, before)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            poison_type1(small_dataset(), target_label=10)
+
+
+class TestType2:
+    def test_labels_randomised(self, rng):
+        ds = small_dataset()
+        poisoned = poison_type2(ds, rng)
+        assert not np.array_equal(poisoned.y, ds.y)
+        assert poisoned.y.min() >= 0 and poisoned.y.max() < 10
+
+    def test_covers_many_labels(self, rng):
+        poisoned = poison_type2(small_dataset(), rng)
+        assert len(np.unique(poisoned.y)) >= 5
+
+
+class TestLabelFlip:
+    def test_flips_only_source(self):
+        ds = Dataset(np.zeros((4, 2)), np.array([0, 1, 0, 2]), 3)
+        flipped = label_flip(ds, source=0, target=2)
+        np.testing.assert_array_equal(flipped.y, [2, 1, 2, 2])
+
+    def test_same_label_rejected(self):
+        with pytest.raises(ValueError):
+            label_flip(small_dataset(), 1, 1)
+
+
+class TestBackdoor:
+    def test_trigger_stamped_and_relabelled(self):
+        ds = small_dataset()
+        poisoned = backdoor_trigger(ds, target_label=7, trigger_value=1.5)
+        assert np.all(poisoned.y == 7)
+        assert np.all(poisoned.X[:, :4] == 1.5)
+        # rest of the image untouched
+        np.testing.assert_array_equal(poisoned.X[:, 4:], ds.X[:, 4:])
+
+    def test_partial_fraction(self, rng):
+        ds = small_dataset()
+        poisoned = backdoor_trigger(
+            ds, target_label=7, poison_fraction=0.5, rng=rng
+        )
+        stamped = np.isclose(poisoned.X[:, 0], 1.5)
+        assert stamped.sum() == 25
+        np.testing.assert_array_equal(poisoned.y[stamped], 7)
+
+    def test_fraction_needs_rng(self):
+        with pytest.raises(ValueError):
+            backdoor_trigger(small_dataset(), 7, poison_fraction=0.5)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            backdoor_trigger(small_dataset(), 99)
+        with pytest.raises(ValueError):
+            backdoor_trigger(small_dataset(), 7, poison_fraction=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            backdoor_trigger(small_dataset(), 7, n_trigger_features=0)
+
+
+class TestDispatch:
+    def test_none_returns_same(self, rng):
+        ds = small_dataset()
+        assert apply_poisoning(ds, "none", rng) is ds
+
+    def test_type1_dispatch(self, rng):
+        poisoned = apply_poisoning(small_dataset(), "type1", rng)
+        assert np.all(poisoned.y == 9)
+
+    def test_type2_dispatch(self, rng):
+        poisoned = apply_poisoning(small_dataset(), "type2", rng)
+        assert len(np.unique(poisoned.y)) > 1
+
+    def test_unknown_attack(self, rng):
+        with pytest.raises(ValueError):
+            apply_poisoning(small_dataset(), "bogus", rng)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic MNIST generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_mnist import SyntheticMNIST, digit_glyph, make_synthetic_mnist
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import MLP
+from repro.nn.optim import SGD
+
+
+class TestGlyphs:
+    def test_all_digits_render(self):
+        for d in range(10):
+            glyph = digit_glyph(d, 12)
+            assert glyph.shape == (12, 12)
+            assert glyph.max() == 1.0
+            assert glyph.min() == 0.0
+
+    def test_glyphs_distinct(self):
+        glyphs = [digit_glyph(d, 16) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(glyphs[i], glyphs[j]), (i, j)
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            digit_glyph(10, 12)
+
+    def test_too_small_canvas(self):
+        with pytest.raises(ValueError):
+            digit_glyph(0, 4)
+
+
+class TestRender:
+    def test_shapes_and_range(self, rng):
+        cfg = SyntheticMNIST(side=10)
+        X = cfg.render(np.array([0, 5, 9]), rng)
+        assert X.shape == (3, 100)
+        assert X.min() >= 0.0 and X.max() <= 1.5
+
+    def test_reproducible(self):
+        cfg = SyntheticMNIST(side=10)
+        labels = np.arange(10)
+        a = cfg.render(labels, np.random.default_rng(3))
+        b = cfg.render(labels, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_applied(self):
+        cfg = SyntheticMNIST(side=10, noise_sigma=0.3, max_shift=0, dropout=0.0, ink_jitter=0.0)
+        X = cfg.render(np.array([8]), np.random.default_rng(0))
+        clean = digit_glyph(8, 10).reshape(-1)
+        assert not np.allclose(X[0], np.clip(clean, 0, 1.5))
+
+    def test_no_perturbation_equals_glyph(self):
+        cfg = SyntheticMNIST(side=10, noise_sigma=0.0, max_shift=0, dropout=0.0, ink_jitter=0.0)
+        X = cfg.render(np.array([3]), np.random.default_rng(0))
+        np.testing.assert_array_equal(X[0], digit_glyph(3, 10).reshape(-1))
+
+
+class TestMakeDataset:
+    def test_balanced_labels(self, rng):
+        train, test = make_synthetic_mnist(100, 50, rng, SyntheticMNIST(side=8))
+        counts = train.label_counts()
+        assert counts.sum() == 100
+        assert counts.max() - counts.min() <= 1
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(0, 10, rng)
+
+    def test_learnable_to_high_accuracy(self, rng):
+        """The substitution contract: a small MLP must solve this task."""
+        cfg = SyntheticMNIST(side=10, noise_sigma=0.25)
+        train, test = make_synthetic_mnist(1500, 400, rng, cfg)
+        model = MLP(100, (32,), 10, rng)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(model, 0.5)
+        for _ in range(300):
+            idx = rng.choice(len(train), size=64, replace=False)
+            logits = model.forward(train.X[idx], train=True)
+            loss_fn.forward(logits, train.y[idx])
+            model.backward(loss_fn.backward())
+            opt.step()
+        acc = float(np.mean(model.predict(test.X) == test.y))
+        assert acc > 0.8, f"synthetic MNIST should be learnable, got {acc}"

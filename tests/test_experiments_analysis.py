@@ -1,0 +1,84 @@
+"""Tests for convergence-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import (
+    auc_gap,
+    convergence_round,
+    crossover_round,
+    summarize,
+)
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        a = np.array([0.1, 0.2, 0.5, 0.6, 0.7])
+        b = np.array([0.3, 0.3, 0.3, 0.3, 0.3])
+        assert crossover_round(a, b, sustain=2) == 2
+
+    def test_never_crosses(self):
+        a = np.zeros(5)
+        b = np.ones(5)
+        assert crossover_round(a, b) is None
+
+    def test_sustain_rejects_blips(self):
+        a = np.array([0.0, 0.9, 0.0, 0.0, 0.0])
+        b = np.full(5, 0.5)
+        assert crossover_round(a, b, sustain=2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_round(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            crossover_round(np.zeros(3), np.zeros(3), sustain=0)
+
+
+class TestAucGap:
+    def test_constant_gap(self):
+        a = np.full(11, 0.8)
+        b = np.full(11, 0.5)
+        np.testing.assert_allclose(auc_gap(a, b), 0.3)
+
+    def test_sign(self):
+        a = np.linspace(0, 1, 10)
+        b = np.linspace(1, 0, 10)
+        assert auc_gap(a, b) == pytest.approx(0.0, abs=1e-12)
+        assert auc_gap(a, np.zeros(10)) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auc_gap(np.zeros(1), np.zeros(1))
+
+
+class TestConvergenceRound:
+    def test_converged_curve(self):
+        curve = np.array([0.1, 0.5, 0.79, 0.80, 0.81, 0.80, 0.80])
+        r = convergence_round(curve, tolerance=0.02, window=3)
+        assert r == 2
+
+    def test_never_settles(self):
+        curve = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        assert convergence_round(curve, tolerance=0.01, window=2) is None
+
+    def test_flat_curve_converges_at_zero(self):
+        assert convergence_round(np.full(6, 0.5)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convergence_round(np.array([]))
+        with pytest.raises(ValueError):
+            convergence_round(np.zeros(3), tolerance=-1)
+
+
+class TestSummarize:
+    def test_full_summary(self):
+        abd = np.array([0.1, 0.3, 0.6, 0.8, 0.82, 0.82, 0.82])
+        van = np.array([0.1, 0.1, 0.1, 0.1, 0.10, 0.10, 0.10])
+        s = summarize(abd, van)
+        assert s.final_a == pytest.approx(0.82)
+        assert s.final_b == pytest.approx(0.10)
+        assert s.crossover == 1
+        assert s.auc_advantage_a > 0.3
+        assert s.convergence_a is not None
+        assert s.convergence_b == 0

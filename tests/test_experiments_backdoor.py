@@ -1,0 +1,73 @@
+"""Tests for the backdoor (ASR) experiment."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.experiments import ExperimentConfig
+from repro.experiments.backdoor import (
+    attack_success_rate,
+    run_backdoor,
+)
+from repro.nn.model import MLP
+
+TINY = ExperimentConfig(
+    n_levels=2,
+    cluster_size=4,
+    n_top=2,
+    image_side=8,
+    samples_per_client=60,
+    n_test=200,
+    n_rounds=3,
+    hidden=(16,),
+    malicious_fraction=0.25,
+)
+
+
+class TestAttackSuccessRate:
+    def _model_and_data(self, rng):
+        model = MLP(16, (8,), 10, rng)
+        X = rng.random((40, 16))
+        y = rng.integers(0, 10, 40)
+        return model, Dataset(X, y, 10)
+
+    def test_constant_target_predictor_has_full_asr(self, rng):
+        model, data = self._model_and_data(rng)
+        # force the model to always predict class 7 via a huge bias
+        vec = model.get_flat()
+        model.set_flat(vec)
+        model.layers[-1].b[:] = 0.0
+        model.layers[-1].b[7] = 1e6
+        asr = attack_success_rate(model, model.get_flat(), data, target_label=7)
+        assert asr == 1.0
+
+    def test_never_target_predictor_has_zero_asr(self, rng):
+        model, data = self._model_and_data(rng)
+        model.layers[-1].b[:] = 0.0
+        model.layers[-1].b[7] = -1e6
+        asr = attack_success_rate(model, model.get_flat(), data, target_label=7)
+        assert asr == 0.0
+
+    def test_only_target_labels_rejected(self, rng):
+        model, _ = self._model_and_data(rng)
+        data = Dataset(rng.random((5, 16)), np.full(5, 7), 10)
+        with pytest.raises(ValueError):
+            attack_success_rate(model, model.get_flat(), data, target_label=7)
+
+
+class TestRunBackdoor:
+    def test_returns_both_outcomes(self):
+        abd, van = run_backdoor(TINY)
+        assert abd.label == "ABD-HFL" and van.label == "Vanilla FL"
+        for outcome in (abd, van):
+            assert 0.0 <= outcome.clean_accuracy <= 1.0
+            assert 0.0 <= outcome.attack_success_rate <= 1.0
+
+    def test_no_adversaries_low_asr(self):
+        cfg = replace(TINY, malicious_fraction=0.0, n_rounds=6)
+        abd, van = run_backdoor(cfg)
+        # without backdoor clients the trigger should rarely hit the target
+        assert abd.attack_success_rate < 0.5
+        assert van.attack_success_rate < 0.5

@@ -1,0 +1,75 @@
+"""End-to-end integration: the headline Table-V shape at miniature scale.
+
+One test trains both systems across three malicious fractions and checks
+the paper's central qualitative claim in a single run — the kind of
+smoke test a release pipeline would gate on.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.schemes import scheme_config
+from repro.experiments import (
+    ExperimentConfig,
+    build_abdhfl_trainer,
+    build_vanilla_trainer,
+    prepare_data,
+)
+
+MINI = ExperimentConfig(
+    n_levels=3,
+    cluster_size=3,
+    n_top=3,       # 27 clients
+    image_side=10,
+    samples_per_client=120,
+    n_test=400,
+    n_rounds=15,
+    hidden=(24,),
+    batch_size=32,
+    learning_rate=0.5,
+)
+
+
+@pytest.mark.slow
+class TestHeadlineShape:
+    def test_table5_shape_mini(self):
+        results = {}
+        for fraction in (0.0, 0.5):
+            cfg = replace(MINI, malicious_fraction=fraction)
+            data = prepare_data(cfg)
+            abd = build_abdhfl_trainer(cfg, data)
+            abd.run(cfg.n_rounds)
+            van = build_vanilla_trainer(cfg, data)
+            van.run(cfg.n_rounds)
+            results[fraction] = (
+                abd.history[-1].test_accuracy,
+                van.history[-1].test_accuracy,
+            )
+        abd_clean, van_clean = results[0.0]
+        abd_attacked, van_attacked = results[0.5]
+        # clean parity
+        assert abs(abd_clean - van_clean) < 0.15
+        assert abd_clean > 0.55
+        # under majority-cluster poisoning ABD-HFL wins decisively
+        assert abd_attacked > van_attacked + 0.2
+        # vanilla collapses toward the constant-label predictor
+        assert van_attacked < 0.35
+
+    def test_all_four_schemes_agree_on_clean_data(self):
+        cfg = replace(MINI, malicious_fraction=0.0, n_rounds=10)
+        accs = []
+        for scheme in (1, 2, 3, 4):
+            data = prepare_data(cfg)
+            abd_config = scheme_config(
+                scheme,
+                bra_name=cfg.partial_aggregator,
+                bra_options=cfg.partial_options,
+                training=cfg.training_config(),
+            )
+            trainer = build_abdhfl_trainer(cfg, data, abdhfl_config=abd_config)
+            trainer.run(cfg.n_rounds)
+            accs.append(trainer.history[-1].test_accuracy)
+        # with no adversary, scheme choice must not matter much
+        assert max(accs) - min(accs) < 0.15
+        assert min(accs) > 0.5

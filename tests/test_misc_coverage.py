@@ -1,0 +1,111 @@
+"""Cross-cutting tests for smaller utilities and edge paths."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.validation import ModelValidator, upvote_matrix
+from repro.data.dataset import Dataset
+from repro.nn.model import MLP
+from repro.utils.reporting import emit_report, results_dir
+from repro.utils.tables import format_float
+
+
+class TestFormatFloat:
+    def test_digits(self):
+        assert format_float(3.14159, 2) == "3.14"
+        assert format_float(1.0) == "1.000"
+
+
+class TestUpvoteMatrix:
+    def test_all_equal_scores_all_upvoted(self):
+        scores = np.full((3, 4), 0.8)
+        assert upvote_matrix(scores, 0.05).all()
+
+    def test_midrange_separates(self):
+        scores = np.array([[0.9, 0.88, 0.1]])
+        votes = upvote_matrix(scores, 0.05)
+        np.testing.assert_array_equal(votes, [[True, True, False]])
+
+    def test_margin_widens_acceptance(self):
+        scores = np.array([[1.0, 0.4, 0.0]])
+        strict = upvote_matrix(scores, 0.0)
+        loose = upvote_matrix(scores, 0.2)
+        assert strict.sum() <= loose.sum()
+        assert not strict[0, 1] and loose[0, 1]
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            upvote_matrix(np.zeros((2, 2)), -0.1)
+
+
+class TestModelValidatorCycling:
+    def _validator(self, rng, n_shards=2):
+        model = MLP(8, (4,), 3, rng)
+        shards = [
+            Dataset(rng.random((10, 8)), rng.integers(0, 3, 10), 3)
+            for _ in range(n_shards)
+        ]
+        return ModelValidator(model, shards)
+
+    def test_score_matrix_default_size(self, rng):
+        validator = self._validator(rng)
+        proposals = rng.standard_normal((3, validator.template.n_params))
+        assert validator.score_matrix(proposals).shape == (2, 3)
+
+    def test_cycling_to_more_members(self, rng):
+        validator = self._validator(rng)
+        proposals = rng.standard_normal((3, validator.template.n_params))
+        scores = validator.score_matrix(proposals, n_members=5)
+        assert scores.shape == (5, 3)
+        # cycled rows repeat the shard scores
+        np.testing.assert_array_equal(scores[0], scores[2])
+        np.testing.assert_array_equal(scores[1], scores[3])
+
+    def test_truncation_to_fewer_members(self, rng):
+        validator = self._validator(rng, n_shards=3)
+        proposals = rng.standard_normal((2, validator.template.n_params))
+        assert validator.score_matrix(proposals, n_members=1).shape == (1, 2)
+
+    def test_empty_shard_rejected(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        empty = Dataset(np.zeros((0, 8)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            ModelValidator(model, [empty])
+
+    def test_no_shards_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ModelValidator(MLP(8, (4,), 3, rng), [])
+
+
+class TestReporting:
+    def test_emit_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "reports"))
+        path = emit_report("sample", "hello table")
+        assert path.read_text().strip() == "hello table"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_results_dir_created(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r2"))
+        assert results_dir().is_dir()
+
+    def test_invalid_name_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        with pytest.raises(ValueError):
+            emit_report("a/b", "x")
+        with pytest.raises(ValueError):
+            emit_report("", "x")
+
+
+class TestModelGradsFlat:
+    def test_get_flat_grads_shape(self, rng):
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        model = MLP(6, (4,), 3, rng)
+        X = rng.standard_normal((5, 6))
+        y = rng.integers(0, 3, 5)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(model.forward(X, train=True), y)
+        model.backward(loss.backward())
+        grads = model.get_flat_grads()
+        assert grads.shape == (model.n_params,)
+        assert np.abs(grads).sum() > 0

@@ -1,0 +1,122 @@
+"""Tests for dense layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Tanh
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer.forward(rng.standard_normal((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(4, 2, rng)
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(layer.forward(x), x @ layer.W + layer.b)
+
+    def test_invalid_dims(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+        with pytest.raises(ValueError):
+            Linear(3, -1, rng)
+
+    def test_unknown_init(self, rng):
+        with pytest.raises(ValueError):
+            Linear(2, 2, rng, init="bogus")
+
+    def test_zeros_init(self, rng):
+        layer = Linear(3, 3, rng, init="zeros")
+        assert np.all(layer.W == 0)
+
+    def test_backward_before_forward(self, rng):
+        layer = Linear(2, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((5, 4))
+        target_grad = rng.standard_normal((5, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(x, train=False) * target_grad))
+
+        layer.forward(x, train=True)
+        layer.backward(target_grad)
+        np.testing.assert_allclose(layer.dW, numeric_grad(loss, layer.W), atol=1e-5)
+        np.testing.assert_allclose(layer.db, numeric_grad(loss, layer.b), atol=1e-5)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.standard_normal((2, 4))
+        target_grad = rng.standard_normal((2, 3))
+        layer.forward(x, train=True)
+        dx = layer.backward(target_grad)
+
+        def loss():
+            return float(np.sum(layer.forward(x, train=False) * target_grad))
+
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-5)
+
+
+class TestReLU:
+    def test_forward_clips_negatives(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]), train=True)
+        dx = layer.backward(np.array([[5.0, 7.0]]))
+        np.testing.assert_array_equal(dx, [[0.0, 7.0]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+    def test_no_params(self):
+        assert ReLU().params == []
+        assert ReLU().grads == []
+
+
+class TestTanh:
+    def test_forward_range(self, rng):
+        out = Tanh().forward(rng.standard_normal((4, 4)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_gradient_numerically(self, rng):
+        layer = Tanh()
+        x = rng.standard_normal((3, 3))
+        g = rng.standard_normal((3, 3))
+        layer.forward(x, train=True)
+        dx = layer.backward(g)
+
+        def loss():
+            return float(np.sum(np.tanh(x) * g))
+
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-5)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.zeros((1, 1)))

@@ -1,0 +1,100 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy, log_softmax
+
+
+class TestLogSoftmax:
+    def test_normalises(self, rng):
+        logits = rng.standard_normal((5, 10))
+        logp = log_softmax(logits)
+        np.testing.assert_allclose(np.exp(logp).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(
+            log_softmax(logits), log_softmax(logits + 100.0), atol=1e-9
+        )
+
+    def test_large_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0]])
+        logp = log_softmax(logits)
+        assert np.isfinite(logp).all()
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) < 1e-6
+
+    def test_uniform_prediction(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        np.testing.assert_allclose(value, np.log(10), atol=1e-9)
+
+    def test_gradient_formula(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((6, 5))
+        targets = rng.integers(0, 5, size=6)
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        # grad = (softmax - onehot)/batch
+        probs = np.exp(log_softmax := logits - logits.max(1, keepdims=True))
+        probs = probs / probs.sum(1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(6), targets] -= 1
+        expected /= 6
+        np.testing.assert_allclose(grad, expected, atol=1e-12)
+
+    def test_gradient_numerically(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([0, 2, 1])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                logits[i, j] += eps
+                plus = SoftmaxCrossEntropy().forward(logits, targets)
+                logits[i, j] -= 2 * eps
+                minus = SoftmaxCrossEntropy().forward(logits, targets)
+                logits[i, j] += eps
+                np.testing.assert_allclose(
+                    grad[i, j], (plus - minus) / (2 * eps), atol=1e-5
+                )
+
+    def test_rejects_bad_shapes(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMSELoss:
+    def test_zero_for_equal(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert MSELoss().forward(x, x.copy()) == 0.0
+
+    def test_value(self):
+        loss = MSELoss()
+        value = loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        np.testing.assert_allclose(value, 2.5)
+
+    def test_gradient(self):
+        loss = MSELoss()
+        pred = np.array([[1.0, 2.0]])
+        loss.forward(pred, np.zeros((1, 2)))
+        np.testing.assert_allclose(loss.backward(), pred * (2.0 / 2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,55 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 2]), np.array([1]))
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0, 1, 2, 2])
+        cm = confusion_matrix(y, y, 3)
+        np.testing.assert_array_equal(cm, np.diag([1, 1, 2]))
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix(np.array([1]), np.array([0]), 2)
+        assert cm[0, 1] == 1
+        assert cm.sum() == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([5]), np.array([0]), 3)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([-1]), 3)
+
+    def test_total_count(self, rng):
+        preds = rng.integers(0, 4, 100)
+        targets = rng.integers(0, 4, 100)
+        assert confusion_matrix(preds, targets, 4).sum() == 100
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        targets = np.array([0, 0, 1, 1])
+        preds = np.array([0, 1, 1, 1])
+        pca = per_class_accuracy(preds, targets, 3)
+        assert pca[0] == 0.5
+        assert pca[1] == 1.0
+        assert np.isnan(pca[2])  # class 2 absent

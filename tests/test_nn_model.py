@@ -1,0 +1,98 @@
+"""Tests for Sequential/MLP models and flat-parameter plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import MLP, Sequential
+from repro.nn.optim import SGD
+
+
+class TestSequential:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_shape(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        out = model.forward(rng.standard_normal((5, 8)))
+        assert out.shape == (5, 3)
+
+    def test_predict_argmax(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        x = rng.standard_normal((6, 8))
+        np.testing.assert_array_equal(
+            model.predict(x), np.argmax(model.forward(x, train=False), axis=-1)
+        )
+
+    def test_flat_round_trip(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        flat = model.get_flat()
+        assert flat.shape == (model.n_params,)
+        model2 = MLP(8, (4,), 3, np.random.default_rng(999))
+        model2.set_flat(flat)
+        np.testing.assert_array_equal(model2.get_flat(), flat)
+
+    def test_set_flat_changes_forward(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        x = rng.standard_normal((2, 8))
+        before = model.forward(x, train=False).copy()
+        model.set_flat(np.zeros(model.n_params))
+        after = model.forward(x, train=False)
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, 0.0)
+
+    def test_set_flat_wrong_size(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        with pytest.raises(ValueError):
+            model.set_flat(np.zeros(model.n_params + 1))
+
+    def test_clone_independent(self, rng):
+        model = MLP(8, (4,), 3, rng)
+        clone = model.clone()
+        np.testing.assert_array_equal(model.get_flat(), clone.get_flat())
+        clone.set_flat(np.zeros(clone.n_params))
+        assert not np.allclose(model.get_flat(), 0.0)
+
+    def test_n_params_matches_architecture(self, rng):
+        model = MLP(10, (7,), 4, rng)
+        expected = 10 * 7 + 7 + 7 * 4 + 4
+        assert model.n_params == expected
+
+
+class TestTrainingConvergence:
+    def test_learns_linearly_separable(self, rng):
+        """End-to-end sanity: MLP + SGD fits a separable 2-class problem."""
+        n = 200
+        X = rng.standard_normal((n, 5))
+        w_true = rng.standard_normal(5)
+        y = (X @ w_true > 0).astype(np.int64)
+        model = Sequential([Linear(5, 8, rng), ReLU(), Linear(8, 2, rng)])
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(model, 0.5)
+        for _ in range(150):
+            logits = model.forward(X, train=True)
+            loss_fn.forward(logits, y)
+            model.backward(loss_fn.backward())
+            opt.step()
+        acc = float(np.mean(model.predict(X) == y))
+        assert acc > 0.95
+
+    def test_loss_decreases(self, rng):
+        X = rng.standard_normal((64, 6))
+        y = rng.integers(0, 3, size=64)
+        model = MLP(6, (8,), 3, rng)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(model, 0.3)
+        first = None
+        last = None
+        for step in range(60):
+            logits = model.forward(X, train=True)
+            value = loss_fn.forward(logits, y)
+            if step == 0:
+                first = value
+            last = value
+            model.backward(loss_fn.backward())
+            opt.step()
+        assert last < first

@@ -1,0 +1,92 @@
+"""Tests for SGD and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MSELoss
+from repro.nn.model import MLP
+from repro.nn.optim import SGD, ConstantLR, StepDecayLR
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.1).lr(0) == 0.1
+        assert ConstantLR(0.1).lr(1000) == 0.1
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_step_decay(self):
+        sched = StepDecayLR(1.0, step_size=10, gamma=0.5)
+        assert sched.lr(0) == 1.0
+        assert sched.lr(9) == 1.0
+        assert sched.lr(10) == 0.5
+        assert sched.lr(25) == 0.25
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(1.0, step_size=0)
+        with pytest.raises(ValueError):
+            StepDecayLR(1.0, step_size=5, gamma=1.5)
+
+
+class TestSGD:
+    def _grad_setup(self, rng, **kwargs):
+        model = MLP(4, (3,), 2, rng)
+        opt = SGD(model, schedule=0.1, **kwargs)
+        x = rng.standard_normal((8, 4))
+        y = rng.standard_normal((8, 2))
+        loss = MSELoss()
+        value = loss.forward(model.forward(x, train=True), y)
+        model.backward(loss.backward())
+        return model, opt, value
+
+    def test_plain_step_moves_against_gradient(self, rng):
+        model, opt, _ = self._grad_setup(rng)
+        before = model.get_flat()
+        grads = model.get_flat_grads()
+        opt.step()
+        after = model.get_flat()
+        np.testing.assert_allclose(after, before - 0.1 * grads, atol=1e-12)
+
+    def test_momentum_accumulates(self, rng):
+        model, opt, _ = self._grad_setup(rng, momentum=0.9)
+        g = model.get_flat_grads().copy()
+        p0 = model.get_flat()
+        opt.step()
+        p1 = model.get_flat()
+        # First step identical to plain SGD (velocity starts at zero).
+        np.testing.assert_allclose(p1, p0 - 0.1 * g, atol=1e-12)
+        # Second step with the same gradients moves further.
+        opt.step()
+        p2 = model.get_flat()
+        step2 = np.linalg.norm(p2 - p1)
+        step1 = np.linalg.norm(p1 - p0)
+        assert step2 > step1
+
+    def test_weight_decay_shrinks_params(self, rng):
+        model = MLP(4, (3,), 2, rng)
+        opt = SGD(model, schedule=0.1, weight_decay=0.5)
+        for grad in model.grads:
+            grad[...] = 0.0
+        before = np.abs(model.get_flat()).sum()
+        opt.step()
+        after = np.abs(model.get_flat()).sum()
+        assert after < before
+
+    def test_validation(self, rng):
+        model = MLP(4, (3,), 2, rng)
+        with pytest.raises(ValueError):
+            SGD(model, 0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(model, 0.1, weight_decay=-0.1)
+
+    def test_step_count_and_schedule(self, rng):
+        model = MLP(4, (3,), 2, rng)
+        opt = SGD(model, StepDecayLR(1.0, step_size=2, gamma=0.1))
+        for grad in model.grads:
+            grad[...] = 0.0
+        assert opt.step() == 1.0
+        assert opt.step() == 1.0
+        assert opt.step() == pytest.approx(0.1)

@@ -1,0 +1,71 @@
+"""Tests for the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD
+from repro.nn.regularization import Dropout
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(layer.forward(x, train=False), x)
+
+    def test_p_zero_identity(self, rng):
+        layer = Dropout(0.0, rng)
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(layer.forward(x, train=True), x)
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(0.3, rng)
+        x = np.ones((2000, 50))
+        out = layer.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(), 1.0, atol=0.02)
+
+    def test_drops_expected_fraction(self, rng):
+        layer = Dropout(0.4, rng)
+        out = layer.forward(np.ones((1000, 100)), train=True)
+        dropped = float(np.mean(out == 0.0))
+        assert abs(dropped - 0.4) < 0.02
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((10, 10))
+        out = layer.forward(x, train=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_backward_eval_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        layer.forward(np.ones((2, 2)), train=False)
+        grad = layer.backward(np.full((2, 2), 3.0))
+        np.testing.assert_array_equal(grad, 3.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)
+
+    def test_trains_inside_model(self, rng):
+        model = Sequential(
+            [Linear(6, 16, rng), ReLU(), Dropout(0.2, rng), Linear(16, 3, rng)]
+        )
+        X = rng.standard_normal((96, 6))
+        y = rng.integers(0, 3, 96)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = SGD(model, 0.3)
+        first = last = None
+        for step in range(80):
+            logits = model.forward(X, train=True)
+            value = loss_fn.forward(logits, y)
+            first = value if step == 0 else first
+            last = value
+            model.backward(loss_fn.backward())
+            opt.step()
+        assert last < first

@@ -1,0 +1,122 @@
+"""Tests for the event-driven pipeline run (Figure 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pipeline.event_run import EventDrivenRun, TimingConfig
+from repro.sim.latency import FixedLatency, UniformLatency
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        local_compute=FixedLatency(10.0),
+        partial_aggregate=FixedLatency(1.0),
+        global_aggregate=FixedLatency(5.0),
+        link=FixedLatency(0.1),
+    )
+    defaults.update(overrides)
+    return TimingConfig(**defaults)
+
+
+class TestEventDrivenRun:
+    def test_all_rounds_complete(self, paper_hierarchy):
+        run = EventDrivenRun(paper_hierarchy, quick_config(), flag_level=1)
+        timings = run.run(3)
+        n_bottom_clusters = 16
+        finished = [t for t in timings if math.isfinite(t.global_arrival)]
+        assert len(finished) == 3 * n_bottom_clusters
+
+    def test_causality(self, paper_hierarchy):
+        run = EventDrivenRun(paper_hierarchy, quick_config(), flag_level=1)
+        for t in run.run(3):
+            if math.isfinite(t.flag_arrival):
+                assert t.flag_arrival > t.first_upload
+            if math.isfinite(t.global_arrival):
+                assert t.global_arrival > t.first_upload
+                # flag (partial) always returns before the global model
+                assert t.flag_arrival <= t.global_arrival
+
+    def test_efficiency_in_unit_interval(self, paper_hierarchy):
+        run = EventDrivenRun(paper_hierarchy, quick_config(), flag_level=1)
+        run.run(4)
+        effs = run.efficiencies()
+        assert effs.size > 0
+        assert np.all(effs >= 0.0) and np.all(effs <= 1.0)
+
+    def test_pipelining_overlaps_rounds(self, paper_hierarchy):
+        """With a slow global phase, round r+1 training starts before round
+        r's global model arrives — the defining property of Fig. 2."""
+        cfg = quick_config(global_aggregate=FixedLatency(50.0))
+        run = EventDrivenRun(paper_hierarchy, cfg, flag_level=1)
+        timings = {(t.round_index, t.cluster_index): t for t in run.run(2)}
+        t0 = timings[(0, 0)]
+        t1 = timings[(1, 0)]
+        # round 1's first upload happens before round 0's global arrival
+        assert t1.first_upload < t0.global_arrival
+
+    def test_flag_at_top_serialises(self, paper_hierarchy):
+        """flag_level=0 removes the overlap: next round starts only after
+        the global model lands."""
+        cfg = quick_config(global_aggregate=FixedLatency(50.0))
+        run = EventDrivenRun(paper_hierarchy, cfg, flag_level=0)
+        timings = {(t.round_index, t.cluster_index): t for t in run.run(2)}
+        t0 = timings[(0, 0)]
+        t1 = timings[(1, 0)]
+        assert t1.first_upload > t0.global_arrival
+
+    def test_deeper_flag_level_faster_rounds(self, paper_hierarchy):
+        """Pipelined rounds complete faster than serialised ones."""
+        cfg = quick_config(global_aggregate=FixedLatency(30.0))
+        pipelined = EventDrivenRun(paper_hierarchy, cfg, flag_level=1, seed=1)
+        pipelined.run(5)
+        serial = EventDrivenRun(paper_hierarchy, cfg, flag_level=0, seed=1)
+        serial.run(5)
+        assert pipelined.sim.now < serial.sim.now
+
+    def test_quorum_speeds_collection(self, paper_hierarchy):
+        slow = EventDrivenRun(
+            paper_hierarchy,
+            quick_config(local_compute=UniformLatency(5.0, 50.0), phi=1.0),
+            flag_level=1,
+            seed=3,
+        )
+        slow.run(3)
+        fast = EventDrivenRun(
+            paper_hierarchy,
+            quick_config(local_compute=UniformLatency(5.0, 50.0), phi=0.5),
+            flag_level=1,
+            seed=3,
+        )
+        fast.run(3)
+        assert fast.sim.now < slow.sim.now
+
+    def test_round_durations(self, paper_hierarchy):
+        run = EventDrivenRun(paper_hierarchy, quick_config(), flag_level=1)
+        run.run(4)
+        durations = run.round_durations()
+        assert durations.shape == (4,)
+        assert np.all(durations > 0)
+
+    def test_determinism(self, paper_hierarchy):
+        cfg = quick_config(local_compute=UniformLatency(5.0, 20.0))
+        a = EventDrivenRun(paper_hierarchy, cfg, flag_level=1, seed=7)
+        a.run(3)
+        b = EventDrivenRun(paper_hierarchy, cfg, flag_level=1, seed=7)
+        b.run(3)
+        assert a.sim.now == b.sim.now
+        assert np.array_equal(a.efficiencies(), b.efficiencies())
+
+    def test_flag_level_validation(self, paper_hierarchy):
+        with pytest.raises(ValueError):
+            EventDrivenRun(paper_hierarchy, quick_config(), flag_level=2)
+
+    def test_rounds_validation(self, paper_hierarchy):
+        run = EventDrivenRun(paper_hierarchy, quick_config(), flag_level=1)
+        with pytest.raises(ValueError):
+            run.run(0)
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            quick_config(phi=0.0)

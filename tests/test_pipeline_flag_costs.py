@@ -1,0 +1,116 @@
+"""Tests for the flag-level advisor (Table VIII) and scheme costs (Table IV)."""
+
+import pytest
+
+from repro.pipeline.costs import hierarchy_message_profile, scheme_round_cost
+from repro.pipeline.flag_level import advise_flag_level, delay_case, sweep_flag_levels
+from repro.pipeline.workflow import PipelineModel
+from repro.sim.latency import FixedLatency
+
+
+class TestDelayCase:
+    def test_all_four_cases(self):
+        assert delay_case(10, 10, 5) == "big tau'-big tau_g"
+        assert delay_case(1, 1, 5) == "small tau'-small tau_g"
+        assert delay_case(1, 10, 5) == "small tau'-big tau_g"
+        assert delay_case(10, 1, 5) == "big tau'-small tau_g"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            delay_case(1, 1, 0)
+
+
+class TestAdvice:
+    def test_small_small_near_top(self):
+        advice = advise_flag_level(1, 1, 5, n_levels=3)
+        assert advice.suggested_level == 1
+        assert "top" in advice.recommendation
+
+    def test_small_big_near_top(self):
+        advice = advise_flag_level(1, 10, 5, n_levels=3)
+        assert advice.suggested_level == 1
+
+    def test_big_cases_defer(self):
+        for g in (1, 10):
+            advice = advise_flag_level(10, g, 5, n_levels=3)
+            assert advice.suggested_level is None
+            assert "depends" in advice.recommendation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advise_flag_level(1, 1, 5, n_levels=1)
+
+
+class TestSweep:
+    def _model(self, partial=1.0, global_=1.0, n_levels=3):
+        L = n_levels - 1
+        return PipelineModel(
+            collect_models={l: FixedLatency(partial) for l in range(1, L + 1)},
+            aggregate_models={l: FixedLatency(partial) for l in range(1, L + 1)},
+            global_collect=FixedLatency(global_),
+            global_aggregate=FixedLatency(global_),
+        )
+
+    def test_covers_all_flag_levels(self, rng):
+        out = sweep_flag_levels(self._model(), 20, rng)
+        assert set(out) == {0, 1}
+
+    def test_deeper_flag_higher_efficiency(self, rng):
+        out = sweep_flag_levels(self._model(n_levels=4), 20, rng)
+        effs = [out[f]["efficiency"] for f in sorted(out)]
+        assert all(a <= b for a, b in zip(effs, effs[1:]))
+
+    def test_big_global_makes_pipelining_valuable(self, rng):
+        """With an expensive global phase (consensus at top), the flag
+        level below the top captures most of the win — the Table VIII
+        small-tau'/big-tau_g row."""
+        out = sweep_flag_levels(self._model(partial=0.1, global_=20.0), 30, rng)
+        assert out[1]["efficiency"] > 0.9
+
+    def test_correction_weight_penalises(self, rng):
+        plain = sweep_flag_levels(self._model(), 10, rng, correction_weight=0.0)
+        penal = sweep_flag_levels(self._model(), 10, rng, correction_weight=1.0)
+        for f in plain:
+            assert penal[f]["score"] <= plain[f]["score"] + 1e-12
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sweep_flag_levels(self._model(), 0, rng)
+        with pytest.raises(ValueError):
+            sweep_flag_levels(self._model(), 5, rng, correction_weight=-1)
+
+
+class TestSchemeCosts:
+    def test_profile(self, paper_hierarchy):
+        profile = hierarchy_message_profile(paper_hierarchy)
+        assert profile["n_devices"] == 64
+        assert profile["top_size"] == 4
+        assert profile["n_intermediate_clusters"] == 20
+        assert profile["dissemination_edges"] == 80
+
+    def test_scheme3_cheapest_scheme4_dearest(self, paper_hierarchy):
+        """Table IV: all-BRA is the low-cost scheme, all-CBA the high-cost."""
+        costs = {
+            s: scheme_round_cost(paper_hierarchy, s).cost.total_messages()
+            for s in (1, 2, 3, 4)
+        }
+        assert costs[3] == min(costs.values())
+        assert costs[4] == max(costs.values())
+        # schemes 1 and 2 sit strictly between
+        assert costs[3] < costs[1] < costs[4]
+        assert costs[3] < costs[2] < costs[4]
+
+    def test_cba_rounds_multiplier(self, paper_hierarchy):
+        one = scheme_round_cost(paper_hierarchy, 4, cba_rounds=1)
+        three = scheme_round_cost(paper_hierarchy, 4, cba_rounds=3)
+        assert three.cost.model_messages > one.cost.model_messages
+
+    def test_bytes_scale_with_dimension(self, paper_hierarchy):
+        cost = scheme_round_cost(paper_hierarchy, 1)
+        assert cost.total_bytes(1000) > cost.total_bytes(10)
+
+    def test_validation(self, paper_hierarchy):
+        with pytest.raises(ValueError):
+            scheme_round_cost(paper_hierarchy, 5)
+        with pytest.raises(ValueError):
+            scheme_round_cost(paper_hierarchy, 1, cba_rounds=0)

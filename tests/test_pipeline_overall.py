@@ -1,0 +1,77 @@
+"""Tests for the overall efficiency indicator (future-work extension)."""
+
+import math
+
+import pytest
+
+from repro.pipeline.event_run import ClusterRoundTiming, EventDrivenRun, TimingConfig
+from repro.pipeline.overall import overall_efficiency
+from repro.sim.latency import FixedLatency
+from repro.topology.tree import build_ecsm
+
+
+def timing(round_index, cluster_index, first, flag, global_):
+    return ClusterRoundTiming(
+        round_index=round_index,
+        cluster_index=cluster_index,
+        first_upload=first,
+        flag_arrival=flag,
+        global_arrival=global_,
+    )
+
+
+class TestOverallEfficiency:
+    def test_single_entry(self):
+        # sigma_w = 2, sigma = 10 -> nu = 0.8
+        result = overall_efficiency([timing(0, 0, 0.0, 2.0, 10.0)])
+        assert result.time_weighted == pytest.approx(0.8)
+        assert result.unweighted_mean == pytest.approx(0.8)
+        assert result.per_round == {0: pytest.approx(0.8)}
+
+    def test_time_weighting_differs_from_plain_mean(self):
+        """A short round with nu=0 and a long round with nu~1: the plain
+        mean says 0.5; the time-weighted indicator is dominated by the
+        long round."""
+        short = timing(0, 0, 0.0, 1.0, 1.0)     # sigma=1, all waiting
+        long_ = timing(1, 0, 0.0, 1.0, 100.0)   # sigma=100, mostly overlapped
+        result = overall_efficiency([short, long_])
+        assert result.unweighted_mean == pytest.approx(0.5, abs=0.01)
+        assert result.time_weighted > 0.95
+
+    def test_incomplete_entries_skipped(self):
+        complete = timing(0, 0, 0.0, 2.0, 10.0)
+        partial = ClusterRoundTiming(round_index=1, cluster_index=0)
+        result = overall_efficiency([complete, partial])
+        assert result.per_round.keys() == {0}
+
+    def test_no_complete_entries_rejected(self):
+        with pytest.raises(ValueError):
+            overall_efficiency([ClusterRoundTiming(round_index=0, cluster_index=0)])
+
+    def test_totals_add_up(self):
+        entries = [
+            timing(0, 0, 0.0, 3.0, 12.0),
+            timing(0, 1, 1.0, 5.0, 13.0),
+            timing(1, 0, 20.0, 22.0, 30.0),
+        ]
+        result = overall_efficiency(entries)
+        assert result.total_time == pytest.approx(
+            result.total_waiting + result.total_overlapped
+        )
+        expected_total = (12.0 - 0.0) + (13.0 - 1.0) + (30.0 - 20.0)
+        assert result.total_time == pytest.approx(expected_total)
+
+    def test_from_event_driven_run(self):
+        hierarchy = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+        config = TimingConfig(
+            local_compute=FixedLatency(10.0),
+            partial_aggregate=FixedLatency(1.0),
+            global_aggregate=FixedLatency(20.0),
+            link=FixedLatency(0.1),
+        )
+        run = EventDrivenRun(hierarchy, config, flag_level=1, seed=1)
+        timings = run.run(6)
+        result = overall_efficiency(timings)
+        assert 0.0 < result.time_weighted < 1.0
+        # with a slow global phase, most latency is overlapped
+        assert result.time_weighted > 0.4

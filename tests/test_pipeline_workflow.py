@@ -1,0 +1,120 @@
+"""Tests for the closed-form pipeline timing model (Eq. 2 / Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.workflow import LevelTiming, PipelineModel, RoundTiming
+from repro.sim.latency import FixedLatency, UniformLatency
+
+
+def fixed_round(l_values, g=(2.0, 3.0)):
+    """RoundTiming with levels {1: l_values[0], 2: l_values[1], ...}."""
+    levels = {
+        i + 1: LevelTiming(collect=c, aggregate=a)
+        for i, (c, a) in enumerate(l_values)
+    }
+    return RoundTiming(levels=levels, global_timing=LevelTiming(*g))
+
+
+class TestLevelTiming:
+    def test_total(self):
+        assert LevelTiming(1.0, 2.0).total == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LevelTiming(-1.0, 2.0)
+
+
+class TestRoundTiming:
+    def test_contiguity_enforced(self):
+        with pytest.raises(ValueError):
+            RoundTiming(
+                levels={2: LevelTiming(1, 1)}, global_timing=LevelTiming(1, 1)
+            )
+        with pytest.raises(ValueError):
+            RoundTiming(levels={}, global_timing=LevelTiming(1, 1))
+
+    def test_eq2_decomposition(self):
+        # L=2 levels: level1 (1+2), level2 (3+4); global (2+3)
+        rt = fixed_round([(1.0, 2.0), (3.0, 4.0)])
+        for flag in (0, 1, 2):
+            np.testing.assert_allclose(
+                rt.sigma(flag),
+                rt.sigma_w(flag) + rt.sigma_p(flag) + rt.sigma_g(flag),
+            )
+
+    def test_flag_at_bottom_neighbour(self):
+        """Flag at l_F = L: only the bottom level is waited for."""
+        rt = fixed_round([(1.0, 2.0), (3.0, 4.0)])
+        assert rt.sigma_w(2) == 7.0          # tau_2 + tau'_2
+        assert rt.sigma_p(2) == 3.0          # tau_1 + tau'_1
+        assert rt.sigma_g(2) == 5.0
+        np.testing.assert_allclose(rt.efficiency(2), 8.0 / 15.0)
+
+    def test_flag_at_level1(self):
+        rt = fixed_round([(1.0, 2.0), (3.0, 4.0)])
+        assert rt.sigma_w(1) == 10.0         # both intermediate levels
+        assert rt.sigma_p(1) == 0.0
+        assert rt.sigma_g(1) == 5.0
+        np.testing.assert_allclose(rt.efficiency(1), 5.0 / 15.0)
+
+    def test_flag_at_top_zero_efficiency(self):
+        """l_F = 0: everything is waited for, nothing is pipelined."""
+        rt = fixed_round([(1.0, 2.0), (3.0, 4.0)])
+        assert rt.sigma_w(0) == 15.0
+        assert rt.sigma_p(0) == 0.0
+        assert rt.sigma_g(0) == 0.0
+        assert rt.efficiency(0) == 0.0
+
+    def test_lower_flag_level_pipelines_more(self):
+        """Monotonicity behind §III-D2: deeper flag level -> higher nu."""
+        rt = fixed_round([(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)], g=(1.0, 1.0))
+        effs = [rt.efficiency(f) for f in range(0, 4)]
+        assert all(a <= b for a, b in zip(effs, effs[1:]))
+
+    def test_flag_validation(self):
+        rt = fixed_round([(1.0, 2.0)])
+        with pytest.raises(ValueError):
+            rt.sigma_w(5)
+
+
+class TestPipelineModel:
+    def _model(self):
+        return PipelineModel(
+            collect_models={1: FixedLatency(1.0), 2: UniformLatency(1.0, 2.0)},
+            aggregate_models={1: FixedLatency(0.5), 2: FixedLatency(0.5)},
+            global_collect=FixedLatency(2.0),
+            global_aggregate=FixedLatency(1.0),
+        )
+
+    def test_sample_round_structure(self, rng):
+        rt = self._model().sample_round(rng)
+        assert set(rt.levels) == {1, 2}
+        assert rt.global_timing.total == 3.0
+
+    def test_mean_efficiency_in_unit_interval(self, rng):
+        nu = self._model().mean_efficiency(2, 50, rng)
+        assert 0.0 < nu < 1.0
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(
+                collect_models={1: FixedLatency(1.0)},
+                aggregate_models={2: FixedLatency(1.0)},
+                global_collect=FixedLatency(1.0),
+                global_aggregate=FixedLatency(1.0),
+            )
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(
+                collect_models={2: FixedLatency(1.0)},
+                aggregate_models={2: FixedLatency(1.0)},
+                global_collect=FixedLatency(1.0),
+                global_aggregate=FixedLatency(1.0),
+            )
+
+    def test_sample_rounds_count(self, rng):
+        assert len(self._model().sample_rounds(7, rng)) == 7
+        with pytest.raises(ValueError):
+            self._model().sample_rounds(0, rng)

@@ -1,0 +1,115 @@
+"""Tests for the event queue and simulator engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("a"))
+        q.push(1.0, lambda: order.append("b"))
+        q.pop().callback()
+        q.pop().callback()
+        assert order == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        e = q.push(1.0, lambda: None)
+        assert q.pop() is e
+
+    def test_cancellation(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        e2 = q.push(2.0, lambda: None)
+        e1.cancel()
+        assert q.pop() is e2
+        assert len(q) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        e.cancel()
+        assert q.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q and len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(5.0, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 6.0)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0  # clock advanced to the horizon
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i, t in enumerate([3.0, 1.0, 2.0, 1.0]):
+                sim.schedule(t, lambda i=i: log.append(i))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,105 @@
+"""Tests for latency models and message channels."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LogNormalLatency,
+    StragglerLatency,
+    UniformLatency,
+)
+from repro.sim.network import Channel
+
+
+class TestLatencyModels:
+    def test_fixed(self, rng):
+        assert FixedLatency(2.5).sample(rng) == 2.5
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+    def test_uniform_range(self, rng):
+        model = UniformLatency(1.0, 3.0)
+        samples = model.sample_many(rng, 200)
+        assert samples.min() >= 1.0 and samples.max() <= 3.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+
+    def test_exponential_mean(self, rng):
+        model = ExponentialLatency(mean=2.0, minimum=1.0)
+        samples = model.sample_many(rng, 3000)
+        assert samples.min() >= 1.0
+        np.testing.assert_allclose(samples.mean(), 3.0, rtol=0.15)
+
+    def test_lognormal_median(self, rng):
+        model = LogNormalLatency(median=5.0, sigma=0.3)
+        samples = model.sample_many(rng, 3000)
+        np.testing.assert_allclose(np.median(samples), 5.0, rtol=0.1)
+
+    def test_straggler_tail(self):
+        rng = np.random.default_rng(0)
+        model = StragglerLatency(FixedLatency(1.0), p=0.2, factor=10.0)
+        samples = model.sample_many(rng, 1000)
+        frac_slow = float(np.mean(samples > 5.0))
+        assert 0.1 < frac_slow < 0.3
+        assert set(np.round(np.unique(samples), 6)) == {1.0, 10.0}
+
+    def test_straggler_validation(self):
+        with pytest.raises(ValueError):
+            StragglerLatency(FixedLatency(1.0), p=1.5)
+        with pytest.raises(ValueError):
+            StragglerLatency(FixedLatency(1.0), factor=0.5)
+
+
+class TestChannel:
+    def _channel(self, latency=None):
+        sim = Simulator()
+        chan = Channel(sim, latency or FixedLatency(1.0), np.random.default_rng(0))
+        return sim, chan
+
+    def test_delivery_after_latency(self):
+        sim, chan = self._channel(FixedLatency(2.0))
+        delivered = []
+        chan.send(0, 1, "m", "payload", 100, lambda m: delivered.append(m))
+        sim.run()
+        assert len(delivered) == 1
+        assert delivered[0].delivered_at == 2.0
+        assert delivered[0].payload == "payload"
+
+    def test_stats_accounting(self):
+        sim, chan = self._channel()
+        chan.send(0, 1, "model", None, 800, lambda m: None)
+        chan.send(0, 2, "vote", None, 64, lambda m: None)
+        sim.run()
+        assert chan.stats.messages == 2
+        assert chan.stats.bytes == 864
+        assert chan.stats.by_kind == {"model": 1, "vote": 1}
+
+    def test_broadcast_is_unicasts(self):
+        sim, chan = self._channel()
+        received = []
+        chan.broadcast(9, [1, 2, 3], "flag", 7, 10, lambda m: received.append(m.dst))
+        sim.run()
+        assert sorted(received) == [1, 2, 3]
+        assert chan.stats.messages == 3
+
+    def test_negative_size_rejected(self):
+        _, chan = self._channel()
+        with pytest.raises(ValueError):
+            chan.send(0, 1, "m", None, -1, lambda m: None)
+
+    def test_partial_synchrony_finite_delivery(self):
+        """Every message is delivered at a finite time (Assumption 1)."""
+        sim, chan = self._channel(ExponentialLatency(mean=5.0))
+        count = []
+        for i in range(50):
+            chan.send(0, i, "m", None, 1, lambda m: count.append(1))
+        sim.run()
+        assert len(count) == 50
+        assert np.isfinite(sim.now)

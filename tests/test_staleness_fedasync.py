@@ -1,0 +1,167 @@
+"""Tests for staleness weighting and the FedAsync baseline."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.staleness import (
+    ConstantStaleness,
+    HingeStaleness,
+    PolynomialStaleness,
+    apply_staleness,
+)
+from repro.core.config import TrainingConfig
+from repro.core.fedasync import FedAsyncTrainer
+from repro.data.partition import iid_partition
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.nn.model import MLP
+from repro.sim.latency import FixedLatency, LogNormalLatency, StragglerLatency
+from repro.utils.seeding import SeedSequenceFactory
+
+
+class TestStalenessWeights:
+    def test_constant(self):
+        policy = ConstantStaleness()
+        assert policy.weight(0.0) == 1.0
+        assert policy.weight(100.0) == 1.0
+
+    def test_polynomial_decreasing(self):
+        policy = PolynomialStaleness(a=0.5)
+        values = [policy.weight(s) for s in (0, 1, 4, 16)]
+        assert values[0] == 1.0
+        assert all(a > b for a, b in zip(values, values[1:]))
+        np.testing.assert_allclose(policy.weight(3.0), 0.5)
+
+    def test_polynomial_a_zero_constant(self):
+        assert PolynomialStaleness(a=0.0).weight(99.0) == 1.0
+
+    def test_hinge_flat_then_decay(self):
+        policy = HingeStaleness(a=1.0, b=4.0)
+        assert policy.weight(0.0) == 1.0
+        assert policy.weight(4.0) == 1.0
+        np.testing.assert_allclose(policy.weight(5.0), 0.5)
+        assert policy.weight(10.0) < policy.weight(5.0)
+
+    def test_weights_vector(self):
+        policy = PolynomialStaleness(a=1.0)
+        out = policy.weights(np.array([0.0, 1.0, 3.0]))
+        np.testing.assert_allclose(out, [1.0, 0.5, 0.25])
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialStaleness().weights(np.array([-1.0]))
+
+    def test_apply_staleness(self):
+        weights = np.array([2.0, 2.0])
+        staleness = np.array([0.0, 3.0])
+        out = apply_staleness(weights, staleness, PolynomialStaleness(a=1.0))
+        np.testing.assert_allclose(out, [2.0, 0.5])
+
+    def test_apply_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_staleness(np.ones(2), np.ones(3), ConstantStaleness())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialStaleness(a=-1.0)
+        with pytest.raises(ValueError):
+            HingeStaleness(a=-1.0)
+
+
+def async_setup(n_clients=8, seed=0):
+    seeds = SeedSequenceFactory(seed)
+    cfg = SyntheticMNIST(side=8, noise_sigma=0.15)
+    train, test = make_synthetic_mnist(n_clients * 80, 300, seeds.generator("d"), cfg)
+    part = iid_partition(train, n_clients, seeds.generator("p"))
+    datasets = dict(enumerate(part.shards))
+    model = MLP(64, (16,), 10, seeds.generator("i"))
+    return datasets, model, test
+
+
+TRAIN_CFG = TrainingConfig(local_iterations=4, batch_size=32, learning_rate=0.3)
+
+
+class TestFedAsync:
+    def test_learns(self):
+        datasets, model, test = async_setup()
+        trainer = FedAsyncTrainer(datasets, model, TRAIN_CFG, test, seed=1)
+        history = trainer.run(400, eval_every=100)
+        assert history[-1].test_accuracy > 0.5
+        assert history[-1].version == 400
+
+    def test_time_advances_monotonically(self):
+        datasets, model, test = async_setup()
+        trainer = FedAsyncTrainer(datasets, model, TRAIN_CFG, test, seed=2)
+        times = []
+        for _ in range(50):
+            trainer.step()
+            times.append(trainer.sim_time)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_stragglers_produce_staleness(self):
+        datasets, model, test = async_setup()
+        trainer = FedAsyncTrainer(
+            datasets,
+            model,
+            TRAIN_CFG,
+            test,
+            compute_latency=StragglerLatency(FixedLatency(1.0), p=0.3, factor=20.0),
+            seed=3,
+        )
+        trainer.run(200, eval_every=200)
+        assert max(trainer._staleness_log) > 3
+
+    def test_homogeneous_clients_low_staleness(self):
+        datasets, model, test = async_setup()
+        trainer = FedAsyncTrainer(
+            datasets,
+            model,
+            TRAIN_CFG,
+            test,
+            compute_latency=FixedLatency(1.0),
+            seed=3,
+        )
+        trainer.run(100, eval_every=100)
+        # with identical delays, staleness equals n_clients - 1 at most
+        assert max(trainer._staleness_log) <= len(datasets) - 1
+
+    def test_staleness_discount_tames_stragglers(self):
+        """With heavy stragglers, polynomial discounting must not do worse
+        than no discounting (the FedAsync claim)."""
+        latency = StragglerLatency(LogNormalLatency(1.0, 0.4), p=0.25, factor=30.0)
+        datasets, model, test = async_setup(seed=5)
+        discounted = FedAsyncTrainer(
+            datasets, model, TRAIN_CFG, test,
+            staleness=PolynomialStaleness(a=1.0),
+            compute_latency=latency, seed=5,
+        )
+        discounted.run(400, eval_every=400)
+        datasets2, model2, test2 = async_setup(seed=5)
+        flat = FedAsyncTrainer(
+            datasets2, model2, TRAIN_CFG, test2,
+            staleness=ConstantStaleness(),
+            compute_latency=latency, seed=5,
+        )
+        flat.run(400, eval_every=400)
+        assert (
+            discounted.history[-1].test_accuracy
+            >= flat.history[-1].test_accuracy - 0.1
+        )
+
+    def test_validation(self):
+        datasets, model, test = async_setup()
+        with pytest.raises(ValueError):
+            FedAsyncTrainer({}, model, TRAIN_CFG, test)
+        with pytest.raises(ValueError):
+            FedAsyncTrainer(datasets, model, TRAIN_CFG, test, beta=0.0)
+        trainer = FedAsyncTrainer(datasets, model, TRAIN_CFG, test)
+        with pytest.raises(ValueError):
+            trainer.run(0)
+
+    def test_deterministic(self):
+        finals = []
+        for _ in range(2):
+            datasets, model, test = async_setup(seed=7)
+            trainer = FedAsyncTrainer(datasets, model, TRAIN_CFG, test, seed=7)
+            trainer.run(60, eval_every=60)
+            finals.append(trainer.global_model.copy())
+        np.testing.assert_array_equal(finals[0], finals[1])

@@ -1,0 +1,172 @@
+"""Tests for the tolerance analysis (Theorems 1-3, Corollaries 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.analysis import (
+    TwoTypeTree,
+    acsm_max_byzantine_fraction,
+    brute_force_type1_counts,
+    levels_needed_for_tolerance,
+    max_byzantine_count,
+    max_byzantine_fraction,
+    min_honest_fraction,
+    nodes_at_level,
+    paper_worked_example,
+    relative_reliable_number,
+    type1_count,
+    type1_fraction,
+)
+
+
+class TestTheorem1:
+    def test_root_level(self):
+        assert type1_count(0.5, 4, 0) == 1.0
+        assert type1_fraction(0.5, 0) == 1.0
+
+    def test_closed_form(self):
+        assert type1_count(0.5, 4, 2) == 4.0  # (0.5*4)^2
+        assert type1_fraction(0.5, 2) == 0.25
+
+    def test_matches_brute_force(self):
+        for m, p, depth in [(4, 0.75, 3), (4, 0.5, 4), (3, 1 / 3, 3), (2, 1.0, 5)]:
+            counts = brute_force_type1_counts(m, p, depth)
+            for level, count in enumerate(counts):
+                assert count == round(type1_count(p, m, level)), (m, p, level)
+
+    def test_fraction_matches_brute_force(self):
+        tree = TwoTypeTree.generate(m=4, p=0.75, depth=3)
+        for level, frac in enumerate(tree.type1_fractions()):
+            np.testing.assert_allclose(frac, type1_fraction(0.75, level))
+
+    def test_non_integral_pm_rejected(self):
+        with pytest.raises(ValueError):
+            TwoTypeTree.generate(m=4, p=0.3, depth=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            type1_count(1.5, 4, 0)
+        with pytest.raises(ValueError):
+            type1_count(0.5, 0, 0)
+        with pytest.raises(ValueError):
+            type1_fraction(0.5, -1)
+
+
+class TestCorollary1:
+    def test_node_counts(self):
+        assert nodes_at_level(4, 4, 0) == 4
+        assert nodes_at_level(4, 4, 1) == 16
+        assert nodes_at_level(4, 4, 2) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nodes_at_level(0, 4, 0)
+
+
+class TestTheorem2:
+    def test_paper_worked_example(self):
+        """gamma1 = gamma2 = 25%, l = 2 -> 57.8125 %."""
+        np.testing.assert_allclose(paper_worked_example(), 0.578125)
+        np.testing.assert_allclose(
+            max_byzantine_fraction(0.25, 0.25, 2), 0.578125
+        )
+
+    def test_level_zero_is_gamma1(self):
+        assert max_byzantine_fraction(0.3, 0.1, 0) == pytest.approx(0.3)
+
+    def test_count_formula(self):
+        # N_t=4, m=4, l=2, g1=g2=0.25:
+        # 4*16 - 0.75*4*(0.75*4)^2 = 64 - 3*9 = 37
+        assert max_byzantine_count(4, 4, 2, 0.25, 0.25) == pytest.approx(37.0)
+
+    def test_count_and_fraction_consistent(self):
+        for level in range(4):
+            count = max_byzantine_count(4, 4, level, 0.25, 0.25)
+            total = nodes_at_level(4, 4, level)
+            np.testing.assert_allclose(
+                count / total, max_byzantine_fraction(0.25, 0.25, level)
+            )
+
+    def test_complement(self):
+        assert min_honest_fraction(0.25, 0.25, 2) == pytest.approx(1 - 0.578125)
+
+    def test_matches_tree_count(self):
+        """Honest count at each level of a (1-gamma2)-ratio tree equals the
+        Theorem-2 honest floor (single-tree case N_t=1, gamma1=0)."""
+        gamma2 = 0.25
+        tree = TwoTypeTree.generate(m=4, p=1 - gamma2, depth=3)
+        for level, honest in enumerate(tree.type1_counts()):
+            bound = nodes_at_level(1, 4, level) - max_byzantine_count(
+                1, 4, level, 0.0, gamma2
+            )
+            np.testing.assert_allclose(honest, bound)
+
+
+class TestCorollaries23:
+    def test_corollary2_monotone_in_level(self):
+        fracs = [max_byzantine_fraction(0.25, 0.25, l) for l in range(6)]
+        assert all(a < b for a, b in zip(fracs, fracs[1:]))
+
+    def test_corollary3_deeper_tolerates_more(self):
+        shallow = max_byzantine_fraction(0.25, 0.25, 1)
+        deep = max_byzantine_fraction(0.25, 0.25, 4)
+        assert deep > shallow
+
+    def test_levels_needed(self):
+        assert levels_needed_for_tolerance(0.25, 0.25, 0.25) == 0
+        assert levels_needed_for_tolerance(0.25, 0.25, 0.5) == 2
+        assert levels_needed_for_tolerance(0.25, 0.25, 0.578) == 2
+
+    def test_levels_needed_unreachable(self):
+        with pytest.raises(ValueError):
+            levels_needed_for_tolerance(0.1, 0.0, 0.5)
+
+
+class TestTheorem3ACSM:
+    def test_relative_reliable_number(self):
+        psi = relative_reliable_number([4, 4, 2], [True, False, True])
+        np.testing.assert_allclose(psi, 6 / 10)
+
+    def test_bound_monotone_in_psi(self):
+        # larger psi -> smaller tolerated Byzantine proportion
+        lo = acsm_max_byzantine_fraction(0.25, 0.9)
+        hi = acsm_max_byzantine_fraction(0.25, 0.3)
+        assert lo < hi
+
+    def test_bound_formula(self):
+        np.testing.assert_allclose(
+            acsm_max_byzantine_fraction(0.25, 0.8), 1 - 0.75 * 0.8
+        )
+
+    def test_all_honest_clusters(self):
+        # psi = 1 recovers the per-cluster bound gamma2
+        np.testing.assert_allclose(acsm_max_byzantine_fraction(0.25, 1.0), 0.25)
+
+    def test_bound_holds_on_random_acsm(self):
+        """Realized Byzantine share at a level never exceeds the bound when
+        every honest cluster respects gamma2."""
+        rng = np.random.default_rng(7)
+        gamma2 = 0.25
+        for _ in range(20):
+            n_clusters = rng.integers(2, 8)
+            sizes = rng.integers(2, 12, size=n_clusters)
+            honest = rng.random(n_clusters) < 0.6
+            if not honest.any():
+                honest[0] = True
+            byz_counts = np.where(
+                honest,
+                np.floor(gamma2 * sizes),  # honest clusters obey gamma2
+                sizes,                      # Byzantine clusters may be fully bad
+            )
+            realized = byz_counts.sum() / sizes.sum()
+            psi = relative_reliable_number(sizes, honest)
+            bound = acsm_max_byzantine_fraction(gamma2, psi)
+            assert realized <= bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_reliable_number([1, 2], [True])
+        with pytest.raises(ValueError):
+            relative_reliable_number([], [])
+        with pytest.raises(ValueError):
+            acsm_max_byzantine_fraction(0.25, 1.5)

@@ -1,0 +1,142 @@
+"""Tests for membership dynamics (Assumption 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.dynamics import ChurnProcess, join_cluster, leave_cluster
+from repro.topology.tree import build_ecsm
+
+
+class TestJoin:
+    def test_join_adds_member(self, paper_hierarchy):
+        h = paper_hierarchy
+        before = len(h.bottom_clients())
+        device = join_cluster(h, 0)
+        assert len(h.bottom_clients()) == before + 1
+        assert device in h.clusters_at(2)[0].members
+        assert not h.is_byzantine(device)
+
+    def test_join_byzantine(self, paper_hierarchy):
+        device = join_cluster(paper_hierarchy, 3, byzantine=True)
+        assert paper_hierarchy.is_byzantine(device)
+
+    def test_join_does_not_displace_leader(self, paper_hierarchy):
+        cluster = paper_hierarchy.clusters_at(2)[5]
+        leader_before = cluster.leader
+        join_cluster(paper_hierarchy, 5)
+        assert cluster.leader == leader_before
+
+    def test_join_duplicate_id_rejected(self, paper_hierarchy):
+        with pytest.raises(ValueError):
+            join_cluster(paper_hierarchy, 0, device_id=0)
+
+    def test_join_bad_cluster_rejected(self, paper_hierarchy):
+        with pytest.raises(IndexError):
+            join_cluster(paper_hierarchy, 99)
+
+    def test_ids_stay_unique(self, paper_hierarchy):
+        ids = {join_cluster(paper_hierarchy, i % 16) for i in range(10)}
+        assert len(ids) == 10
+        assert ids.isdisjoint(set(range(64)))
+
+
+class TestLeave:
+    def test_leave_plain_member(self, paper_hierarchy):
+        h = paper_hierarchy
+        # device 1 is a plain member of bottom cluster 0 (leader is 0)
+        repaired = leave_cluster(h, 1)
+        assert repaired == []
+        assert 1 not in h.clusters_at(2)[0].members
+        assert 1 not in h.nodes
+
+    def test_leave_bottom_leader_re_elects(self, paper_hierarchy):
+        h = paper_hierarchy
+        # device 4 leads bottom cluster 1 but is a plain member at level 1
+        cluster = h.cluster_of(4, 2)
+        assert cluster.leader == 4
+        repaired = leave_cluster(h, 4)
+        assert (2, cluster.index) in repaired
+        assert cluster.leader == 5  # lowest remaining id
+        # new leader took the seat at level 1
+        assert 5 in h.cluster_of(5, 1).members
+        assert 4 not in h.nodes
+
+    def test_leave_full_leader_chain(self, paper_hierarchy):
+        h = paper_hierarchy
+        # device 0 leads its bottom cluster, leads its level-1 cluster,
+        # and sits in the top cluster
+        assert 0 in h.top_cluster.members
+        repaired = leave_cluster(h, 0)
+        levels_repaired = {lvl for lvl, _ in repaired}
+        assert 2 in levels_repaired and 1 in levels_repaired
+        assert 0 not in h.top_cluster.members
+        # the structure remains valid after the chain repair
+        h.validate()
+
+    def test_leave_last_member_rejected(self):
+        h = build_ecsm(n_levels=2, cluster_size=1, n_top=2)
+        with pytest.raises(ValueError):
+            leave_cluster(h, h.bottom_clients()[0])
+
+    def test_leave_unknown_device(self, paper_hierarchy):
+        with pytest.raises(KeyError):
+            leave_cluster(paper_hierarchy, 999)
+
+    def test_descendant_queries_still_work(self, paper_hierarchy):
+        h = paper_hierarchy
+        leave_cluster(h, 0)
+        total = sum(
+            len(h.descendants(h.led_cluster(m, 1)))
+            for m in h.top_cluster.members
+        )
+        assert total == 63
+
+
+class TestChurnProcess:
+    def test_runs_and_stays_valid(self, paper_hierarchy, rng):
+        churn = ChurnProcess(paper_hierarchy, rng, join_probability=0.5)
+        events = churn.run(40)
+        assert len(events) > 0
+        paper_hierarchy.validate()
+
+    def test_join_only(self, paper_hierarchy, rng):
+        churn = ChurnProcess(paper_hierarchy, rng, join_probability=1.0)
+        churn.run(10)
+        assert len(paper_hierarchy.bottom_clients()) == 74
+
+    def test_byzantine_joins_flagged(self, paper_hierarchy, rng):
+        churn = ChurnProcess(
+            paper_hierarchy, rng, join_probability=1.0, byzantine_join_fraction=1.0
+        )
+        churn.run(5)
+        assert len(paper_hierarchy.byzantine_devices()) == 5
+
+    def test_validation(self, paper_hierarchy, rng):
+        with pytest.raises(ValueError):
+            ChurnProcess(paper_hierarchy, rng, join_probability=1.5)
+        churn = ChurnProcess(paper_hierarchy, rng)
+        with pytest.raises(ValueError):
+            churn.run(-1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n_events=st.integers(1, 60))
+def test_churn_preserves_invariants(seed, n_events):
+    """Property: any event sequence leaves a structurally valid hierarchy
+    with consistent node bookkeeping."""
+    h = build_ecsm(n_levels=3, cluster_size=3, n_top=3)
+    churn = ChurnProcess(
+        h, np.random.default_rng(seed), join_probability=0.5,
+        byzantine_join_fraction=0.2,
+    )
+    churn.run(n_events)
+    h.validate()  # structural invariants
+    # node table matches the union of cluster members
+    members = {m for level in h.levels for c in level for m in c.members}
+    assert members <= set(h.nodes)
+    # every bottom cluster is non-empty and clusters were never split/merged
+    assert len(h.clusters_at(h.bottom_level)) == 9
+    for cluster in h.clusters_at(h.bottom_level):
+        assert cluster.size >= 1

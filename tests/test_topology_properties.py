@@ -1,0 +1,79 @@
+"""Property-based tests for the topology theorems and builders."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.analysis import (
+    TwoTypeTree,
+    max_byzantine_fraction,
+    nodes_at_level,
+    type1_count,
+)
+from repro.topology.tree import assign_byzantine, build_ecsm
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(2, 5),
+    k=st.integers(0, 5),
+    depth=st.integers(0, 4),
+)
+def test_theorem1_exact_on_generated_trees(m, k, depth):
+    """For every realisable p = k/m, brute-force counts match (pm)^l."""
+    if k > m:
+        k = m
+    p = k / m
+    tree = TwoTypeTree.generate(m=m, p=p, depth=depth)
+    for level, count in enumerate(tree.type1_counts()):
+        assert count == round(type1_count(p, m, level))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gamma1=st.floats(0, 1, allow_nan=False),
+    gamma2=st.floats(0, 0.99, allow_nan=False),
+    level=st.integers(0, 10),
+)
+def test_theorem2_bounds_are_valid_fractions(gamma1, gamma2, level):
+    frac = max_byzantine_fraction(gamma1, gamma2, level)
+    assert 0.0 <= frac <= 1.0
+    # monotone in level (Corollary 2)
+    assert frac <= max_byzantine_fraction(gamma1, gamma2, level + 1) + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_levels=st.integers(2, 4),
+    cluster_size=st.integers(2, 4),
+    n_top=st.integers(1, 4),
+)
+def test_ecsm_structure_counts(n_levels, cluster_size, n_top):
+    h = build_ecsm(n_levels=n_levels, cluster_size=cluster_size, n_top=n_top)
+    # Corollary 1: level l has N_t * m^l nodes
+    for level in range(1, n_levels):
+        total = sum(c.size for c in h.clusters_at(level))
+        assert total == nodes_at_level(n_top, cluster_size, level)
+    # descendants of the top partition the bottom exactly
+    all_desc = sorted(
+        d
+        for member in h.top_cluster.members
+        for d in h.descendants(h.led_cluster(member, 1))
+    )
+    assert all_desc == sorted(h.bottom_clients())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fraction=st.floats(0, 1, allow_nan=False),
+    seed=st.integers(0, 1000),
+    placement=st.sampled_from(["random", "prefix", "spread"]),
+)
+def test_byzantine_assignment_counts(fraction, seed, placement):
+    h = build_ecsm(n_levels=3, cluster_size=3, n_top=3)
+    rng = np.random.default_rng(seed)
+    byz = assign_byzantine(h, fraction, rng, placement=placement)
+    n = len(h.bottom_clients())
+    assert len(byz) == int(round(fraction * n))
+    assert len(set(byz)) == len(byz)
+    assert all(0 <= d < n for d in byz)

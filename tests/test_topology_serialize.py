@@ -1,0 +1,72 @@
+"""Tests for hierarchy serialization."""
+
+import json
+
+import pytest
+
+from repro.topology.dynamics import ChurnProcess
+from repro.topology.serialize import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    load_hierarchy,
+    save_hierarchy,
+)
+from repro.topology.tree import assign_byzantine
+
+
+class TestDictRoundTrip:
+    def test_structure_preserved(self, paper_hierarchy):
+        snapshot = hierarchy_to_dict(paper_hierarchy)
+        rebuilt = hierarchy_from_dict(snapshot)
+        assert rebuilt.n_levels == paper_hierarchy.n_levels
+        assert rebuilt.bottom_clients() == paper_hierarchy.bottom_clients()
+        for level in range(paper_hierarchy.n_levels):
+            for a, b in zip(
+                paper_hierarchy.clusters_at(level), rebuilt.clusters_at(level)
+            ):
+                assert a.members == b.members
+                assert a.leader == b.leader
+
+    def test_byzantine_flags_preserved(self, paper_hierarchy, rng):
+        assign_byzantine(paper_hierarchy, 0.3, rng)
+        rebuilt = hierarchy_from_dict(hierarchy_to_dict(paper_hierarchy))
+        assert rebuilt.byzantine_devices() == paper_hierarchy.byzantine_devices()
+
+    def test_churned_hierarchy_round_trips(self, paper_hierarchy, rng):
+        ChurnProcess(paper_hierarchy, rng, byzantine_join_fraction=0.3).run(20)
+        rebuilt = hierarchy_from_dict(hierarchy_to_dict(paper_hierarchy))
+        assert rebuilt.bottom_clients() == paper_hierarchy.bottom_clients()
+        rebuilt.validate()
+
+    def test_json_safe(self, paper_hierarchy):
+        # must serialise without custom encoders
+        json.dumps(hierarchy_to_dict(paper_hierarchy))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            hierarchy_from_dict({"not": "a snapshot"})
+
+    def test_rejects_wrong_version(self, paper_hierarchy):
+        snapshot = hierarchy_to_dict(paper_hierarchy)
+        snapshot["version"] = 99
+        with pytest.raises(ValueError):
+            hierarchy_from_dict(snapshot)
+
+    def test_rejects_unknown_byzantine_id(self, paper_hierarchy):
+        snapshot = hierarchy_to_dict(paper_hierarchy)
+        snapshot["byzantine"] = [9999]
+        with pytest.raises(ValueError):
+            hierarchy_from_dict(snapshot)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, paper_hierarchy, rng, tmp_path):
+        assign_byzantine(paper_hierarchy, 0.25, rng)
+        path = save_hierarchy(tmp_path / "h.json", paper_hierarchy)
+        loaded = load_hierarchy(path)
+        assert loaded.byzantine_devices() == paper_hierarchy.byzantine_devices()
+        assert loaded.top_cluster.members == paper_hierarchy.top_cluster.members
+
+    def test_creates_parent_dirs(self, paper_hierarchy, tmp_path):
+        path = save_hierarchy(tmp_path / "a" / "b" / "h.json", paper_hierarchy)
+        assert path.exists()

@@ -1,0 +1,185 @@
+"""Tests for hierarchy construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.topology.cluster import Cluster
+from repro.topology.tree import Hierarchy, assign_byzantine, build_acsm, build_ecsm
+
+
+class TestCluster:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(level=0, index=0, members=[])
+        with pytest.raises(ValueError):
+            Cluster(level=0, index=0, members=[1, 1])
+        with pytest.raises(ValueError):
+            Cluster(level=0, index=0, members=[1, 2], leader=3)
+        with pytest.raises(ValueError):
+            Cluster(level=-1, index=0, members=[1])
+
+    def test_contains(self):
+        c = Cluster(level=1, index=0, members=[3, 4])
+        assert 3 in c and 5 not in c
+        assert c.size == 2
+
+
+class TestECSM:
+    def test_paper_topology(self, paper_hierarchy):
+        h = paper_hierarchy
+        assert h.n_levels == 3
+        assert h.bottom_level == 2
+        assert h.top_cluster.size == 4
+        assert len(h.clusters_at(1)) == 4
+        assert len(h.clusters_at(2)) == 16
+        assert len(h.bottom_clients()) == 64
+
+    def test_leaders_appear_upward(self, paper_hierarchy):
+        h = paper_hierarchy
+        for level in (1, 2):
+            upper = {m for c in h.clusters_at(level - 1) for m in c.members}
+            for cluster in h.clusters_at(level):
+                assert cluster.leader in upper
+
+    def test_leader_is_member(self, paper_hierarchy):
+        for level in range(1, 3):
+            for cluster in paper_hierarchy.clusters_at(level):
+                assert cluster.leader in cluster.members
+
+    def test_two_level_minimum(self):
+        h = build_ecsm(n_levels=2, cluster_size=5, n_top=3)
+        assert h.n_levels == 2
+        assert len(h.bottom_clients()) == 15
+
+    def test_random_leader_election(self):
+        rng = np.random.default_rng(0)
+        h = build_ecsm(n_levels=3, cluster_size=4, n_top=4, rng=rng)
+        h.validate()  # structure must hold regardless of who leads
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_ecsm(n_levels=1, cluster_size=4)
+        with pytest.raises(ValueError):
+            build_ecsm(n_levels=2, cluster_size=0)
+        with pytest.raises(ValueError):
+            build_ecsm(n_levels=2, cluster_size=2, n_top=0)
+
+    def test_node_roles_recorded(self, paper_hierarchy):
+        h = paper_hierarchy
+        top_member = h.top_cluster.members[0]
+        assert 0 in h.nodes[top_member].roles
+        assert 2 in h.nodes[top_member].roles  # also a bottom device
+
+
+class TestQueries:
+    def test_cluster_of(self, paper_hierarchy):
+        h = paper_hierarchy
+        device = h.bottom_clients()[0]
+        cluster = h.cluster_of(device, 2)
+        assert device in cluster
+
+    def test_cluster_of_missing(self, paper_hierarchy):
+        with pytest.raises(KeyError):
+            paper_hierarchy.cluster_of(63, 0)  # device 63 never leads
+
+    def test_led_cluster(self, paper_hierarchy):
+        h = paper_hierarchy
+        for cluster in h.clusters_at(2):
+            led = h.led_cluster(cluster.leader, 2)
+            assert led is cluster or led.index != cluster.index or led is cluster
+
+    def test_descendants_partition_bottom(self, paper_hierarchy):
+        h = paper_hierarchy
+        all_desc = []
+        for cluster in h.clusters_at(1):
+            all_desc.extend(h.descendants(cluster))
+        assert sorted(all_desc) == sorted(h.bottom_clients())
+
+    def test_descendants_of_top(self, paper_hierarchy):
+        h = paper_hierarchy
+        # each top node's level-1 cluster covers a quarter of the devices
+        for member in h.top_cluster.members:
+            led = h.led_cluster(member, 1)
+            assert len(h.descendants(led)) == 16
+
+
+class TestHierarchyValidation:
+    def test_rejects_multi_cluster_top(self):
+        top = [
+            Cluster(level=0, index=0, members=[0]),
+            Cluster(level=0, index=1, members=[1]),
+        ]
+        bottom = [Cluster(level=1, index=0, members=[0, 1], leader=0)]
+        with pytest.raises(ValueError):
+            Hierarchy(levels=[top, bottom])
+
+    def test_rejects_duplicate_membership(self):
+        top = [Cluster(level=0, index=0, members=[0])]
+        bottom = [
+            Cluster(level=1, index=0, members=[0, 1], leader=0),
+            Cluster(level=1, index=1, members=[1, 2], leader=1),
+        ]
+        with pytest.raises(ValueError):
+            Hierarchy(levels=[top, bottom])
+
+    def test_rejects_leader_not_in_upper(self):
+        top = [Cluster(level=0, index=0, members=[0])]
+        bottom = [Cluster(level=1, index=0, members=[5, 6], leader=5)]
+        with pytest.raises(ValueError):
+            Hierarchy(levels=[top, bottom])
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            Hierarchy(levels=[[Cluster(level=0, index=0, members=[0])]])
+
+
+class TestACSM:
+    def test_arbitrary_sizes(self):
+        # top: 2 members; level 1: clusters [3, 2]; bottom: 5 clusters
+        h = build_acsm([[3, 2], [2, 3, 4, 2, 3]])
+        assert h.n_levels == 3
+        assert h.top_cluster.size == 2
+        sizes = [c.size for c in h.clusters_at(2)]
+        assert sizes == [2, 3, 4, 2, 3]
+        assert len(h.bottom_clients()) == 14
+
+    def test_inconsistent_stacking(self):
+        with pytest.raises(ValueError):
+            build_acsm([[3], [2, 3, 4, 2]])  # 3 members but 4 lower clusters
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_acsm([])
+        with pytest.raises(ValueError):
+            build_acsm([[0]])
+
+
+class TestByzantineAssignment:
+    def test_fraction_counts(self, paper_hierarchy, rng):
+        byz = assign_byzantine(paper_hierarchy, 0.25, rng)
+        assert len(byz) == 16
+        assert len(paper_hierarchy.byzantine_devices()) == 16
+
+    def test_zero_fraction(self, paper_hierarchy, rng):
+        assert assign_byzantine(paper_hierarchy, 0.0, rng) == []
+
+    def test_prefix_placement(self, paper_hierarchy, rng):
+        byz = assign_byzantine(paper_hierarchy, 0.25, rng, placement="prefix")
+        assert byz == list(range(16))
+
+    def test_spread_placement_bounds_cluster_share(self, paper_hierarchy, rng):
+        assign_byzantine(paper_hierarchy, 0.25, rng, placement="spread")
+        for cluster in paper_hierarchy.clusters_at(2):
+            assert paper_hierarchy.cluster_byzantine_fraction(cluster) <= 0.25 + 1e-9
+
+    def test_reassignment_clears_previous(self, paper_hierarchy, rng):
+        assign_byzantine(paper_hierarchy, 0.5, rng)
+        byz = assign_byzantine(paper_hierarchy, 0.1, rng)
+        assert len(byz) == round(0.1 * 64)
+        assert len(paper_hierarchy.byzantine_devices()) == len(byz)
+
+    def test_invalid_inputs(self, paper_hierarchy, rng):
+        with pytest.raises(ValueError):
+            assign_byzantine(paper_hierarchy, 1.5, rng)
+        with pytest.raises(ValueError):
+            assign_byzantine(paper_hierarchy, 0.2, rng, placement="bogus")

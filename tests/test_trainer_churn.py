@@ -1,0 +1,77 @@
+"""Tests for trainer membership reconciliation under churn."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.experiments import ExperimentConfig, build_abdhfl_trainer, prepare_data
+from repro.topology.dynamics import join_cluster, leave_cluster
+
+TINY = ExperimentConfig(
+    n_levels=2,
+    cluster_size=4,
+    n_top=2,
+    image_side=8,
+    samples_per_client=60,
+    n_test=200,
+    n_rounds=2,
+    hidden=(16,),
+)
+
+
+def fresh_shard(n=40, d=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.random((n, d)), rng.integers(0, 10, n), 10)
+
+
+class TestSyncMembership:
+    def test_join_then_train(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        trainer.run(1)
+        device = join_cluster(data.hierarchy, 0)
+        joined, departed = trainer.sync_membership({device: fresh_shard()})
+        assert joined == [device] and departed == []
+        assert device in trainer.trainers
+        trainer.run(1)  # must not raise
+        assert len(trainer.history) == 2
+
+    def test_leave_then_train(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        trainer.run(1)
+        leave_cluster(data.hierarchy, 1)
+        joined, departed = trainer.sync_membership()
+        assert departed == [1] and joined == []
+        assert 1 not in trainer.trainers
+        trainer.run(1)
+
+    def test_leader_departure_then_train(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        trainer.run(1)
+        leave_cluster(data.hierarchy, 0)  # leader chain repair
+        trainer.sync_membership()
+        trainer.run(2)
+        assert np.isfinite(trainer.history[-1].test_accuracy)
+
+    def test_missing_dataset_rejected(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        join_cluster(data.hierarchy, 0)
+        with pytest.raises(ValueError):
+            trainer.sync_membership()
+
+    def test_noop_when_unchanged(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        joined, departed = trainer.sync_membership()
+        assert joined == [] and departed == []
+
+    def test_total_samples_updated(self):
+        data = prepare_data(TINY)
+        trainer = build_abdhfl_trainer(TINY, data)
+        before = trainer._total_samples
+        device = join_cluster(data.hierarchy, 0)
+        trainer.sync_membership({device: fresh_shard(n=40)})
+        assert trainer._total_samples == before + 40

@@ -1,0 +1,87 @@
+"""Tests for flat-vector parameter views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.flatten import FlatSpec, flatten_arrays, unflatten_vector
+
+
+def _arrays(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return [
+        rng.standard_normal((3, 4)),
+        rng.standard_normal(7),
+        rng.standard_normal((2, 2, 2)),
+    ]
+
+
+class TestFlatSpec:
+    def test_sizes_and_offsets(self):
+        spec = FlatSpec.from_arrays(_arrays())
+        assert spec.sizes == (12, 7, 8)
+        assert spec.offsets == (0, 12, 19)
+        assert spec.total_size == 27
+
+    def test_empty_shapes(self):
+        spec = FlatSpec(shapes=())
+        assert spec.total_size == 0
+
+
+class TestRoundTrip:
+    def test_flatten_then_unflatten(self):
+        arrays = _arrays()
+        spec = FlatSpec.from_arrays(arrays)
+        flat = flatten_arrays(arrays)
+        back = unflatten_vector(flat, spec)
+        for a, b in zip(arrays, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_out_buffer_reuse(self):
+        arrays = _arrays()
+        buf = np.zeros(27)
+        result = flatten_arrays(arrays, out=buf)
+        assert result is buf
+
+    def test_out_buffer_wrong_size(self):
+        with pytest.raises(ValueError):
+            flatten_arrays(_arrays(), out=np.zeros(5))
+
+    def test_unflatten_wrong_length(self):
+        spec = FlatSpec.from_arrays(_arrays())
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(5), spec)
+
+    def test_views_share_memory(self):
+        arrays = _arrays()
+        spec = FlatSpec.from_arrays(arrays)
+        flat = flatten_arrays(arrays)
+        views = unflatten_vector(flat, spec, copy=False)
+        views[0][0, 0] = 123.0
+        assert flat[0] == 123.0
+
+    def test_copies_do_not_share(self):
+        arrays = _arrays()
+        spec = FlatSpec.from_arrays(arrays)
+        flat = flatten_arrays(arrays)
+        copies = unflatten_vector(flat, spec, copy=True)
+        copies[0][0, 0] = 123.0
+        assert flat[0] != 123.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shapes=st.lists(
+        st.lists(st.integers(1, 5), min_size=1, max_size=3), min_size=1, max_size=4
+    )
+)
+def test_round_trip_property(shapes):
+    rng = np.random.default_rng(1)
+    arrays = [rng.standard_normal(tuple(s)) for s in shapes]
+    spec = FlatSpec.from_arrays(arrays)
+    flat = flatten_arrays(arrays)
+    assert flat.shape == (spec.total_size,)
+    back = unflatten_vector(flat, spec)
+    for a, b in zip(arrays, back):
+        np.testing.assert_array_equal(a, b)

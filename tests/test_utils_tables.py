@@ -1,0 +1,38 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.578125) == "57.8%"
+
+    def test_digits(self):
+        assert format_percent(0.578125, digits=4) == "57.8125%"
+
+    def test_zero_and_one(self):
+        assert format_percent(0.0) == "0.0%"
+        assert format_percent(1.0) == "100.0%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [["xx", "y"], ["z", "wwwww"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows equal width
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[1.5], [2]])
+        assert "1.5" in out and "2" in out

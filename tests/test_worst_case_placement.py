@@ -1,0 +1,88 @@
+"""Tests for the Definition-4 worst-case Byzantine placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.analysis import max_byzantine_count, max_byzantine_fraction
+from repro.topology.tree import assign_byzantine, build_ecsm, worst_case_placement
+
+
+class TestWorstCasePlacement:
+    def test_paper_instance_counts(self, paper_hierarchy):
+        byz = worst_case_placement(paper_hierarchy, 0.25, 0.25)
+        assert len(byz) == 37  # 57.8125% of 64
+
+    def test_matches_theorem2_count(self):
+        for n_levels, m in ((3, 4), (2, 4), (4, 3)):
+            h = build_ecsm(n_levels=n_levels, cluster_size=m, n_top=4)
+            byz = worst_case_placement(h, 0.25, 1.0 / m)
+            expected = max_byzantine_count(4, m, n_levels - 1, 0.25, 1.0 / m)
+            assert len(byz) == round(expected), (n_levels, m)
+
+    def test_honest_clusters_within_gamma2(self, paper_hierarchy):
+        """Every cluster is either fully Byzantine or within gamma2."""
+        worst_case_placement(paper_hierarchy, 0.25, 0.25)
+        for level in range(1, paper_hierarchy.n_levels):
+            for cluster in paper_hierarchy.clusters_at(level):
+                frac = paper_hierarchy.cluster_byzantine_fraction(cluster)
+                assert frac <= 0.25 + 1e-9 or frac == 1.0, (level, cluster.index)
+
+    def test_leaders_of_honest_clusters_honest(self, paper_hierarchy):
+        worst_case_placement(paper_hierarchy, 0.25, 0.25)
+        for level in range(1, paper_hierarchy.n_levels):
+            for cluster in paper_hierarchy.clusters_at(level):
+                frac = paper_hierarchy.cluster_byzantine_fraction(cluster)
+                if frac < 1.0:
+                    assert not paper_hierarchy.is_byzantine(cluster.leader)
+
+    def test_zero_gammas_mark_nobody(self, paper_hierarchy):
+        assert worst_case_placement(paper_hierarchy, 0.0, 0.0) == []
+
+    def test_resets_previous_flags(self, paper_hierarchy, rng):
+        assign_byzantine(paper_hierarchy, 0.9, rng)
+        byz = worst_case_placement(paper_hierarchy, 0.25, 0.25)
+        assert len(paper_hierarchy.byzantine_devices()) == len(byz)
+
+    def test_invalid_gammas(self, paper_hierarchy):
+        with pytest.raises(ValueError):
+            worst_case_placement(paper_hierarchy, -0.1, 0.25)
+        with pytest.raises(ValueError):
+            worst_case_placement(paper_hierarchy, 0.25, 1.5)
+
+
+class TestWorstCaseViaAssign:
+    def test_exact_fraction_realised(self, paper_hierarchy, rng):
+        byz = assign_byzantine(
+            paper_hierarchy, 0.578, rng, placement="worst_case"
+        )
+        assert len(byz) == 37
+
+    def test_two_level_same_count(self, rng):
+        h = build_ecsm(n_levels=2, cluster_size=16, n_top=4)
+        byz = assign_byzantine(h, 0.578, rng, placement="worst_case")
+        assert len(byz) == 37
+
+    def test_zero_fraction(self, paper_hierarchy, rng):
+        assert (
+            assign_byzantine(paper_hierarchy, 0.0, rng, placement="worst_case")
+            == []
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k1=st.integers(0, 3),
+    k2=st.integers(0, 3),
+)
+def test_placement_fraction_never_exceeds_theorem2(k1, k2):
+    """Property: the realized bottom fraction equals the Theorem-2 bound
+    for the corresponding (gamma1, gamma2) when quotas divide exactly."""
+    h = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+    gamma1 = k1 / 4
+    gamma2 = k2 / 4
+    byz = worst_case_placement(h, gamma1 + 1e-9, gamma2 + 1e-9)
+    realized = len(byz) / 64
+    bound = max_byzantine_fraction(gamma1, gamma2, 2)
+    np.testing.assert_allclose(realized, bound, atol=1e-9)
