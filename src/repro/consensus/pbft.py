@@ -47,6 +47,10 @@ class PBFTConsensus(ConsensusProtocol):
             )
         self.validator = validator
         self.exclusion_quantile = float(exclusion_quantile)
+        # Crash-fault mask set by a fault-injecting caller before agree():
+        # silent (crash-stopped) members propose nothing and, as primary,
+        # time out instead of equivocating.  Cleared after each execution.
+        self.silent_mask: np.ndarray | None = None
 
     def _agree(
         self,
@@ -56,10 +60,20 @@ class PBFTConsensus(ConsensusProtocol):
         rng: np.random.Generator,
     ) -> ConsensusResult:
         n = proposals.shape[0]
-        f = int(byzantine_mask.sum())
+        silent = self.silent_mask
+        self.silent_mask = None
+        if silent is None:
+            silent = np.zeros(n, dtype=bool)
+        else:
+            silent = np.asarray(silent, dtype=bool)
+            if silent.shape != (n,):
+                raise ValueError(f"silent_mask shape {silent.shape} != ({n},)")
+        faulty = byzantine_mask | silent
+        f = int(faulty.sum())
         if 3 * f >= n and n > 1:
             raise ValueError(
-                f"PBFT safety violated: f={f} Byzantine of n={n} (requires f < n/3)"
+                f"PBFT safety violated: f={f} faulty (Byzantine + silent) of "
+                f"n={n} (requires f < n/3)"
             )
 
         if self.validator is not None:
@@ -71,16 +85,27 @@ class PBFTConsensus(ConsensusProtocol):
 
         threshold = np.quantile(scores, self.exclusion_quantile)
         accepted = scores >= threshold
+        # Silent members never delivered a proposal in the first place.
+        accepted &= ~silent
         if not accepted.any():
-            accepted[int(np.argmax(scores))] = True
+            live = np.flatnonzero(~silent)
+            best = live[int(np.argmax(scores[live]))] if live.size else int(
+                np.argmax(scores)
+            )
+            accepted[best] = True
 
-        # View changes: primaries are tried in rotation; each Byzantine
-        # primary refuses/equivocates and is replaced after a timeout.
+        # View changes: primaries are tried in rotation; a Byzantine
+        # primary equivocates, a silent (crashed) primary says nothing —
+        # either way the replicas' view timer expires and the next view's
+        # primary takes over.
         order = rng.permutation(n)
         view_changes = 0
+        view_timeouts = 0
         for primary in order:
-            if not byzantine_mask[primary]:
+            if not byzantine_mask[primary] and not silent[primary]:
                 break
+            if silent[primary]:
+                view_timeouts += 1
             view_changes += 1
 
         w = weights[accepted]
@@ -100,5 +125,9 @@ class PBFTConsensus(ConsensusProtocol):
             value=value,
             accepted=accepted,
             cost=cost,
-            info={"view_changes": view_changes, "scores": scores},
+            info={
+                "view_changes": view_changes,
+                "view_timeouts": view_timeouts,
+                "scores": scores,
+            },
         )

@@ -32,6 +32,8 @@ from repro.core.config import ABDHFLConfig
 from repro.core.correction import AdaptiveCorrection, CorrectionPolicy
 from repro.core.local import GlobalArrival, LocalTrainer
 from repro.data.dataset import Dataset
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.faults.rounds import RoundFaultInjector
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
@@ -125,6 +127,18 @@ class ABDHFLTrainer:
         preferred when picking the forced voters.
     correction:
         Correction-factor policy for pipeline mode.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` interpreted in
+        *round* units: crashed devices contribute nothing while down
+        (crashed leaders are replaced through the Assumption-3 re-election
+        machinery and rejoin on recovery), and uploads are lost with the
+        plan's per-link drop probability after bounded retransmission.
+        Leaders that collect fewer than the φ-quorum time out and
+        aggregate the partial quorum; a cluster losing *every*
+        contribution falls back to redistributing the current global
+        model.  ``None`` (or an all-zero plan) leaves every code path
+        bit-identical to the fault-free trainer; injected faults and
+        recovery actions are accounted in :attr:`fault_stats`.
     """
 
     def __init__(
@@ -140,6 +154,7 @@ class ABDHFLTrainer:
         protocol_byzantine: bool = False,
         top_byzantine_votes: int | None = None,
         correction: CorrectionPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if top_byzantine_votes is not None and top_byzantine_votes < 0:
             raise ValueError(
@@ -153,6 +168,12 @@ class ABDHFLTrainer:
         self.top_byzantine_votes = top_byzantine_votes
         self.correction = correction or AdaptiveCorrection()
         self._seeds = SeedSequenceFactory(seed)
+        self._fault = (
+            RoundFaultInjector(fault_plan, hierarchy)
+            if fault_plan is not None
+            else None
+        )
+        self.fault_stats = self._fault.stats if self._fault else FaultStats()
 
         bottom = hierarchy.bottom_clients()
         missing = [d for d in bottom if d not in client_datasets]
@@ -225,6 +246,8 @@ class ABDHFLTrainer:
 
     def run_round(self, evaluate: bool = True) -> RoundRecord:
         """Execute one global round (Algorithm 1)."""
+        if self._fault is not None:
+            self._fault.begin_round(self.round_index)
         local_models, local_losses = self._local_training()
         if self.model_attack is not None:
             self._apply_model_attack(local_models)
@@ -293,6 +316,8 @@ class ABDHFLTrainer:
             start = self._start_vector_for(cluster)
             arrival = self._global_arrival_for(cluster)
             for device in cluster.members:
+                if self._fault is not None and self._fault.is_crashed(device):
+                    continue  # crash-stopped: no compute, no upload
                 trainer = self.trainers[device]
                 local_models[device] = trainer.train_round(start, arrival)
                 losses.extend(trainer.last_losses)
@@ -374,10 +399,14 @@ class ABDHFLTrainer:
                 contribs: list[np.ndarray] = []
                 w: list[float] = []
                 byz_flags: list[bool] = []
+                lost_weight = 0.0
+                leader = (
+                    cluster.leader if cluster.leader is not None else cluster.members[0]
+                )
                 for device in cluster.members:
                     if level == bottom:
-                        contribs.append(local_models[device])
-                        w.append(float(self.trainers[device].n_samples))
+                        vector = local_models.get(device)
+                        weight = float(self.trainers[device].n_samples)
                     else:
                         child = hierarchy.led_cluster(device, level + 1)
                         if child is None:
@@ -385,19 +414,46 @@ class ABDHFLTrainer:
                                 f"device {device} at level {level} leads no "
                                 f"cluster at level {level + 1}"
                             )
-                        contribs.append(partials[(level + 1, child.index)])
-                        w.append(weights[(level + 1, child.index)])
-                    byz_flags.append(
-                        self.protocol_byzantine and hierarchy.is_byzantine(device)
-                    )
+                        vector = partials[(level + 1, child.index)]
+                        weight = weights[(level + 1, child.index)]
+                    present = vector is not None
+                    if present and self._fault is not None:
+                        if self._fault.is_crashed(device):
+                            present = False  # headless child: nothing arrives
+                        elif device != leader and not self._fault.transmission_ok(
+                            device, leader, self.round_index
+                        ):
+                            present = False  # upload lost despite retries
+                    if present:
+                        contribs.append(vector)
+                        w.append(weight)
+                        byz_flags.append(
+                            self.protocol_byzantine and hierarchy.is_byzantine(device)
+                        )
+                    else:
+                        lost_weight += weight
+                key = (level, cluster.index)
+                if self._fault is not None and lost_weight > 0:
+                    # Algorithm 4: the leader waits for the quorum, then
+                    # times out and proceeds with the partial quorum.
+                    quorum = max(1, math.ceil(self.config.phi * cluster.size))
+                    if len(contribs) < quorum:
+                        self.fault_stats.timeouts_fired += 1
+                        self.fault_stats.quorums_degraded += 1
+                if not contribs:
+                    # Total loss: the leader redistributes the current
+                    # global model so the subtree keeps a valid partial.
+                    partials[key] = self.global_model
+                    weights[key] = lost_weight
+                    continue
                 stack = np.stack(contribs)
                 w_arr = np.asarray(w)
                 stack, w_arr, byz_arr = self._apply_quorum(
                     stack, w_arr, np.asarray(byz_flags)
                 )
                 value = self._aggregate_level(level, stack, w_arr, byz_arr)
-                partials[(level, cluster.index)] = value
-                weights[(level, cluster.index)] = float(w_arr.sum())
+                partials[key] = value
+                weights[key] = float(w_arr.sum())
                 # Uploads to the leader + broadcast of the partial model
                 # back to members for storage (Algorithm 3, line 8).
                 k = stack.shape[0]
@@ -461,13 +517,33 @@ class ABDHFLTrainer:
             test_loss=float("nan"),
             mean_local_loss=float("nan"),
         )
+        # Crash-stopped top members are silent: PBFT handles them through
+        # its view-timeout path; every other rule simply never receives
+        # their proposal.
+        silent = None
+        if self._fault is not None:
+            mask = np.array([self._fault.is_crashed(m) for m in top.members])
+            if mask.all():
+                record.top_excluded = int(mask.sum())
+                return record  # no live top node: keep the previous model
+            if mask.any():
+                silent = mask
         if spec.kind == "bra":
+            if silent is not None:
+                stack, w_arr = stack[~silent], w_arr[~silent]
             aggregator = self._level_bra[0]
             self.global_model = aggregator(stack, w_arr)  # type: ignore[operator]
             n = stack.shape[0]
             record.model_messages += 2 * (n - 1)  # collect + broadcast
         else:
             protocol = self._level_cba[0]
+            if silent is not None:
+                if hasattr(protocol, "silent_mask"):
+                    protocol.silent_mask = silent
+                else:
+                    stack = stack[~silent]
+                    w_arr = w_arr[~silent]
+                    byz_arr = byz_arr[~silent]
             result = protocol.agree(
                 stack, weights=w_arr, byzantine_mask=byz_arr, rng=self._consensus_rng
             )

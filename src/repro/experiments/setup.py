@@ -25,6 +25,7 @@ from repro.data.partition import (
 )
 from repro.data.poisoning import apply_poisoning
 from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.faults.plan import FaultPlan
 from repro.nn.model import MLP
 from repro.topology.tree import Hierarchy, assign_byzantine, build_ecsm
 from repro.utils.seeding import SeedSequenceFactory
@@ -220,6 +221,7 @@ def build_abdhfl_trainer(
     data: ExperimentData | None = None,
     model_attack: ModelAttack | None = None,
     abdhfl_config: ABDHFLConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ABDHFLTrainer:
     """Assemble the ABD-HFL trainer (scheme 1 by default, per Appendix D)."""
     data = data or prepare_data(config)
@@ -243,6 +245,7 @@ def build_abdhfl_trainer(
         model_attack=model_attack,
         protocol_byzantine=model_attack is not None,
         top_byzantine_votes=1,
+        fault_plan=fault_plan,
     )
 
 

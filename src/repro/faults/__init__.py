@@ -1,0 +1,43 @@
+"""Fault injection: unreliable transport, crashes, and degradation stats.
+
+The baseline simulator implements Assumption 1's *happy path* — every
+message arrives, every node lives forever.  This subpackage supplies the
+conditions the paper's quorum parameter φ, leader timeouts and
+re-election machinery actually exist for:
+
+* :class:`FaultPlan` — a seeded, deterministic scenario: per-link drop /
+  duplication / reordering rates, scheduled partitions, crash schedules,
+  retry and timeout policy;
+* :class:`FaultyChannel` — the unreliable transport over the
+  discrete-event simulator;
+* :class:`RoundFaultInjector` — the same plan applied to the
+  round-synchronous trainer;
+* :class:`FaultStats` — what was injected and how the protocol degraded
+  (timeouts fired, quorums degraded, leaders re-elected).
+
+Fault injection is strictly opt-in: with no plan (or a plan with every
+rate at zero) all execution paths are bit-identical to the fault-free
+code.
+"""
+
+from repro.faults.plan import (
+    CrashEvent,
+    CrashSchedule,
+    FaultPlan,
+    FaultStats,
+    LinkFaults,
+    Partition,
+)
+from repro.faults.rounds import RoundFaultInjector
+from repro.faults.transport import FaultyChannel
+
+__all__ = [
+    "LinkFaults",
+    "Partition",
+    "CrashEvent",
+    "CrashSchedule",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyChannel",
+    "RoundFaultInjector",
+]

@@ -1,0 +1,301 @@
+"""Deterministic fault plans: what breaks, where, and when.
+
+The paper's analysis rests on partial synchrony (Assumption 1) and a
+membership model in which nodes may come and go (Assumption 3), but the
+baseline simulator implements a perfect transport and immortal nodes.  A
+:class:`FaultPlan` makes the failure model explicit and *seeded*: link
+faults (drop / duplicate / reorder-jitter probabilities), scheduled
+network partitions between node groups, and a :class:`CrashSchedule` of
+crash-stop (and optional recovery) events.  All consumers derive their
+fault randomness from ``plan.seed`` via :class:`SeedSequenceFactory`, so
+the same plan replays the same faults, and a plan with all rates at zero
+injects nothing — it never even draws from the fault stream, keeping
+fault-free runs bit-identical to runs without a plan.
+
+Time units are those of the consumer: the event-driven runner interprets
+``at`` / ``recover_at`` / partition windows in simulator seconds, the
+round-synchronous trainer in round indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.seeding import SeedSequenceFactory
+
+__all__ = [
+    "LinkFaults",
+    "Partition",
+    "CrashEvent",
+    "CrashSchedule",
+    "FaultPlan",
+    "FaultStats",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link unreliability knobs.
+
+    Attributes
+    ----------
+    drop_probability:
+        Independent per-transmission loss probability.
+    duplicate_probability:
+        Probability that a delivered message is delivered twice (the
+        duplicate draws its own latency, so it may arrive out of order).
+    reorder_jitter:
+        Extra uniform ``[0, reorder_jitter]`` delay added on top of the
+        channel's latency model, increasing reordering between messages.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.reorder_jitter < 0:
+            raise ValueError(
+                f"reorder_jitter must be non-negative, got {self.reorder_jitter}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.drop_probability > 0
+            or self.duplicate_probability > 0
+            or self.reorder_jitter > 0
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled network partition over ``[start, end)``.
+
+    ``groups`` are disjoint node-id sets (e.g. the device sets of two
+    cluster subtrees).  While the window is open, any message whose
+    endpoints fall in *different* groups is dropped; nodes absent from
+    every group form an implicit extra group of their own.
+    """
+
+    start: float
+    end: float
+    groups: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start < self.end):
+            raise ValueError(
+                f"partition window needs 0 <= start < end, got [{self.start}, {self.end})"
+            )
+        if len(self.groups) < 1:
+            raise ValueError("partition needs at least one group")
+        seen: set[int] = set()
+        for group in self.groups:
+            if seen & group:
+                raise ValueError("partition groups must be disjoint")
+            seen |= group
+
+    def _side(self, node: int) -> int:
+        for i, group in enumerate(self.groups):
+            if node in group:
+                return i
+        return -1  # the implicit "rest" group
+
+    def severs(self, src: int, dst: int, time: float) -> bool:
+        """True when the partition cuts the ``src -> dst`` link at ``time``."""
+        if not (self.start <= time < self.end):
+            return False
+        return self._side(src) != self._side(dst)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash-stop of one device, with optional recovery.
+
+    A crashed device sends nothing, receives nothing and performs no
+    compute from ``at`` until ``recover_at`` (forever if ``None``).
+    """
+
+    device: int
+    at: float
+    recover_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be non-negative, got {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError(
+                f"recover_at {self.recover_at} must be after crash at {self.at}"
+            )
+
+    def covers(self, time: float) -> bool:
+        if time < self.at:
+            return False
+        return self.recover_at is None or time < self.recover_at
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """An immutable set of :class:`CrashEvent`, queryable by time."""
+
+    events: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def crashed(self, device: int, time: float) -> bool:
+        return any(e.device == device and e.covers(time) for e in self.events)
+
+    def for_device(self, device: int) -> tuple[CrashEvent, ...]:
+        return tuple(e for e in self.events if e.device == device)
+
+    def devices(self) -> list[int]:
+        return sorted({e.device for e in self.events})
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, seeded description of a fault-injection scenario.
+
+    Attributes
+    ----------
+    seed:
+        Root of the fault randomness (independent from the experiment
+        seed, so enabling faults never perturbs training/latency draws).
+    default_link:
+        Fault rates applied to every link without a ``per_link`` override.
+    per_link:
+        ``(src, dst) -> LinkFaults`` overrides for specific directed links.
+    partitions:
+        Scheduled partition windows.
+    crashes:
+        Crash-stop/recovery schedule.
+    max_retries:
+        Bounded retransmissions for droppable messages sent through
+        :meth:`repro.faults.transport.FaultyChannel.send_with_retry`.
+    retry_backoff:
+        Base retransmission delay; attempt ``k`` waits
+        ``retry_backoff * 2**k`` (exponential backoff).
+    leader_timeout:
+        How long a leader waits for its φ-quorum after the first arrival
+        before degrading to a partial quorum (event-driven runner).
+    """
+
+    seed: int = 0
+    default_link: LinkFaults = field(default_factory=LinkFaults)
+    per_link: dict[tuple[int, int], LinkFaults] = field(default_factory=dict)
+    partitions: tuple[Partition, ...] = ()
+    crashes: CrashSchedule = field(default_factory=CrashSchedule)
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    leader_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be non-negative, got {self.retry_backoff}"
+            )
+        if self.leader_timeout <= 0:
+            raise ValueError(
+                f"leader_timeout must be positive, got {self.leader_timeout}"
+            )
+
+    @classmethod
+    def uniform(
+        cls,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        reorder_jitter: float = 0.0,
+        **kwargs: object,
+    ) -> "FaultPlan":
+        """A plan applying the same link faults everywhere."""
+        return cls(
+            default_link=LinkFaults(
+                drop_probability=drop_probability,
+                duplicate_probability=duplicate_probability,
+                reorder_jitter=reorder_jitter,
+            ),
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    def link_faults(self, src: int, dst: int) -> LinkFaults:
+        return self.per_link.get((src, dst), self.default_link)
+
+    def partitioned(self, src: int, dst: int, time: float) -> bool:
+        return any(p.severs(src, dst, time) for p in self.partitions)
+
+    def rng(self, *path: int | str) -> np.random.Generator:
+        """A deterministic fault stream labelled by ``path``."""
+        return SeedSequenceFactory(self.seed).generator("faults", *path)
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan can inject anything at all."""
+        return (
+            self.default_link.active
+            or any(f.active for f in self.per_link.values())
+            or bool(self.partitions)
+            or bool(self.crashes)
+        )
+
+
+@dataclass
+class FaultStats:
+    """What was injected and how the system degraded in response.
+
+    Transport counters (``dropped`` .. ``retries``) are maintained by
+    :class:`~repro.faults.transport.FaultyChannel`; degradation counters
+    (``timeouts_fired`` .. ``recoveries``) by the protocol runners.
+    """
+
+    dropped: int = 0
+    duplicated: int = 0
+    partition_drops: int = 0
+    crash_drops: int = 0
+    retries: int = 0
+    timeouts_fired: int = 0
+    quorums_degraded: int = 0
+    reelections: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "partition_drops": self.partition_drops,
+            "crash_drops": self.crash_drops,
+            "retries": self.retries,
+            "timeouts_fired": self.timeouts_fired,
+            "quorums_degraded": self.quorums_degraded,
+            "reelections": self.reelections,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+        }
+
+    @property
+    def total_injected(self) -> int:
+        """Messages removed or added by the fault layer."""
+        return (
+            self.dropped + self.partition_drops + self.crash_drops + self.duplicated
+        )
+
+    def summary(self) -> str:
+        fields = self.as_dict()
+        injected = ", ".join(f"{k}={v}" for k, v in list(fields.items())[:5])
+        degraded = ", ".join(f"{k}={v}" for k, v in list(fields.items())[5:])
+        return f"injected: {injected}\nrecovery: {degraded}"

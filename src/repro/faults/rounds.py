@@ -1,0 +1,99 @@
+"""Round-synchronous fault application for :class:`ABDHFLTrainer`.
+
+The round trainer has no message clock, so the plan's times are read as
+*round indices*: a device with a crash window covering round ``r``
+contributes nothing that round, and link loss is resolved per upload as a
+Bernoulli trial repeated over the sender's bounded retransmissions (an
+upload reaches the leader unless every attempt drops — exactly the
+marginal behaviour of the event-driven retry path).
+
+Crash-stop of a leader exercises the same repair machinery as membership
+churn: the device *leaves* the hierarchy (re-electing the leader chain,
+Assumption 3) and, if its crash window ends, *rejoins* its old bottom
+cluster as a plain member.  Crashed non-leaders stay in place — their
+silence is what the leader's timeout degrades around.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.topology.dynamics import join_cluster, leave_cluster
+from repro.topology.tree import Hierarchy
+
+__all__ = ["RoundFaultInjector"]
+
+
+class RoundFaultInjector:
+    """Applies a :class:`FaultPlan` to round-synchronous execution."""
+
+    def __init__(self, plan: FaultPlan, hierarchy: Hierarchy) -> None:
+        self.plan = plan
+        self.hierarchy = hierarchy
+        self.stats = FaultStats()
+        self._rng = plan.rng("rounds")
+        self._crashed: set[int] = set()
+        # device -> (bottom cluster index, byzantine flag) for re-join
+        self._removed: dict[int, tuple[int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        """Apply crash/recovery transitions effective for this round."""
+        now = float(round_index)
+        for device in self.plan.crashes.devices():
+            crashed_now = self.plan.crashes.crashed(device, now)
+            if crashed_now and device not in self._crashed:
+                self._crash(device)
+            elif not crashed_now and device in self._crashed:
+                self._recover(device)
+
+    def is_crashed(self, device: int) -> bool:
+        return device in self._crashed
+
+    def transmission_ok(self, src: int, dst: int, round_index: int) -> bool:
+        """Whether an upload survives loss, after bounded retransmission."""
+        if self.plan.partitioned(src, dst, float(round_index)):
+            self.stats.partition_drops += 1
+            return False
+        p = self.plan.link_faults(src, dst).drop_probability
+        if p <= 0:
+            return True
+        for attempt in range(self.plan.max_retries + 1):
+            if self._rng.random() >= p:
+                return True
+            self.stats.dropped += 1
+            if attempt < self.plan.max_retries:
+                self.stats.retries += 1
+        return False
+
+    # ------------------------------------------------------------------
+    def _leads(self, device: int) -> bool:
+        bottom = self.hierarchy.bottom_level
+        try:
+            cluster = self.hierarchy.cluster_of(device, bottom)
+        except KeyError:
+            return False
+        return cluster.leader == device
+
+    def _crash(self, device: int) -> None:
+        self._crashed.add(device)
+        self.stats.crashes += 1
+        if device not in self.hierarchy.nodes or not self._leads(device):
+            return  # silent member: quorum timeouts degrade around it
+        bottom = self.hierarchy.bottom_level
+        cluster_index = self.hierarchy.cluster_of(device, bottom).index
+        byzantine = self.hierarchy.nodes[device].byzantine
+        try:
+            repaired = leave_cluster(self.hierarchy, device)
+        except ValueError:
+            return  # last member of its cluster: nothing to re-elect
+        self._removed[device] = (cluster_index, byzantine)
+        self.stats.reelections += len(repaired)
+
+    def _recover(self, device: int) -> None:
+        self._crashed.discard(device)
+        self.stats.recoveries += 1
+        if device in self._removed:
+            cluster_index, byzantine = self._removed.pop(device)
+            join_cluster(
+                self.hierarchy, cluster_index, device_id=device, byzantine=byzantine
+            )

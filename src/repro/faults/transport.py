@@ -1,0 +1,196 @@
+"""The unreliable transport: a fault-aware :class:`Channel`.
+
+:class:`FaultyChannel` applies a :class:`~repro.faults.plan.FaultPlan` to
+every transmission: crashed endpoints silence the link, open partitions
+sever it, and per-link fault rates drop, duplicate or delay messages.
+Fault randomness comes from the plan's own seeded stream, *never* from
+the latency rng, and each knob is consulted only when its rate is
+non-zero — so a zero-rate plan reproduces the reliable channel's event
+trace bit for bit.
+
+:meth:`FaultyChannel.send_with_retry` models a sender-side retransmission
+timer with bounded exponential backoff: when the fault layer decides a
+transmission is lost, the sender re-offers it until delivery or retry
+exhaustion.  (The retransmit decision is made by the channel because in a
+simulation the channel *is* the oracle of loss; the schedule matches what
+a timeout-driven sender would do.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Channel, Message
+
+__all__ = ["FaultyChannel"]
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` whose deliveries are filtered by a fault plan.
+
+    Parameters
+    ----------
+    sim, latency, rng, record_deliveries, delivered_maxlen:
+        As for :class:`Channel`.
+    plan:
+        The fault scenario to apply.
+    stats:
+        Shared :class:`FaultStats` to account into (a fresh one is
+        created when omitted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        rng: np.random.Generator,
+        plan: FaultPlan,
+        stats: FaultStats | None = None,
+        record_deliveries: bool = False,
+        delivered_maxlen: int | None = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            latency,
+            rng,
+            record_deliveries=record_deliveries,
+            delivered_maxlen=delivered_maxlen,
+        )
+        self.plan = plan
+        self.fault_stats = stats if stats is not None else FaultStats()
+        self._fault_rng = plan.rng("transport")
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        on_delivery: Callable[[Message], None],
+    ) -> Message:
+        """Single transmission attempt (no retransmission on loss)."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        return self._attempt(
+            src, dst, kind, payload, size_bytes, on_delivery, attempt=0, max_retries=0
+        )
+
+    def send_with_retry(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        on_delivery: Callable[[Message], None],
+        max_retries: int | None = None,
+    ) -> Message:
+        """Send with bounded retransmission on loss (``plan.max_retries``)."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+        retries = self.plan.max_retries if max_retries is None else max_retries
+        if retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {retries}")
+        return self._attempt(
+            src, dst, kind, payload, size_bytes, on_delivery,
+            attempt=0, max_retries=retries,
+        )
+
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        size_bytes: int,
+        on_delivery: Callable[[Message], None],
+        attempt: int,
+        max_retries: int,
+    ) -> Message:
+        now = self.sim.now
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=now,
+        )
+        # A crashed sender emits nothing — not even bytes on the wire —
+        # and its retransmission timer dies with it.
+        if self.plan.crashes.crashed(src, now):
+            self.fault_stats.crash_drops += 1
+            return message
+        self.stats.record(message)
+
+        lost = False
+        faults = self.plan.link_faults(src, dst)
+        if self.plan.partitioned(src, dst, now):
+            self.fault_stats.partition_drops += 1
+            lost = True
+        elif faults.drop_probability > 0 and (
+            self._fault_rng.random() < faults.drop_probability
+        ):
+            self.fault_stats.dropped += 1
+            lost = True
+
+        if lost:
+            if attempt < max_retries:
+                self.fault_stats.retries += 1
+                backoff = self.plan.retry_backoff * (2.0**attempt)
+                self.sim.schedule(
+                    backoff,
+                    lambda: self._attempt(
+                        src, dst, kind, payload, size_bytes, on_delivery,
+                        attempt=attempt + 1, max_retries=max_retries,
+                    ),
+                )
+            return message
+
+        delay = self.latency.sample(self.rng)
+        if faults.reorder_jitter > 0:
+            delay += float(self._fault_rng.uniform(0.0, faults.reorder_jitter))
+        self._schedule_delivery(message, delay, on_delivery)
+
+        if faults.duplicate_probability > 0 and (
+            self._fault_rng.random() < faults.duplicate_probability
+        ):
+            self.fault_stats.duplicated += 1
+            dup = Message(
+                src=src,
+                dst=dst,
+                kind=kind,
+                payload=payload,
+                size_bytes=size_bytes,
+                sent_at=now,
+            )
+            dup_delay = self.latency.sample(self.rng)
+            if faults.reorder_jitter > 0:
+                dup_delay += float(self._fault_rng.uniform(0.0, faults.reorder_jitter))
+            self._schedule_delivery(dup, dup_delay, on_delivery)
+        return message
+
+    def _schedule_delivery(
+        self,
+        message: Message,
+        delay: float,
+        on_delivery: Callable[[Message], None],
+    ) -> None:
+        def deliver() -> None:
+            # Receiver may have crashed while the message was in flight.
+            if self.plan.crashes.crashed(message.dst, self.sim.now):
+                self.fault_stats.crash_drops += 1
+                return
+            message.delivered_at = self.sim.now
+            self.delivered.append(message)
+            on_delivery(message)
+
+        self.sim.schedule(delay, deliver)

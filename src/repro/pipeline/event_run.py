@@ -15,6 +15,17 @@ Measured per (round, bottom cluster), in the paper's notation:
 * ``global_arrival`` — the global model returns (σ elapsed);
 * ``efficiency`` — Eq. 3 computed from those timestamps,
   ``(σ - σ_w) / σ``.
+
+With a :class:`~repro.faults.plan.FaultPlan` the run degrades gracefully
+instead of assuming the happy path: messages traverse a
+:class:`~repro.faults.transport.FaultyChannel` (drop / duplicate /
+reorder / partition) with bounded sender retransmission, leaders fire a
+**timeout** when the φ-quorum does not arrive and proceed with the
+partial quorum they hold, and a crashed leader triggers re-election via
+the :mod:`repro.topology.dynamics` repair machinery (a recovered device
+rejoins its old cluster as a plain member).  Everything injected and
+every recovery action lands in :class:`~repro.faults.plan.FaultStats`.
+Without a plan the behaviour is bit-identical to the fault-free runner.
 """
 
 from __future__ import annotations
@@ -24,10 +35,13 @@ import math
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.faults.transport import FaultyChannel
 from repro.sim.engine import Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
-from repro.sim.network import Channel
+from repro.sim.network import Channel, Message
 from repro.topology.cluster import Cluster
+from repro.topology.dynamics import join_cluster, leave_cluster
 from repro.topology.tree import Hierarchy
 from repro.utils.seeding import SeedSequenceFactory
 
@@ -102,12 +116,17 @@ class ClusterRoundTiming:
 class _LeaderState:
     """Per-(round, cluster) collection state at one level."""
 
-    __slots__ = ("received", "quorum_met", "aggregated")
+    __slots__ = ("senders", "quorum_met", "aggregated", "timeout_scheduled")
 
     def __init__(self) -> None:
-        self.received: int = 0
+        self.senders: set[int] = set()
         self.quorum_met: bool = False
         self.aggregated: bool = False
+        self.timeout_scheduled: bool = False
+
+    @property
+    def received(self) -> int:
+        return len(self.senders)
 
 
 class EventDrivenRun:
@@ -117,12 +136,17 @@ class EventDrivenRun:
     ----------
     hierarchy:
         The tree (Byzantine flags are irrelevant here — timing only).
+        With a fault plan the tree is mutated in place by crash-driven
+        re-elections, exactly as churn would.
     config:
         Duration models and quorum.
     flag_level:
         ``l_F``; 0 puts the flag at the top (no pipelining benefit).
     seed:
         Root seed for all sampled durations.
+    fault_plan:
+        Optional fault scenario (``None`` keeps the perfect transport);
+        its times are in simulator seconds.
     """
 
     def __init__(
@@ -131,6 +155,7 @@ class EventDrivenRun:
         config: TimingConfig,
         flag_level: int = 1,
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not (0 <= flag_level < hierarchy.bottom_level):
             raise ValueError(
@@ -142,7 +167,20 @@ class EventDrivenRun:
         self.flag_level = flag_level
         seeds = SeedSequenceFactory(seed)
         self.sim = Simulator()
-        self.channel = Channel(self.sim, config.link, seeds.generator("link"))
+        self.fault_plan = fault_plan
+        self.fault_stats = FaultStats()
+        if fault_plan is None:
+            self.channel: Channel = Channel(
+                self.sim, config.link, seeds.generator("link")
+            )
+        else:
+            self.channel = FaultyChannel(
+                self.sim,
+                config.link,
+                seeds.generator("link"),
+                plan=fault_plan,
+                stats=self.fault_stats,
+            )
         self._compute_rng = seeds.generator("compute")
         self._agg_rng = seeds.generator("agg")
 
@@ -150,11 +188,18 @@ class EventDrivenRun:
         self.timings: dict[tuple[int, int], ClusterRoundTiming] = {}
         self._leader_state: dict[tuple[int, int, int], _LeaderState] = {}
         self._device_busy_until: dict[int, float] = {}
+        # device -> (bottom cluster index, byzantine flag) for crash re-join
+        self._removed: dict[int, tuple[int, bool]] = {}
         # Map bottom cluster -> its ancestor cluster index at the flag level.
         self._flag_ancestor: dict[int, int] = {}
-        for cluster in hierarchy.clusters_at(hierarchy.bottom_level):
+        self._compute_flag_ancestors()
+        if fault_plan is not None:
+            self._schedule_crashes(fault_plan)
+
+    def _compute_flag_ancestors(self) -> None:
+        for cluster in self.hierarchy.clusters_at(self.hierarchy.bottom_level):
             self._flag_ancestor[cluster.index] = self._ancestor_index(
-                cluster, flag_level
+                cluster, self.flag_level
             )
 
     # ------------------------------------------------------------------
@@ -190,6 +235,78 @@ class EventDrivenRun:
         starts = [0.0] + ends[:-1]
         return np.array(ends) - np.array(starts)
 
+    def completed_rounds(self) -> int:
+        """Rounds for which at least one cluster saw the global model."""
+        return len(
+            {
+                t.round_index
+                for t in self.timings.values()
+                if math.isfinite(t.global_arrival)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def _schedule_crashes(self, plan: FaultPlan) -> None:
+        for event in plan.crashes.events:
+            self.sim.schedule_at(
+                event.at, lambda d=event.device: self._on_crash(d)
+            )
+            if event.recover_at is not None:
+                self.sim.schedule_at(
+                    event.recover_at, lambda d=event.device: self._on_recover(d)
+                )
+
+    def _is_crashed(self, device: int) -> bool:
+        if self.fault_plan is None:
+            return False
+        return self.fault_plan.crashes.crashed(device, self.sim.now)
+
+    def _on_crash(self, device: int) -> None:
+        """Crash-stop: a crashed *leader* additionally triggers the
+        Assumption-3 repair (re-election up the leader chain)."""
+        self.fault_stats.crashes += 1
+        if device not in self.hierarchy.nodes:
+            return
+        bottom = self.hierarchy.bottom_level
+        cluster = self.hierarchy.cluster_of(device, bottom)
+        if cluster.leader != device:
+            return  # silent member: timeouts degrade around it
+        byzantine = self.hierarchy.nodes[device].byzantine
+        try:
+            repaired = leave_cluster(self.hierarchy, device)
+        except ValueError:
+            return  # last member of its cluster: nothing to re-elect
+        self._removed[device] = (cluster.index, byzantine)
+        self.fault_stats.reelections += len(repaired)
+        self._compute_flag_ancestors()
+
+    def _on_recover(self, device: int) -> None:
+        self.fault_stats.recoveries += 1
+        if device in self._removed:
+            cluster_index, byzantine = self._removed.pop(device)
+            join_cluster(
+                self.hierarchy, cluster_index, device_id=device, byzantine=byzantine
+            )
+        # the device resumes training at its cluster's next flag arrival
+
+    def _send_model(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        round_index: int,
+        on_delivery,
+    ) -> None:
+        """Protocol uploads: retransmitted with backoff under a fault plan."""
+        if isinstance(self.channel, FaultyChannel):
+            self.channel.send_with_retry(
+                src, dst, kind, round_index, 1, on_delivery
+            )
+        else:
+            self.channel.send(src, dst, kind, round_index, 1, on_delivery)
+
     # ------------------------------------------------------------------
     # actors
     # ------------------------------------------------------------------
@@ -198,44 +315,71 @@ class EventDrivenRun:
     ) -> None:
         if round_index >= self.n_rounds:
             return
+        if self._is_crashed(device):
+            return
         start = max(self.sim.now, self._device_busy_until.get(device, 0.0))
         duration = self.config.local_compute.sample(self._compute_rng)
         finish = start + duration
         self._device_busy_until[device] = finish
 
         def upload() -> None:
+            if self._is_crashed(device):
+                return  # crashed mid-training: the round loses this upload
             leader = cluster.leader if cluster.leader is not None else cluster.members[0]
-            self.channel.send(
+            self._send_model(
                 src=device,
                 dst=leader,
                 kind="local_model",
-                payload=round_index,
-                size_bytes=1,
-                on_delivery=lambda msg: self._on_upload(
-                    cluster, round_index, msg.delivered_at
-                ),
+                round_index=round_index,
+                on_delivery=lambda msg: self._on_upload(cluster, round_index, msg),
             )
 
         self.sim.schedule_at(finish, upload)
 
     def _on_upload(
-        self, cluster: Cluster, round_index: int, delivered_at: float
+        self, cluster: Cluster, round_index: int, msg: Message
     ) -> None:
         key = (cluster.level, cluster.index, round_index)
         state = self._leader_state.setdefault(key, _LeaderState())
-        state.received += 1
+        if msg.src in state.senders:
+            return  # duplicate delivery (or stale retransmission)
+        state.senders.add(msg.src)
         if cluster.level == self.hierarchy.bottom_level and state.received == 1:
             timing = self._timing(round_index, cluster.index)
-            timing.first_upload = delivered_at
+            timing.first_upload = msg.delivered_at
+        if (
+            self.fault_plan is not None
+            and not state.timeout_scheduled
+            and not state.quorum_met
+        ):
+            # Algorithm 4's quorum-or-timeout: arm the timer at the first
+            # arrival; if the quorum never forms, degrade instead of hang.
+            state.timeout_scheduled = True
+            self.sim.schedule(
+                self.fault_plan.leader_timeout,
+                lambda: self._on_timeout(cluster, round_index),
+            )
         quorum = max(1, math.ceil(self.config.phi * cluster.size))
         if state.received >= quorum and not state.quorum_met:
             state.quorum_met = True
-            duration = self.config.aggregate_model(cluster.level).sample(
-                self._agg_rng
-            )
-            self.sim.schedule(
-                duration, lambda: self._on_aggregated(cluster, round_index)
-            )
+            self._begin_aggregation(cluster, round_index)
+
+    def _on_timeout(self, cluster: Cluster, round_index: int) -> None:
+        """Quorum timer expired: proceed with the partial quorum on hand."""
+        key = (cluster.level, cluster.index, round_index)
+        state = self._leader_state.get(key)
+        if state is None or state.quorum_met:
+            return
+        self.fault_stats.timeouts_fired += 1
+        self.fault_stats.quorums_degraded += 1
+        state.quorum_met = True
+        self._begin_aggregation(cluster, round_index)
+
+    def _begin_aggregation(self, cluster: Cluster, round_index: int) -> None:
+        duration = self.config.aggregate_model(cluster.level).sample(self._agg_rng)
+        self.sim.schedule(
+            duration, lambda: self._on_aggregated(cluster, round_index)
+        )
 
     def _on_aggregated(self, cluster: Cluster, round_index: int) -> None:
         key = (cluster.level, cluster.index, round_index)
@@ -264,15 +408,12 @@ class EventDrivenRun:
         )
         src = cluster.leader if cluster.leader is not None else cluster.members[0]
         dst = parent.leader if parent.leader is not None else parent.members[0]
-        self.channel.send(
+        self._send_model(
             src=src,
             dst=dst,
             kind="partial_model",
-            payload=round_index,
-            size_bytes=1,
-            on_delivery=lambda msg: self._on_upload(
-                parent, round_index, msg.delivered_at
-            ),
+            round_index=round_index,
+            on_delivery=lambda msg: self._on_upload(parent, round_index, msg),
         )
 
     def _disseminate_flag(self, flag_cluster: Cluster, round_index: int) -> None:

@@ -3,11 +3,14 @@
 A :class:`Channel` implements the paper's partial-synchrony assumption:
 every sent message is delivered after a finite random delay drawn from a
 latency model (no loss, no corruption — Byzantine behaviour lives in the
-*content* of messages, not in the transport).
+*content* of messages, not in the transport).  The fault-injected
+transport that *does* lose, duplicate and reorder messages lives in
+:mod:`repro.faults.transport` and subclasses :class:`Channel`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -34,16 +37,32 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate transport accounting."""
+    """Aggregate transport accounting (always on, O(#kinds) memory)."""
 
     messages: int = 0
     bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
         self.messages += 1
         self.bytes += message.size_bytes
         self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.bytes_by_kind[message.kind] = (
+            self.bytes_by_kind.get(message.kind, 0) + message.size_bytes
+        )
+
+    def summary(self) -> str:
+        """One-line-per-kind report separating model from control traffic."""
+        lines = [f"{self.messages} messages, {self.bytes} bytes"]
+        for kind in sorted(
+            self.by_kind, key=lambda k: self.bytes_by_kind[k], reverse=True
+        ):
+            lines.append(
+                f"  {kind}: {self.by_kind[kind]} messages, "
+                f"{self.bytes_by_kind[kind]} bytes"
+            )
+        return "\n".join(lines)
 
 
 class Channel:
@@ -57,6 +76,14 @@ class Channel:
         Delay model applied to every message.
     rng:
         Delay randomness (independent stream per channel).
+    record_deliveries:
+        If True, delivered :class:`Message` objects (payloads included)
+        are retained in :attr:`delivered` for inspection.  Off by default:
+        long runs would otherwise hold every payload forever.
+        :class:`NetworkStats` is the always-on accounting.
+    delivered_maxlen:
+        Optional bound on the retention buffer (only meaningful with
+        ``record_deliveries=True``); ``None`` keeps everything.
     """
 
     def __init__(
@@ -64,12 +91,17 @@ class Channel:
         sim: Simulator,
         latency: LatencyModel,
         rng: np.random.Generator,
+        record_deliveries: bool = False,
+        delivered_maxlen: int | None = None,
     ) -> None:
         self.sim = sim
         self.latency = latency
         self.rng = rng
         self.stats = NetworkStats()
-        self.delivered: list[Message] = []
+        # maxlen=0 makes appends no-ops, so the delivery path stays branch-free
+        self.delivered: deque[Message] = deque(
+            maxlen=delivered_maxlen if record_deliveries else 0
+        )
 
     def send(
         self,
@@ -93,14 +125,21 @@ class Channel:
         )
         self.stats.record(message)
         delay = self.latency.sample(self.rng)
+        self._schedule_delivery(message, delay, on_delivery)
+        return message
 
+    def _schedule_delivery(
+        self,
+        message: Message,
+        delay: float,
+        on_delivery: Callable[[Message], None],
+    ) -> None:
         def deliver() -> None:
             message.delivered_at = self.sim.now
             self.delivered.append(message)
             on_delivery(message)
 
         self.sim.schedule(delay, deliver)
-        return message
 
     def broadcast(
         self,

@@ -89,6 +89,53 @@ class TestPBFT:
             PBFTConsensus(exclusion_quantile=1.0)
 
 
+class TestPBFTSilentMembers:
+    """Crash faults in PBFT: silent members propose nothing, and a silent
+    primary times out into a view change instead of equivocating."""
+
+    def test_silent_members_excluded_from_accepted(self, rng):
+        proposals, center = proposals_with_outlier(rng, n=7)
+        protocol = PBFTConsensus()
+        silent = np.zeros(7, dtype=bool)
+        silent[2] = True
+        protocol.silent_mask = silent
+        result = protocol.agree(proposals, rng=rng)
+        assert not result.accepted[2]
+        assert np.linalg.norm(result.value - center) < 1.0
+        # the mask is one-shot: the next agree() sees a live quorum again
+        assert protocol.silent_mask is None
+
+    def test_silent_primary_counts_view_timeouts(self, rng):
+        proposals, _ = proposals_with_outlier(rng, n=7)
+        protocol = PBFTConsensus()
+        timeouts = 0
+        for seed in range(20):
+            silent = np.zeros(7, dtype=bool)
+            silent[0] = True
+            protocol.silent_mask = silent
+            r = protocol.agree(proposals, rng=np.random.default_rng(seed))
+            assert r.info["view_timeouts"] <= r.info["view_changes"]
+            timeouts += r.info["view_timeouts"]
+        assert timeouts > 0  # some rotation started with the silent primary
+
+    def test_silent_counted_against_safety_bound(self, rng):
+        proposals, _ = proposals_with_outlier(rng, n=6)
+        byz = np.array([True, False, False, False, False, False])
+        silent = np.array([False, True, False, False, False, False])
+        protocol = PBFTConsensus()
+        protocol.silent_mask = silent
+        # f = 1 Byzantine + 1 silent = 2, n = 6: 3f >= n -> unsafe
+        with pytest.raises(ValueError):
+            protocol.agree(proposals, byzantine_mask=byz, rng=rng)
+
+    def test_bad_silent_mask_shape_rejected(self, rng):
+        proposals, _ = proposals_with_outlier(rng, n=7)
+        protocol = PBFTConsensus()
+        protocol.silent_mask = np.zeros(3, dtype=bool)
+        with pytest.raises(ValueError):
+            protocol.agree(proposals, rng=rng)
+
+
 class TestPoS:
     def test_excludes_outlier(self, rng):
         proposals, center = proposals_with_outlier(rng, n=6)

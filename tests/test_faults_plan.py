@@ -1,0 +1,146 @@
+"""Tests for fault plans: link faults, partitions, crash schedules."""
+
+import pytest
+
+from repro.faults import (
+    CrashEvent,
+    CrashSchedule,
+    FaultPlan,
+    FaultStats,
+    LinkFaults,
+    Partition,
+)
+
+
+class TestLinkFaults:
+    def test_defaults_inactive(self):
+        assert not LinkFaults().active
+
+    def test_active_flags(self):
+        assert LinkFaults(drop_probability=0.1).active
+        assert LinkFaults(duplicate_probability=0.1).active
+        assert LinkFaults(reorder_jitter=1.0).active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(duplicate_probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkFaults(reorder_jitter=-1.0)
+
+
+class TestPartition:
+    def test_severs_across_groups_in_window(self):
+        p = Partition(10.0, 20.0, (frozenset({0, 1}), frozenset({2, 3})))
+        assert p.severs(0, 2, 15.0)
+        assert p.severs(3, 1, 10.0)
+        assert not p.severs(0, 1, 15.0)  # same group
+        assert not p.severs(0, 2, 9.9)  # before the window
+        assert not p.severs(0, 2, 20.0)  # window is half-open
+
+    def test_unlisted_nodes_form_the_rest_group(self):
+        p = Partition(0.0, 10.0, (frozenset({0, 1}),))
+        assert p.severs(0, 7, 5.0)  # listed vs rest
+        assert not p.severs(7, 8, 5.0)  # rest vs rest
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(5.0, 5.0, (frozenset({0}),))
+        with pytest.raises(ValueError):
+            Partition(0.0, 1.0, ())
+        with pytest.raises(ValueError):
+            Partition(0.0, 1.0, (frozenset({0, 1}), frozenset({1, 2})))
+
+
+class TestCrashSchedule:
+    def test_crash_without_recovery_is_forever(self):
+        sched = CrashSchedule((CrashEvent(3, at=5.0),))
+        assert not sched.crashed(3, 4.9)
+        assert sched.crashed(3, 5.0)
+        assert sched.crashed(3, 1e9)
+        assert not sched.crashed(4, 10.0)
+
+    def test_recovery_window(self):
+        sched = CrashSchedule((CrashEvent(3, at=5.0, recover_at=8.0),))
+        assert sched.crashed(3, 6.0)
+        assert not sched.crashed(3, 8.0)
+
+    def test_devices_and_for_device(self):
+        sched = CrashSchedule((CrashEvent(3, at=1.0), CrashEvent(1, at=2.0)))
+        assert sched.devices() == [1, 3]
+        assert len(sched.for_device(3)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashEvent(0, at=-1.0)
+        with pytest.raises(ValueError):
+            CrashEvent(0, at=5.0, recover_at=5.0)
+
+    def test_empty_is_falsy(self):
+        assert not CrashSchedule()
+        assert CrashSchedule((CrashEvent(0, at=1.0),))
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+
+    def test_uniform_constructor(self):
+        plan = FaultPlan.uniform(drop_probability=0.2, reorder_jitter=0.5)
+        assert plan.active
+        assert plan.link_faults(0, 1).drop_probability == 0.2
+        assert plan.link_faults(5, 9).reorder_jitter == 0.5
+
+    def test_per_link_override(self):
+        plan = FaultPlan(
+            default_link=LinkFaults(drop_probability=0.1),
+            per_link={(0, 1): LinkFaults(drop_probability=0.9)},
+        )
+        assert plan.link_faults(0, 1).drop_probability == 0.9
+        assert plan.link_faults(1, 0).drop_probability == 0.1  # directed
+
+    def test_partitioned_queries_all_windows(self):
+        plan = FaultPlan(
+            partitions=(
+                Partition(0.0, 5.0, (frozenset({0}), frozenset({1}))),
+                Partition(10.0, 15.0, (frozenset({0}), frozenset({2}))),
+            )
+        )
+        assert plan.active
+        assert plan.partitioned(0, 1, 2.0)
+        assert not plan.partitioned(0, 1, 7.0)
+        assert plan.partitioned(2, 0, 12.0)
+
+    def test_crashes_make_plan_active(self):
+        plan = FaultPlan(crashes=CrashSchedule((CrashEvent(0, at=1.0),)))
+        assert plan.active
+
+    def test_rng_is_deterministic_and_independent(self):
+        a = FaultPlan(seed=7).rng("transport")
+        b = FaultPlan(seed=7).rng("transport")
+        c = FaultPlan(seed=7).rng("rounds")
+        assert a.random() == b.random()
+        assert FaultPlan(seed=7).rng("transport").random() != c.random()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(leader_timeout=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=-1)
+
+
+class TestFaultStats:
+    def test_as_dict_and_total(self):
+        stats = FaultStats(dropped=3, duplicated=2, crash_drops=1)
+        assert stats.as_dict()["dropped"] == 3
+        assert stats.total_injected == 6
+
+    def test_summary_mentions_counters(self):
+        text = FaultStats(timeouts_fired=4).summary()
+        assert "timeouts_fired=4" in text
+        assert "dropped=0" in text

@@ -1,0 +1,203 @@
+"""Tests for the unreliable transport (:class:`FaultyChannel`)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CrashEvent,
+    CrashSchedule,
+    FaultPlan,
+    FaultyChannel,
+    Partition,
+)
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatency
+from repro.sim.network import Channel
+
+
+def make_channel(plan, latency=1.0, seed=0):
+    sim = Simulator()
+    channel = FaultyChannel(
+        sim, FixedLatency(latency), np.random.default_rng(seed), plan=plan
+    )
+    return sim, channel
+
+
+class TestDropAndDuplicate:
+    def test_drop_rate_is_roughly_honoured(self):
+        plan = FaultPlan.uniform(drop_probability=0.3, seed=1)
+        sim, channel = make_channel(plan)
+        delivered = []
+        n = 500
+        for i in range(n):
+            channel.send(0, 1, "m", i, 10, delivered.append)
+        sim.run()
+        assert channel.fault_stats.dropped == n - len(delivered)
+        # 0.3 +/- 5 sigma on 500 trials
+        assert 0.2 < channel.fault_stats.dropped / n < 0.4
+        # every transmission still hits the wire accounting
+        assert channel.stats.messages == n
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan.uniform(duplicate_probability=1.0, seed=2)
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send(0, 1, "m", "x", 10, delivered.append)
+        sim.run()
+        assert len(delivered) == 2
+        assert channel.fault_stats.duplicated == 1
+        assert all(m.payload == "x" for m in delivered)
+
+    def test_reorder_jitter_shifts_delivery(self):
+        plan = FaultPlan.uniform(reorder_jitter=5.0, seed=3)
+        sim, channel = make_channel(plan, latency=1.0)
+        delivered = []
+        channel.send(0, 1, "m", None, 1, delivered.append)
+        sim.run()
+        assert 1.0 <= delivered[0].delivered_at <= 6.0
+
+    def test_zero_rate_plan_matches_reliable_channel(self):
+        """The cornerstone guarantee: a no-op plan is bit-identical."""
+        plain_sim = Simulator()
+        plain = Channel(plain_sim, FixedLatency(1.0), np.random.default_rng(7))
+        faulty_sim, faulty = make_channel(FaultPlan(), seed=7)
+
+        plain_log, faulty_log = [], []
+        for i in range(50):
+            plain.send(0, 1, "m", i, 8, lambda m: plain_log.append(
+                (m.payload, m.delivered_at)))
+            faulty.send(0, 1, "m", i, 8, lambda m: faulty_log.append(
+                (m.payload, m.delivered_at)))
+        plain_sim.run()
+        faulty_sim.run()
+        assert plain_log == faulty_log
+        assert faulty.fault_stats.total_injected == 0
+
+
+class TestPartition:
+    def test_partition_window_severs_then_heals(self):
+        plan = FaultPlan(
+            partitions=(Partition(5.0, 10.0, (frozenset({0}), frozenset({1}))),)
+        )
+        sim, channel = make_channel(plan)
+        delivered = []
+
+        sim.schedule_at(6.0, lambda: channel.send(0, 1, "m", "cut", 1,
+                                                  delivered.append))
+        sim.schedule_at(11.0, lambda: channel.send(0, 1, "m", "healed", 1,
+                                                   delivered.append))
+        sim.run()
+        assert [m.payload for m in delivered] == ["healed"]
+        assert channel.fault_stats.partition_drops == 1
+
+    def test_same_side_traffic_unaffected(self):
+        plan = FaultPlan(
+            partitions=(Partition(0.0, 100.0, (frozenset({0, 1}), frozenset({2})),),)
+        )
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send(0, 1, "m", None, 1, delivered.append)
+        sim.run()
+        assert len(delivered) == 1
+
+
+class TestRetry:
+    def test_retry_recovers_a_dropped_message(self):
+        # drop everything, but a partition-free retry plan can't win;
+        # instead drop with p=1 only for the first attempts via seed search
+        # is fragile — use a partition that heals mid-backoff instead.
+        plan = FaultPlan(
+            partitions=(Partition(0.0, 1.0, (frozenset({0}), frozenset({1}))),),
+            max_retries=3,
+            retry_backoff=0.6,
+        )
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send_with_retry(0, 1, "m", "persist", 4, delivered.append)
+        sim.run()
+        # attempt 0 at t=0 severed; attempt 1 at t=0.6 severed; attempt 2
+        # at t=1.8 goes through the healed network.
+        assert [m.payload for m in delivered] == ["persist"]
+        assert channel.fault_stats.partition_drops == 2
+        assert channel.fault_stats.retries == 2
+
+    def test_retry_budget_is_bounded(self):
+        plan = FaultPlan(
+            partitions=(Partition(0.0, 1e9, (frozenset({0}), frozenset({1}))),),
+            max_retries=2,
+            retry_backoff=0.5,
+        )
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send_with_retry(0, 1, "m", None, 4, delivered.append)
+        sim.run()
+        assert delivered == []
+        assert channel.fault_stats.retries == 2
+        assert channel.fault_stats.partition_drops == 3  # initial + 2 retries
+
+    def test_plain_send_never_retries(self):
+        plan = FaultPlan(
+            partitions=(Partition(0.0, 1e9, (frozenset({0}), frozenset({1}))),),
+            max_retries=5,
+        )
+        sim, channel = make_channel(plan)
+        channel.send(0, 1, "m", None, 4, lambda m: None)
+        sim.run()
+        assert channel.fault_stats.retries == 0
+
+    def test_negative_retry_override_rejected(self):
+        sim, channel = make_channel(FaultPlan())
+        with pytest.raises(ValueError):
+            channel.send_with_retry(0, 1, "m", None, 4, lambda m: None,
+                                    max_retries=-1)
+
+
+class TestCrashes:
+    def test_crashed_sender_emits_nothing(self):
+        plan = FaultPlan(crashes=CrashSchedule((CrashEvent(0, at=0.0),)))
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send(0, 1, "m", None, 4, delivered.append)
+        sim.run()
+        assert delivered == []
+        assert channel.stats.messages == 0  # never hit the wire
+        assert channel.fault_stats.crash_drops == 1
+
+    def test_receiver_crash_drops_in_flight_message(self):
+        # sent at t=0, delivery due t=1, dst crashes at t=0.5
+        plan = FaultPlan(crashes=CrashSchedule((CrashEvent(1, at=0.5),)))
+        sim, channel = make_channel(plan)
+        delivered = []
+        channel.send(0, 1, "m", None, 4, delivered.append)
+        sim.run()
+        assert delivered == []
+        assert channel.stats.messages == 1  # it did hit the wire
+        assert channel.fault_stats.crash_drops == 1
+
+    def test_recovered_receiver_gets_later_messages(self):
+        plan = FaultPlan(
+            crashes=CrashSchedule((CrashEvent(1, at=0.0, recover_at=5.0),))
+        )
+        sim, channel = make_channel(plan)
+        delivered = []
+        sim.schedule_at(6.0, lambda: channel.send(0, 1, "m", "back", 4,
+                                                  delivered.append))
+        sim.run()
+        assert [m.payload for m in delivered] == ["back"]
+
+
+class TestDeterminism:
+    def test_same_plan_seed_same_fault_trace(self):
+        def trace(seed):
+            plan = FaultPlan.uniform(
+                drop_probability=0.4, duplicate_probability=0.2, seed=seed
+            )
+            sim, channel = make_channel(plan, seed=99)
+            log = []
+            for i in range(100):
+                channel.send(0, 1, "m", i, 1, lambda m: log.append(m.payload))
+            sim.run()
+            return log, channel.fault_stats.as_dict()
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)

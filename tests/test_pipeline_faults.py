@@ -1,0 +1,170 @@
+"""Fault injection in the event-driven pipeline run.
+
+The acceptance criteria for the fault layer live here: bit-identity of a
+zero-rate plan, graceful degradation via timeouts under loss, and leader
+crash -> re-election -> recovery keeping the run alive and the hierarchy
+valid.
+"""
+
+import math
+
+from repro.faults import CrashEvent, CrashSchedule, FaultPlan, Partition
+from repro.pipeline.event_run import EventDrivenRun, TimingConfig
+from repro.sim.latency import FixedLatency, UniformLatency
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        local_compute=FixedLatency(10.0),
+        partial_aggregate=FixedLatency(1.0),
+        global_aggregate=FixedLatency(5.0),
+        link=FixedLatency(0.1),
+    )
+    defaults.update(overrides)
+    return TimingConfig(**defaults)
+
+
+def timing_tuples(timings):
+    return [
+        (t.round_index, t.cluster_index, t.first_upload, t.flag_arrival,
+         t.global_arrival)
+        for t in timings
+    ]
+
+
+class TestBitIdentity:
+    def test_zero_rate_plan_is_bit_identical(self, paper_hierarchy):
+        """FaultPlan with all rates zero must not perturb a single event."""
+        cfg = quick_config(
+            local_compute=UniformLatency(8.0, 12.0),
+            link=UniformLatency(0.05, 0.2),
+        )
+        baseline = EventDrivenRun(paper_hierarchy, cfg, flag_level=1, seed=3)
+        plan_run = EventDrivenRun(
+            paper_hierarchy, cfg, flag_level=1, seed=3, fault_plan=FaultPlan()
+        )
+        assert timing_tuples(baseline.run(4)) == timing_tuples(plan_run.run(4))
+        assert plan_run.fault_stats.total_injected == 0
+        assert plan_run.fault_stats.timeouts_fired == 0
+
+
+class TestGracefulDegradation:
+    def test_drops_complete_via_timeouts(self, paper_hierarchy):
+        """10% loss (bounded retries) must not deadlock any round."""
+        plan = FaultPlan.uniform(
+            drop_probability=0.10, seed=5, max_retries=1, leader_timeout=20.0
+        )
+        run = EventDrivenRun(
+            paper_hierarchy, quick_config(), flag_level=1, seed=3, fault_plan=plan
+        )
+        run.run(6)
+        assert run.completed_rounds() == 6
+        assert run.fault_stats.dropped > 0
+        assert run.fault_stats.retries > 0
+
+    def test_degraded_quorum_counted(self, small_hierarchy):
+        """Permanently severing one member forces a timeout every round."""
+        # device ids: bottom clusters of 3; sever one non-leader member
+        bottom = small_hierarchy.clusters_at(small_hierarchy.bottom_level)[0]
+        victim = [d for d in bottom.members if d != bottom.leader][0]
+        plan = FaultPlan(
+            partitions=(
+                Partition(0.0, 1e9, (frozenset({victim}),)),
+            ),
+            max_retries=0,
+            leader_timeout=5.0,
+        )
+        run = EventDrivenRun(
+            small_hierarchy, quick_config(), flag_level=0, seed=0, fault_plan=plan
+        )
+        run.run(3)
+        assert run.completed_rounds() == 3
+        assert run.fault_stats.timeouts_fired >= 3
+        assert run.fault_stats.quorums_degraded >= 3
+        assert run.fault_stats.partition_drops > 0
+
+    def test_duplicates_do_not_inflate_quorum(self, small_hierarchy):
+        """Dedup by sender: duplicated uploads must not fake a quorum."""
+        plan = FaultPlan.uniform(duplicate_probability=1.0, seed=1)
+        run = EventDrivenRun(
+            small_hierarchy, quick_config(), flag_level=0, seed=0, fault_plan=plan
+        )
+        timings = run.run(2)
+        assert run.fault_stats.duplicated > 0
+        assert run.fault_stats.timeouts_fired == 0
+        assert all(math.isfinite(t.global_arrival) for t in timings)
+
+
+class TestCrashAndRecovery:
+    def test_leader_crash_triggers_reelection(self, paper_hierarchy):
+        bottom = paper_hierarchy.clusters_at(paper_hierarchy.bottom_level)[0]
+        leader = bottom.leader
+        plan = FaultPlan(
+            crashes=CrashSchedule((CrashEvent(leader, at=40.0),)),
+            leader_timeout=15.0,
+        )
+        run = EventDrivenRun(
+            paper_hierarchy, quick_config(), flag_level=1, seed=3, fault_plan=plan
+        )
+        run.run(6)
+        assert run.fault_stats.crashes == 1
+        assert run.fault_stats.reelections >= 1
+        assert run.completed_rounds() == 6
+        paper_hierarchy.validate()
+        assert leader not in paper_hierarchy.nodes
+
+    def test_crashed_leader_recovers_and_rejoins(self, paper_hierarchy):
+        bottom = paper_hierarchy.clusters_at(paper_hierarchy.bottom_level)[0]
+        leader = bottom.leader
+        n_before = len(paper_hierarchy.nodes)
+        plan = FaultPlan(
+            crashes=CrashSchedule(
+                (CrashEvent(leader, at=40.0, recover_at=120.0),)
+            ),
+            leader_timeout=15.0,
+        )
+        run = EventDrivenRun(
+            paper_hierarchy, quick_config(), flag_level=1, seed=3, fault_plan=plan
+        )
+        run.run(8)
+        assert run.fault_stats.crashes == 1
+        assert run.fault_stats.recoveries == 1
+        paper_hierarchy.validate()
+        assert len(paper_hierarchy.nodes) == n_before
+        assert leader in paper_hierarchy.nodes
+        # rejoined as a plain member of its old cluster, not as leader
+        cluster = paper_hierarchy.cluster_of(leader, paper_hierarchy.bottom_level)
+        assert cluster.index == bottom.index
+
+    def test_member_crash_degrades_not_deadlocks(self, small_hierarchy):
+        bottom = small_hierarchy.clusters_at(small_hierarchy.bottom_level)[0]
+        victim = [d for d in bottom.members if d != bottom.leader][0]
+        plan = FaultPlan(
+            crashes=CrashSchedule((CrashEvent(victim, at=0.0),)),
+            leader_timeout=5.0,
+        )
+        run = EventDrivenRun(
+            small_hierarchy, quick_config(), flag_level=0, seed=0, fault_plan=plan
+        )
+        run.run(3)
+        assert run.completed_rounds() == 3
+        assert run.fault_stats.timeouts_fired >= 1
+
+
+class TestDeterminism:
+    def test_same_plan_same_trace(self):
+        from repro.topology.tree import build_ecsm
+
+        def trace(plan_seed):
+            h = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+            plan = FaultPlan.uniform(
+                drop_probability=0.15, duplicate_probability=0.05,
+                seed=plan_seed, leader_timeout=20.0,
+            )
+            run = EventDrivenRun(
+                h, quick_config(), flag_level=1, seed=3, fault_plan=plan
+            )
+            return timing_tuples(run.run(4)), run.fault_stats.as_dict()
+
+        assert trace(21) == trace(21)
+        assert trace(21) != trace(22)

@@ -113,3 +113,84 @@ class TestSimulator:
             return log
 
         assert run_once() == run_once()
+
+
+class TestSimulatorEdgeCases:
+    def test_same_timestamp_fifo_across_apis(self):
+        """Insertion order breaks time ties — including schedule vs
+        schedule_at vs nested scheduling at the same instant."""
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("delay"))
+        sim.schedule_at(2.0, lambda: order.append("absolute"))
+        sim.schedule(
+            1.0, lambda: sim.schedule(1.0, lambda: order.append("nested"))
+        )
+        sim.run()
+        assert order == ["delay", "absolute", "nested"]
+
+    def test_until_and_max_events_interact(self):
+        """Both bounds apply; whichever bites first stops the run."""
+        sim = Simulator()
+        fired = []
+        for t in range(1, 7):
+            sim.schedule(float(t), lambda t=t: fired.append(t))
+
+        sim.run(until=4.0, max_events=2)  # max_events bites first
+        assert fired == [1, 2]
+        assert sim.now == 2.0  # horizon not forced while events remain
+
+        sim.run(until=4.0, max_events=10)  # until bites first
+        assert fired == [1, 2, 3, 4]
+        assert sim.now == 4.0
+
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5, 6]
+
+    def test_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+        sim.run(until=3.0)  # an earlier horizon never rewinds the clock
+        assert sim.now == 7.0
+
+    def test_max_events_counts_only_this_call(self):
+        sim = Simulator()
+        for t in range(4):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run(max_events=2)
+        sim.run(max_events=2)
+        assert sim.events_processed == 4
+
+    def test_schedule_at_now_is_allowed(self):
+        """The causality guard is strict-past only: now itself is legal."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: sim.schedule_at(5.0, lambda: fired.append(1)))
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_schedule_at_past_rejected_after_until(self):
+        """run(until=...) advances the clock, so earlier absolute times
+        become the past even with no event processed."""
+        sim = Simulator()
+        sim.run(until=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(9.999, lambda: None)
+
+    def test_zero_delay_event_fires_at_now(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+        assert keep.time == 1.0

@@ -103,3 +103,66 @@ class TestChannel:
         sim.run()
         assert len(count) == 50
         assert np.isfinite(sim.now)
+
+
+class TestDeliveryRetention:
+    """`delivered` retention is opt-in: long runs must not accumulate
+    every payload while the aggregate NetworkStats stay always-on."""
+
+    def test_off_by_default(self):
+        sim = Simulator()
+        chan = Channel(sim, FixedLatency(1.0), np.random.default_rng(0))
+        for i in range(20):
+            chan.send(0, 1, "m", i, 8, lambda m: None)
+        sim.run()
+        assert len(chan.delivered) == 0
+        assert chan.stats.messages == 20  # accounting unaffected
+
+    def test_opt_in_retains_everything(self):
+        sim = Simulator()
+        chan = Channel(
+            sim, FixedLatency(1.0), np.random.default_rng(0),
+            record_deliveries=True,
+        )
+        for i in range(20):
+            chan.send(0, 1, "m", i, 8, lambda m: None)
+        sim.run()
+        assert [m.payload for m in chan.delivered] == list(range(20))
+
+    def test_maxlen_bounds_the_buffer(self):
+        sim = Simulator()
+        chan = Channel(
+            sim, FixedLatency(1.0), np.random.default_rng(0),
+            record_deliveries=True, delivered_maxlen=5,
+        )
+        for i in range(20):
+            chan.send(0, 1, "m", i, 8, lambda m: None)
+        sim.run()
+        assert [m.payload for m in chan.delivered] == list(range(15, 20))
+
+
+class TestNetworkStatsReporting:
+    def test_bytes_by_kind(self):
+        sim = Simulator()
+        chan = Channel(sim, FixedLatency(1.0), np.random.default_rng(0))
+        chan.send(0, 1, "model", None, 800, lambda m: None)
+        chan.send(0, 1, "model", None, 800, lambda m: None)
+        chan.send(0, 2, "vote", None, 64, lambda m: None)
+        assert chan.stats.bytes_by_kind == {"model": 1600, "vote": 64}
+        assert chan.stats.by_kind == {"model": 2, "vote": 1}
+
+    def test_summary_sorted_by_volume(self):
+        sim = Simulator()
+        chan = Channel(sim, FixedLatency(1.0), np.random.default_rng(0))
+        chan.send(0, 1, "vote", None, 64, lambda m: None)
+        chan.send(0, 1, "model", None, 800, lambda m: None)
+        text = chan.stats.summary()
+        lines = text.splitlines()
+        assert lines[0] == "2 messages, 864 bytes"
+        assert lines[1].strip().startswith("model:")  # heaviest first
+        assert lines[2].strip().startswith("vote:")
+
+    def test_summary_empty(self):
+        from repro.sim.network import NetworkStats
+
+        assert NetworkStats().summary() == "0 messages, 0 bytes"

@@ -94,6 +94,57 @@ class TestLeave:
         assert total == 63
 
 
+class TestMultiLevelChainRepair:
+    """Assumption-3 repair when the departing leader holds roles at three
+    or more levels (4-level tree: bottom leader -> level-2 leader ->
+    level-1 leader -> top member)."""
+
+    def test_four_level_chain_repair(self):
+        h = build_ecsm(n_levels=4, cluster_size=3, n_top=3)
+        # device 0 leads its cluster at every intermediate level and sits
+        # in the (leaderless) top cluster
+        for level in (3, 2, 1):
+            assert h.cluster_of(0, level).leader == 0
+        assert 0 in h.top_cluster.members
+
+        repaired = leave_cluster(h, 0)
+        assert {lvl for lvl, _ in repaired} == {3, 2, 1}
+        # repair proceeds bottom-up
+        assert [lvl for lvl, _ in repaired] == sorted(
+            (lvl for lvl, _ in repaired), reverse=True
+        )
+        h.validate()
+        assert 0 not in h.nodes
+        assert 0 not in h.top_cluster.members
+
+        # the promoted chain: the bottom re-election winner was promoted
+        # into every seat the departing device held, up to the top
+        new_bottom_leader = h.clusters_at(3)[0].leader
+        for level in (2, 1):
+            assert new_bottom_leader in h.cluster_of(new_bottom_leader, level).members
+        assert h.top_cluster.members.count(new_bottom_leader) <= 1
+
+    def test_sequential_departures_stay_valid(self):
+        """Repeatedly removing the current top-seat holder exercises the
+        chain repair with already-promoted members; validate after each."""
+        h = build_ecsm(n_levels=4, cluster_size=3, n_top=3)
+        # each original top-seat holder roots a distinct subtree, so every
+        # departure runs the full bottom-to-top chain repair
+        for victim in list(h.top_cluster.members):
+            leave_cluster(h, victim)
+            h.validate()
+            assert victim not in h.nodes
+        # clusters were never split or merged
+        assert len(h.clusters_at(3)) == 27
+
+    def test_promoted_member_gains_upper_roles(self):
+        h = build_ecsm(n_levels=4, cluster_size=3, n_top=3)
+        leave_cluster(h, 0)
+        promoted = h.clusters_at(3)[0].leader
+        roles = h.nodes[promoted].roles
+        assert {3, 2, 1, 0} <= roles or {3, 2, 1} <= roles
+
+
 class TestChurnProcess:
     def test_runs_and_stays_valid(self, paper_hierarchy, rng):
         churn = ChurnProcess(paper_hierarchy, rng, join_probability=0.5)
@@ -119,6 +170,39 @@ class TestChurnProcess:
         churn = ChurnProcess(paper_hierarchy, rng)
         with pytest.raises(ValueError):
             churn.run(-1)
+
+    def test_deterministic_under_fixed_seed(self):
+        """Same seed -> same event log, same final membership, same
+        Byzantine assignment (byzantine_join_fraction exercised)."""
+
+        def run_once():
+            h = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+            churn = ChurnProcess(
+                h,
+                np.random.default_rng(777),
+                join_probability=0.6,
+                byzantine_join_fraction=0.3,
+            )
+            events = churn.run(50)
+            log = [(e.kind, e.device_id, e.cluster_index) for e in events]
+            return log, sorted(h.nodes), sorted(h.byzantine_devices())
+
+        log_a, nodes_a, byz_a = run_once()
+        log_b, nodes_b, byz_b = run_once()
+        assert log_a == log_b
+        assert nodes_a == nodes_b
+        assert byz_a == byz_b
+        assert len(byz_a) > 0  # the byzantine fraction actually fired
+
+    def test_different_seeds_diverge(self):
+        def log_for(seed):
+            h = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+            churn = ChurnProcess(
+                h, np.random.default_rng(seed), byzantine_join_fraction=0.3
+            )
+            return [(e.kind, e.device_id) for e in churn.run(30)]
+
+        assert log_for(1) != log_for(2)
 
 
 @settings(max_examples=15, deadline=None)

@@ -1,0 +1,141 @@
+"""Fault injection in the round-synchronous trainer.
+
+Plan times are round indices here: a ``CrashEvent(d, at=1.0,
+recover_at=3.0)`` removes device ``d`` for rounds 1 and 2.
+"""
+
+import numpy as np
+
+from repro.core.config import ABDHFLConfig, LevelAggregation, TrainingConfig
+from repro.core.trainer import ABDHFLTrainer
+from repro.data.partition import iid_partition
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.faults import CrashEvent, CrashSchedule, FaultPlan
+from repro.nn.model import MLP
+from repro.topology.tree import build_ecsm
+from repro.utils.seeding import SeedSequenceFactory
+
+
+def small_setup(seed=0, n_levels=3, cluster_size=2, n_top=2):
+    seeds = SeedSequenceFactory(seed)
+    hierarchy = build_ecsm(n_levels=n_levels, cluster_size=cluster_size, n_top=n_top)
+    cfg = SyntheticMNIST(side=8, noise_sigma=0.15)
+    n_clients = len(hierarchy.bottom_clients())
+    train, test = make_synthetic_mnist(
+        n_clients * 80, 300, seeds.generator("data"), cfg
+    )
+    partition = iid_partition(train, n_clients, seeds.generator("part"))
+    datasets = dict(enumerate(partition.shards))
+    model = MLP(64, (16,), 10, seeds.generator("init"))
+    return hierarchy, datasets, model, test
+
+
+def default_config():
+    return ABDHFLConfig(
+        training=TrainingConfig(local_iterations=8, batch_size=16, learning_rate=0.8),
+        default_intermediate=LevelAggregation("bra", "multikrum"),
+        default_top=LevelAggregation("cba", "voting"),
+    )
+
+
+def make_trainer(fault_plan=None, seed=0, **setup_kwargs):
+    hierarchy, datasets, model, test = small_setup(seed=seed, **setup_kwargs)
+    trainer = ABDHFLTrainer(
+        hierarchy,
+        datasets,
+        model,
+        default_config(),
+        test,
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+    return trainer, hierarchy
+
+
+class TestBitIdentity:
+    def test_zero_rate_plan_is_bit_identical(self):
+        baseline, _ = make_trainer(fault_plan=None)
+        faulted, _ = make_trainer(fault_plan=FaultPlan())
+        rec_a = baseline.run(3)
+        rec_b = faulted.run(3)
+        for a, b in zip(rec_a, rec_b):
+            assert a.test_accuracy == b.test_accuracy
+            assert a.test_loss == b.test_loss
+        np.testing.assert_array_equal(baseline.global_model, faulted.global_model)
+        assert faulted.fault_stats.total_injected == 0
+
+
+class TestDegradation:
+    def test_training_survives_drops(self):
+        plan = FaultPlan.uniform(drop_probability=0.15, seed=4, max_retries=1)
+        trainer, hierarchy = make_trainer(fault_plan=plan)
+        records = trainer.run(3)
+        assert len(records) == 3
+        assert all(np.isfinite(r.test_accuracy) for r in records)
+        assert trainer.fault_stats.dropped > 0
+        hierarchy.validate()
+
+    def test_total_upload_loss_falls_back_to_global_model(self):
+        """All members of a cluster severed -> cluster contributes the
+        current global model instead of poisoning the upper levels."""
+        plan = FaultPlan.uniform(drop_probability=1.0, seed=0, max_retries=0)
+        trainer, hierarchy = make_trainer(fault_plan=plan)
+        records = trainer.run(2)
+        assert all(np.isfinite(r.test_accuracy) for r in records)
+        assert trainer.fault_stats.quorums_degraded > 0
+        hierarchy.validate()
+
+
+class TestCrashAndRecovery:
+    def test_leader_crash_reelects_and_completes(self):
+        hierarchy_probe = build_ecsm(n_levels=3, cluster_size=2, n_top=2)
+        leader = hierarchy_probe.clusters_at(hierarchy_probe.bottom_level)[0].leader
+        plan = FaultPlan(crashes=CrashSchedule((CrashEvent(leader, at=1.0),)))
+        trainer, hierarchy = make_trainer(fault_plan=plan)
+        records = trainer.run(3)
+        assert len(records) == 3
+        assert trainer.fault_stats.crashes == 1
+        assert trainer.fault_stats.reelections >= 1
+        assert leader not in hierarchy.nodes
+        hierarchy.validate()
+
+    def test_crash_recovery_rejoins_cluster(self):
+        hierarchy_probe = build_ecsm(n_levels=3, cluster_size=2, n_top=2)
+        leader = hierarchy_probe.clusters_at(hierarchy_probe.bottom_level)[0].leader
+        plan = FaultPlan(
+            crashes=CrashSchedule(
+                (CrashEvent(leader, at=1.0, recover_at=3.0),)
+            )
+        )
+        trainer, hierarchy = make_trainer(fault_plan=plan)
+        n_clients = len(hierarchy.bottom_clients())
+        records = trainer.run(4)
+        assert len(records) == 4
+        assert trainer.fault_stats.crashes == 1
+        assert trainer.fault_stats.recoveries == 1
+        assert leader in hierarchy.nodes
+        assert len(hierarchy.bottom_clients()) == n_clients
+        hierarchy.validate()
+
+    def test_member_crash_skips_local_training(self):
+        """A crashed non-leader contributes nothing but the round finishes."""
+        hierarchy_probe = build_ecsm(n_levels=3, cluster_size=2, n_top=2)
+        bottom = hierarchy_probe.clusters_at(hierarchy_probe.bottom_level)[0]
+        victim = [d for d in bottom.members if d != bottom.leader][0]
+        plan = FaultPlan(crashes=CrashSchedule((CrashEvent(victim, at=0.0),)))
+        trainer, hierarchy = make_trainer(fault_plan=plan)
+        records = trainer.run(2)
+        assert all(np.isfinite(r.test_accuracy) for r in records)
+        assert trainer.fault_stats.crashes == 1
+        assert trainer.fault_stats.reelections == 0
+
+
+class TestDeterminism:
+    def test_same_plan_same_history(self):
+        def history(plan_seed):
+            plan = FaultPlan.uniform(drop_probability=0.2, seed=plan_seed)
+            trainer, _ = make_trainer(fault_plan=plan)
+            records = trainer.run(3)
+            return [(r.test_accuracy, r.test_loss) for r in records]
+
+        assert history(9) == history(9)
