@@ -1,0 +1,230 @@
+"""Old-vs-new timing of the aggregation fast path.
+
+Times every (stateless) rule three ways across n x d grids:
+
+* ``reference`` — the per-vector oracle fed a plain list of update
+  vectors: stacking, validation, geometry kernels and the per-vector
+  inner loops are all paid inside the call, exactly like the pre-fast-path
+  code did every round;
+* ``fast cold`` — build a :class:`ParameterMatrix` from the same list and
+  run the vectorised rule (kernels computed once, inside the timing);
+* ``fast warm`` — the per-round marginal cost: the matrix and its cached
+  Gram/pairwise kernels already exist (a round aggregates the same stack
+  with its rule after the cache was primed), only the rule body runs.
+
+Emits machine-readable ``BENCH_aggregation.json`` at the repo root so
+future PRs can track the perf trajectory, and supports ``--check`` as a
+CI gate: at n=256, d=100000 the fast path must not be slower than the
+reference, and Krum/GeoMed must clear a 3x speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_aggregation_kernels.py
+    PYTHONPATH=src python benchmarks/bench_aggregation_kernels.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.aggregation import ParameterMatrix, get_aggregator
+
+SIZES: list[tuple[int, int]] = [
+    (16, 1_000),
+    (16, 100_000),
+    (64, 1_000),
+    (64, 100_000),
+    (256, 1_000),
+    (256, 100_000),
+]
+CHECK_SIZE: tuple[int, int] = (256, 100_000)
+# Stateless rules only: a stateful rule's second call takes a different
+# code path, so "repeat the call" timing would not measure one round.
+RULES: list[str] = [
+    "fedavg",
+    "median",
+    "trimmed_mean",
+    "krum",
+    "multikrum",
+    "geomed",
+    "autogm",
+    "centered_clipping",
+    "clustering",
+]
+SPEEDUP_RULES = ("krum", "geomed")
+SPEEDUP_FLOOR = 3.0
+TARGET_SECONDS = 0.2  # per-measurement budget governing repetitions
+MAX_REPS = 5
+
+
+def _make_updates(n: int, d: int, rng: np.random.Generator) -> list[np.ndarray]:
+    """Honest cluster + a 25% Byzantine tail, as a list of flat vectors."""
+    center = rng.standard_normal(d)
+    n_byz = max(1, n // 4)
+    honest = [center + 0.1 * rng.standard_normal(d) for _ in range(n - n_byz)]
+    byz = [center + 5.0 * rng.standard_normal(d) for _ in range(n_byz)]
+    return honest + byz
+
+
+def _best_of(fn: Callable[[], object], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _reps_for(fn: Callable[[], object]) -> tuple[int, float]:
+    """Pick a repetition count from one probe run; returns (reps, probe_s)."""
+    t0 = time.perf_counter()
+    fn()
+    probe = time.perf_counter() - t0
+    if probe >= TARGET_SECONDS:
+        return 1, probe
+    return min(MAX_REPS, max(1, int(TARGET_SECONDS / max(probe, 1e-9)))), probe
+
+
+def bench_rule(rule: str, n: int, d: int, seed: int = 0) -> dict:
+    rng = np.random.default_rng(seed)
+    vectors = _make_updates(n, d, rng)
+    weights = rng.random(n) + 0.5
+
+    fast = get_aggregator(rule)
+    ref = get_aggregator(rule, reference=True)
+
+    def run_reference() -> np.ndarray:
+        return ref(list(vectors), weights)
+
+    def run_fast_cold() -> np.ndarray:
+        return fast(ParameterMatrix(list(vectors), weights))
+
+    warm_matrix = ParameterMatrix(list(vectors), weights)
+    fast(warm_matrix)  # prime the kernel caches
+
+    def run_fast_warm() -> np.ndarray:
+        return fast(warm_matrix)
+
+    # Differential guarantee holds here too — assert it so the benchmark
+    # can never report a speedup of a wrong kernel.
+    if not np.array_equal(run_fast_cold(), run_reference()):
+        raise AssertionError(f"{rule}: fast path diverged from reference")
+
+    reps_ref, probe_ref = _reps_for(run_reference)
+    reps_cold, probe_cold = _reps_for(run_fast_cold)
+    reps_warm, probe_warm = _reps_for(run_fast_warm)
+    reference_s = min(probe_ref, _best_of(run_reference, reps_ref))
+    cold_s = min(probe_cold, _best_of(run_fast_cold, reps_cold))
+    warm_s = min(probe_warm, _best_of(run_fast_warm, reps_warm))
+    return {
+        "rule": rule,
+        "n": n,
+        "d": d,
+        "reference_s": reference_s,
+        "fast_cold_s": cold_s,
+        "fast_warm_s": warm_s,
+        "speedup_cold": reference_s / max(cold_s, 1e-12),
+        "speedup_warm": reference_s / max(warm_s, 1e-12),
+    }
+
+
+def run_grid(sizes: list[tuple[int, int]]) -> dict:
+    results = []
+    for n, d in sizes:
+        for rule in RULES:
+            row = bench_rule(rule, n, d)
+            results.append(row)
+            print(
+                f"{rule:18s} n={n:4d} d={d:6d}  "
+                f"ref={row['reference_s']*1e3:9.2f}ms  "
+                f"cold={row['fast_cold_s']*1e3:9.2f}ms  "
+                f"warm={row['fast_warm_s']*1e3:9.2f}ms  "
+                f"speedup(warm)={row['speedup_warm']:7.1f}x",
+                flush=True,
+            )
+    return {
+        "benchmark": "aggregation_kernels",
+        "config": {
+            "sizes": [list(s) for s in sizes],
+            "rules": RULES,
+            "timing": "best-of-reps wall clock, adaptive reps",
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """CI gate at CHECK_SIZE; returns a list of failure messages."""
+    n, d = CHECK_SIZE
+    failures = []
+    at_size = {r["rule"]: r for r in report["results"] if (r["n"], r["d"]) == (n, d)}
+    if not at_size:
+        return [f"no results at n={n}, d={d}"]
+    for rule, row in at_size.items():
+        if row["fast_warm_s"] > row["reference_s"]:
+            failures.append(
+                f"{rule}: fast path slower than reference at n={n}, d={d} "
+                f"({row['fast_warm_s']:.4f}s vs {row['reference_s']:.4f}s)"
+            )
+    for rule in SPEEDUP_RULES:
+        row = at_size.get(rule)
+        if row is None:
+            failures.append(f"{rule}: missing from results at n={n}, d={d}")
+        elif row["speedup_warm"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"{rule}: warm speedup {row['speedup_warm']:.2f}x < "
+                f"{SPEEDUP_FLOOR}x at n={n}, d={d}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="benchmark only the CI gate size and fail if the fast path "
+        "is slower than reference (or Krum/GeoMed below the speedup floor)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_aggregation.json at the repo root; "
+        "--check writes nothing unless this is given)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [CHECK_SIZE] if args.check else SIZES
+    report = run_grid(sizes)
+
+    output = args.output
+    if output is None and not args.check:
+        output = Path(__file__).resolve().parents[1] / "BENCH_aggregation.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if args.check:
+        failures = check(report)
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: fast path faster than reference at "
+              f"n={CHECK_SIZE[0]}, d={CHECK_SIZE[1]}; "
+              f"{' and '.join(SPEEDUP_RULES)} above {SPEEDUP_FLOOR}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

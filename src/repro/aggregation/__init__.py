@@ -5,6 +5,13 @@ Every rule is a callable object mapping a stack of model-update vectors
 aggregated vector ``[d]``.  All rules are pure NumPy, vectorised over both
 axes; none mutates its inputs.
 
+The rules run on a :class:`ParameterMatrix` — the updates stacked once
+into a single ``(n, d)`` float64 array with the shared geometry kernels
+(Gram matrix, pairwise distances, cosine similarities) computed at most
+once per round and reused across rules.  Each rule also ships a slow
+per-vector oracle (``get_aggregator(name, reference=True)``) that the
+differential test suite holds the fast path bit-identical to.
+
 Implemented rules (Table II, "Byzantine robust aggregation" rows):
 
 ====================  =====================================================
@@ -15,24 +22,40 @@ Rule                  Measurement principle
 :class:`TrimmedMean`  coordinate-wise beta-trimmed mean
 :class:`Krum`         Euclidean-distance score, single winner
 :class:`MultiKrum`    Euclidean-distance score, mean of m winners
-:class:`GeoMed`       geometric median (Weiszfeld)
+:class:`GeoMed`       geometric median (span-form Weiszfeld)
 :class:`AutoGM`       auto-weighted geometric median with outlier damping
 :class:`CenteredClipping`  iterative clipped re-centering
 :class:`ClusteringAggregator`  cosine-similarity largest-cluster mean
 ====================  =====================================================
 """
 
-from repro.aggregation.base import Aggregator, get_aggregator, register_aggregator, available_aggregators
+from repro.aggregation.base import (
+    Aggregator,
+    get_aggregator,
+    register_aggregator,
+    register_reference,
+    available_aggregators,
+    validate_updates,
+)
+from repro.aggregation.matrix import ParameterMatrix, as_parameter_matrix
 from repro.aggregation.mean import FedAvg
 from repro.aggregation.median import Median
 from repro.aggregation.trimmed_mean import TrimmedMean
 from repro.aggregation.krum import Krum, MultiKrum, krum_scores
-from repro.aggregation.geomed import GeoMed, geometric_median
+from repro.aggregation.geomed import GeoMed, geometric_median, weiszfeld_span
 from repro.aggregation.autogm import AutoGM
 from repro.aggregation.clipping import CenteredClipping
 from repro.aggregation.clustering import ClusteringAggregator, cosine_similarity_matrix
 from repro.aggregation.lipschitz import LipschitzFilter
-from repro.aggregation.norms import pairwise_sq_distances
+from repro.aggregation.norms import (
+    pairwise_sq_distances,
+    gram_matrix,
+    row_sq_norms,
+    l2_norms,
+    sq_dists_to,
+    weighted_combine,
+    cosine_from_gram,
+)
 from repro.aggregation.staleness import (
     StalenessWeight,
     ConstantStaleness,
@@ -40,12 +63,17 @@ from repro.aggregation.staleness import (
     HingeStaleness,
     apply_staleness,
 )
+from repro.aggregation import reference as _reference  # populate oracle registry
 
 __all__ = [
     "Aggregator",
     "get_aggregator",
     "register_aggregator",
+    "register_reference",
     "available_aggregators",
+    "validate_updates",
+    "ParameterMatrix",
+    "as_parameter_matrix",
     "FedAvg",
     "Median",
     "TrimmedMean",
@@ -54,12 +82,19 @@ __all__ = [
     "krum_scores",
     "GeoMed",
     "geometric_median",
+    "weiszfeld_span",
     "AutoGM",
     "CenteredClipping",
     "ClusteringAggregator",
     "cosine_similarity_matrix",
     "LipschitzFilter",
     "pairwise_sq_distances",
+    "gram_matrix",
+    "row_sq_norms",
+    "l2_norms",
+    "sq_dists_to",
+    "weighted_combine",
+    "cosine_from_gram",
     "StalenessWeight",
     "ConstantStaleness",
     "PolynomialStaleness",

@@ -6,6 +6,11 @@ median, updates whose distance to it exceeds ``z`` times the median
 distance are down-weighted to zero and the median is recomputed.  This
 captures the scheme's "automatic" outlier exclusion without the original's
 hyper-parameter search.
+
+Both Weiszfeld passes run in span form on the cached Gram matrix: the
+distances needed for the outlier screen fall out of the first pass for
+free, and the second pass reuses a *sliced* view of the same Gram (see
+:meth:`ParameterMatrix.subset`), so no O(n d) geometry is recomputed.
 """
 
 from __future__ import annotations
@@ -13,7 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
-from repro.aggregation.geomed import geometric_median
+from repro.aggregation.geomed import weiszfeld_span
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.norms import weighted_combine
 
 __all__ = ["AutoGM"]
 
@@ -38,25 +45,34 @@ class AutoGM(Aggregator):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        center = geometric_median(
-            updates, weights, max_iter=self.max_iter, tol=self.tol
+    def _span_median(self, matrix: ParameterMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """One span-form Weiszfeld pass; returns (center, dists-to-center)."""
+        lam, anchor, d2 = weiszfeld_span(
+            matrix.gram, matrix.sq_norms, matrix.weights,
+            max_iter=self.max_iter, tol=self.tol,
         )
-        diffs = updates - center
-        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-        scale = np.median(dists)
+        if anchor >= 0:
+            # The center *is* an input row; its distance row is already in
+            # the cached all-pairs matrix.
+            return (
+                matrix.data[anchor].copy(),
+                np.sqrt(matrix.pairwise_sq_dists[anchor]),
+            )
+        return weighted_combine(lam, matrix.data), np.sqrt(d2)
+
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        center, dists = self._span_median(matrix)
+        scale = float(np.median(dists))
         if scale <= 0.0:
             # All updates identical: nothing to exclude.
             return center
         keep = dists <= self.z * scale
-        if keep.sum() < max(1, updates.shape[0] // 2):
+        if keep.sum() < max(1, matrix.n_updates // 2):
             # Refuse to exclude a majority; fall back to the plain median.
             return center
-        kept_weights = weights[keep]
-        kept_weights = kept_weights / kept_weights.sum()
-        return geometric_median(
-            updates[keep], kept_weights, max_iter=self.max_iter, tol=self.tol
-        )
+        sub = matrix.subset(np.flatnonzero(keep))
+        refined, _ = self._span_median(sub)
+        return refined
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AutoGM(z={self.z})"

@@ -1,26 +1,36 @@
-"""Aggregator protocol, input validation and the name registry.
+"""Aggregator protocol, input validation and the name registries.
 
 The registry lets experiment configs refer to rules by name
 (``"multikrum"``) with keyword overrides, which is how the per-level
 BRA/CBA choice of Algorithm 3 is expressed in :mod:`repro.core.config`.
+
+Two registries coexist: the *fast* registry holds the vectorised
+implementations that run in production, and the *reference* registry
+holds the per-vector oracles (:mod:`repro.aggregation.reference`) the
+differential test suite locks them against.  ``get_aggregator(name,
+reference=True)`` selects the oracle.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
+
+from repro.aggregation.matrix import ParameterMatrix, as_parameter_matrix
 
 __all__ = [
     "Aggregator",
     "register_aggregator",
+    "register_reference",
     "get_aggregator",
     "available_aggregators",
     "validate_updates",
 ]
 
 _REGISTRY: dict[str, Callable[..., "Aggregator"]] = {}
+_REFERENCE_REGISTRY: dict[str, Callable[..., "Aggregator"]] = {}
 
 
 def validate_updates(
@@ -56,50 +66,68 @@ def validate_updates(
 class Aggregator(ABC):
     """A Byzantine-robust (or plain) aggregation rule.
 
-    Subclasses implement :meth:`_aggregate`; the public ``__call__``
-    validates inputs first so every rule shares the same error behaviour.
+    Subclasses implement :meth:`_aggregate` over a
+    :class:`~repro.aggregation.matrix.ParameterMatrix`; the public
+    ``__call__`` accepts a raw ``(k, d)`` stack, a sequence of flat
+    vectors, or a pre-built matrix (whose cached kernels are then
+    reused), so every rule shares the same validation and stacking.
     """
 
     #: name under which the rule is registered (set by the decorator)
     name: str = ""
 
     def __call__(
-        self, updates: np.ndarray, weights: np.ndarray | None = None
+        self,
+        updates: "np.ndarray | Sequence[np.ndarray] | ParameterMatrix",
+        weights: np.ndarray | None = None,
     ) -> np.ndarray:
-        updates, weights = validate_updates(updates, weights)
-        return self._aggregate(updates, weights)
+        return self._aggregate(as_parameter_matrix(updates, weights))
 
     @abstractmethod
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         ...
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
-def register_aggregator(name: str) -> Callable[[type], type]:
-    """Class decorator registering an aggregator under ``name``."""
-
+def _register(registry: dict, name: str, what: str) -> Callable[[type], type]:
     def deco(cls: type) -> type:
         key = name.lower()
-        if key in _REGISTRY:
-            raise ValueError(f"aggregator {name!r} already registered")
-        _REGISTRY[key] = cls
+        if key in registry:
+            raise ValueError(f"{what} {name!r} already registered")
+        registry[key] = cls
         cls.name = key
         return cls
 
     return deco
 
 
-def get_aggregator(name: str, **kwargs: object) -> Aggregator:
-    """Instantiate a registered rule by (case-insensitive) name."""
+def register_aggregator(name: str) -> Callable[[type], type]:
+    """Class decorator registering a fast-path aggregator under ``name``."""
+    return _register(_REGISTRY, name, "aggregator")
+
+
+def register_reference(name: str) -> Callable[[type], type]:
+    """Class decorator registering a per-vector reference oracle."""
+    return _register(_REFERENCE_REGISTRY, name, "reference aggregator")
+
+
+def get_aggregator(
+    name: str, reference: bool = False, **kwargs: object
+) -> Aggregator:
+    """Instantiate a registered rule by (case-insensitive) name.
+
+    ``reference=True`` selects the per-vector oracle implementation the
+    differential suite validates the fast path against.
+    """
+    registry = _REFERENCE_REGISTRY if reference else _REGISTRY
     key = name.lower()
-    if key not in _REGISTRY:
-        raise KeyError(
-            f"unknown aggregator {name!r}; available: {sorted(_REGISTRY)}"
-        )
-    return _REGISTRY[key](**kwargs)  # type: ignore[call-arg]
+    if key not in registry:
+        kind = "reference aggregator" if reference else "aggregator"
+        raise KeyError(f"unknown {kind} {name!r}; available: {sorted(registry)}")
+    return registry[key](**kwargs)  # type: ignore[call-arg]
 
 
-def available_aggregators() -> list[str]:
-    return sorted(_REGISTRY)
+def available_aggregators(reference: bool = False) -> list[str]:
+    return sorted(_REFERENCE_REGISTRY if reference else _REGISTRY)

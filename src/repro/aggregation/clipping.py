@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.norms import sq_dists_to, weighted_combine
 
 __all__ = ["CenteredClipping"]
 
@@ -26,9 +28,9 @@ class CenteredClipping(Aggregator):
         scale-free across training stages).
     n_iter:
         Number of re-centering passes.
-    momentum_center:
+    stateful:
         Optional warm-start centre carried across calls (the published
-        variant clips around the previous aggregate); ``None`` starts each
+        variant clips around the previous aggregate); ``False`` starts each
         call from the coordinate-wise median, which is itself robust.
     """
 
@@ -42,23 +44,24 @@ class CenteredClipping(Aggregator):
         self.stateful = bool(stateful)
         self._center: np.ndarray | None = None
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
         if self.stateful and self._center is not None and self._center.shape == updates.shape[1:]:
             center = self._center.copy()
         else:
             center = np.median(updates, axis=0)
         if self.tau is None:
-            norms = np.linalg.norm(updates - center, axis=1)
+            norms = np.sqrt(sq_dists_to(updates, center))
             tau = float(np.median(norms))
             if tau <= 0.0:
                 tau = 1.0  # all updates coincide with the centre
         else:
             tau = self.tau
         for _ in range(self.n_iter):
-            diffs = updates - center
-            norms = np.linalg.norm(diffs, axis=1)
+            norms = np.sqrt(sq_dists_to(updates, center))
             scale = np.minimum(1.0, tau / np.maximum(norms, 1e-12))
-            center = center + (weights * scale) @ diffs / max(weights.sum(), 1e-12)
+            coeffs = (weights * scale) / max(float(weights.sum()), 1e-12)
+            center = center + weighted_combine(coeffs, updates - center)
         if self.stateful:
             self._center = center.copy()
         return center

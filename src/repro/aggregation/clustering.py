@@ -11,22 +11,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.norms import (
+    cosine_from_gram,
+    gram_matrix,
+    l2_norms,
+    weighted_combine,
+)
 
 __all__ = ["cosine_similarity_matrix", "ClusteringAggregator"]
 
 
 def cosine_similarity_matrix(updates: np.ndarray, eps: float = 1e-12) -> np.ndarray:
-    """All-pairs cosine similarity of row vectors (diagonal = 1)."""
+    """All-pairs cosine similarity of row vectors (diagonal = 1).
+
+    Derived from the shared Gram kernel (``gram[i, j] / (|u_i| |u_j|)``)
+    rather than normalising rows first, so the Gram matmul a round already
+    paid for (Krum, geomed) is reused and the per-pair division is exactly
+    reproducible by the reference oracle.
+    """
     updates = np.asarray(updates, dtype=np.float64)
     if updates.ndim != 2:
         raise ValueError(f"updates must be [k, d], got {updates.shape}")
-    norms = np.linalg.norm(updates, axis=1)
-    safe = np.maximum(norms, eps)
-    normalized = updates / safe[:, None]
-    sim = normalized @ normalized.T
-    np.clip(sim, -1.0, 1.0, out=sim)
-    np.fill_diagonal(sim, 1.0)
-    return sim
+    return cosine_from_gram(gram_matrix(updates), l2_norms(updates), eps=eps)
 
 
 def _connected_components(adjacency: np.ndarray) -> np.ndarray:
@@ -75,11 +82,12 @@ class ClusteringAggregator(Aggregator):
             raise ValueError(f"threshold must be in [-1, 1), got {threshold}")
         self.threshold = float(threshold)
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
         k = updates.shape[0]
         if k == 1:
             return updates[0].copy()
-        sim = cosine_similarity_matrix(updates)
+        sim = matrix.cosine
         adjacency = sim >= self.threshold
         np.fill_diagonal(adjacency, True)
         labels = _connected_components(adjacency)
@@ -91,8 +99,12 @@ class ClusteringAggregator(Aggregator):
         for cid in np.unique(labels):
             members = labels == cid
             w = weights[members]
-            mean = (w / w.sum()) @ updates[members] if w.sum() > 0 else updates[members].mean(axis=0)
-            key = (float(weights[members].sum()), int(members.sum()))
+            total = float(w.sum())
+            if total > 0:
+                mean = weighted_combine(w / total, updates[members])
+            else:
+                mean = updates[members].mean(axis=0)
+            key = (total, int(members.sum()))
             if (
                 best_key is None
                 or key > best_key

@@ -3,6 +3,19 @@
 The geometric median minimises the sum of (weighted) Euclidean distances
 to the inputs; it is robust up to a 1/2 breakdown point and is the "GeoMed"
 entry in the paper's Table II.
+
+The iteration runs in *span form*: every Weiszfeld iterate is a convex
+combination ``guess = sum_i lam_i * u_i``, so instead of materialising a
+``d``-vector per step we iterate on the simplex coefficients ``lam`` using
+only the cached Gram matrix —
+
+    ``|u_i - guess|^2 = sq_i - 2 (G lam)_i + lam^T G lam``
+
+— which costs O(n^2) per iteration instead of O(n d).  The full-size
+vector is materialised exactly once at the end.  Both the fast path and
+the per-vector reference oracle call the *same* :func:`weiszfeld_span`
+helper on the *same* shared Gram kernel, which is what makes them
+bit-identical (see the contract in :mod:`repro.aggregation.norms`).
 """
 
 from __future__ import annotations
@@ -10,44 +23,101 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix, as_parameter_matrix
+from repro.aggregation.norms import weighted_combine
 
-__all__ = ["geometric_median", "GeoMed"]
+__all__ = ["geometric_median", "weiszfeld_span", "GeoMed"]
+
+
+def weiszfeld_span(
+    gram: np.ndarray,
+    sq: np.ndarray,
+    weights: np.ndarray,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+    eps: float = 1e-7,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Weiszfeld iteration on span coefficients; shared by fast and oracle.
+
+    Parameters
+    ----------
+    gram, sq:
+        Gram matrix and squared row norms of the ``(k, d)`` update stack,
+        both from the shared kernels in :mod:`repro.aggregation.norms`.
+    weights:
+        Non-negative, normalised point weights (``lam`` starts here).
+    eps:
+        *Relative* zero-distance radius: the estimate counts as sitting on
+        input ``i`` when ``|u_i - guess|^2 <= eps^2 * max(1, |u_i|^2)``.
+        Relative scaling keeps the test meaningful both for O(1) updates
+        and for the Gram formulation's cancellation noise at large ``d``.
+
+    Returns
+    -------
+    (lam, anchor, d2):
+        ``anchor >= 0`` means the (positive-weight) input point ``anchor``
+        *is* the solution and should be returned exactly; otherwise
+        ``lam`` holds the simplex coefficients of the final estimate.
+        ``d2`` are the squared distances of all inputs to that estimate
+        (consumed by AutoGM's outlier screen).
+
+    A zero-distance point with **zero weight** is *not* an anchor: it
+    exerts no pull, so its inverse-distance weight is forced to zero and
+    the iteration continues toward the true weighted median — returning
+    it (as a naive guard would) or dividing by its zero distance (NaN)
+    are both wrong.
+    """
+    positive = weights > 0.0
+    # Per-point anchor radius; also the division floor, so any point the
+    # floor could touch has either already been returned or has lam == 0.
+    anchor_d2 = (eps * eps) * np.maximum(1.0, sq)
+    lam = weights.copy()
+    gl = (gram * lam[None, :]).sum(axis=1)
+    qform = float((lam * gl).sum())
+    d2 = sq - 2.0 * gl + qform
+    np.maximum(d2, 0.0, out=d2)
+    for _ in range(max_iter):
+        at_point = (d2 <= anchor_d2) & positive
+        if at_point.any():
+            return lam, int(np.argmax(at_point)), d2
+        dists = np.sqrt(d2)
+        inv = np.where(positive, weights / np.maximum(dists, eps), 0.0)
+        new_lam = inv / inv.sum()
+        new_gl = (gram * new_lam[None, :]).sum(axis=1)
+        new_qform = float((new_lam * new_gl).sum())
+        # |new - old|^2 expands bilinearly on the Gram (clipped round-off).
+        cross = float((lam * new_gl).sum())
+        shift_sq = max(new_qform - 2.0 * cross + qform, 0.0)
+        lam, gl, qform = new_lam, new_gl, new_qform
+        d2 = sq - 2.0 * gl + qform
+        np.maximum(d2, 0.0, out=d2)
+        guess_norm = np.sqrt(max(qform, 0.0))
+        if np.sqrt(shift_sq) <= tol * (1.0 + guess_norm):
+            break
+    return lam, -1, d2
 
 
 def geometric_median(
-    updates: np.ndarray,
+    updates: np.ndarray | ParameterMatrix,
     weights: np.ndarray | None = None,
     max_iter: int = 100,
     tol: float = 1e-8,
-    eps: float = 1e-12,
+    eps: float = 1e-7,
 ) -> np.ndarray:
-    """Weiszfeld iteration for the weighted geometric median.
+    """Weighted geometric median of row vectors (span-form Weiszfeld).
 
-    The iteration re-weights points by inverse distance to the current
-    estimate; ``eps`` guards the division when the estimate coincides with
-    an input point (in which case that point is the exact solution).
+    Accepts a raw ``(k, d)`` stack or a :class:`ParameterMatrix` whose
+    cached Gram is then reused.  ``eps`` is the relative zero-distance
+    radius described in :func:`weiszfeld_span`.
     """
-    updates = np.asarray(updates, dtype=np.float64)
-    k = updates.shape[0]
-    if weights is None:
-        weights = np.full(k, 1.0 / k)
-    guess = weights @ updates
-    for _ in range(max_iter):
-        diffs = updates - guess
-        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-        at_point = dists < eps
-        if at_point.any():
-            # The estimate sits on an input point; the generalized Weiszfeld
-            # step (Vardi & Zhang) would be needed for strict optimality,
-            # but for aggregation purposes the coinciding point is returned.
-            return updates[int(np.argmax(at_point))].copy()
-        inv = weights / dists
-        new_guess = (inv @ updates) / inv.sum()
-        shift = float(np.linalg.norm(new_guess - guess))
-        guess = new_guess
-        if shift <= tol * (1.0 + float(np.linalg.norm(guess))):
-            break
-    return guess
+    matrix = as_parameter_matrix(updates, weights)
+    lam, anchor, _ = weiszfeld_span(
+        matrix.gram, matrix.sq_norms, matrix.weights,
+        max_iter=max_iter, tol=tol, eps=eps,
+    )
+    if anchor >= 0:
+        return matrix.data[anchor].copy()
+    return weighted_combine(lam, matrix.data)
 
 
 @register_aggregator("geomed")
@@ -68,7 +138,7 @@ class GeoMed(Aggregator):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         return geometric_median(
-            updates, weights, max_iter=self.max_iter, tol=self.tol
+            matrix, max_iter=self.max_iter, tol=self.tol
         )

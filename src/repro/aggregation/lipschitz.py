@@ -22,6 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.norms import row_sq_norms, weighted_combine
 
 __all__ = ["LipschitzFilter"]
 
@@ -56,7 +58,8 @@ class LipschitzFilter(Aggregator):
         self._prev_updates = None
         self._prev_aggregate = None
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
         k = updates.shape[0]
         if (
             self._prev_updates is None
@@ -66,20 +69,23 @@ class LipschitzFilter(Aggregator):
             result = (
                 np.median(updates, axis=0)
                 if self.fallback == "median"
-                else weights @ updates
+                else weighted_combine(weights, updates)
             )
             self._prev_updates = updates.copy()
             self._prev_aggregate = result.copy()
             return result
 
-        model_shift = float(np.linalg.norm(updates.mean(axis=0) - self._prev_aggregate))
-        update_shifts = np.linalg.norm(updates - self._prev_updates, axis=1)
+        delta = updates.mean(axis=0) - self._prev_aggregate
+        model_shift = float(np.sqrt((delta * delta).sum()))
+        update_shifts = np.sqrt(row_sq_norms(updates - self._prev_updates))
         coefficients = update_shifts / max(model_shift, 1e-12)
 
         keep_count = max(1, int(np.ceil(self.quantile * k)))
-        keep = np.argpartition(coefficients, keep_count - 1)[:keep_count]
+        # Stable selection in ascending row order so the kept subset (and
+        # the summation order of its mean) is deterministic.
+        keep = np.sort(np.argsort(coefficients, kind="stable")[:keep_count])
         w = weights[keep]
-        result = (w / w.sum()) @ updates[keep]
+        result = weighted_combine(w / float(w.sum()), updates[keep])
 
         self._prev_updates = updates.copy()
         self._prev_aggregate = result.copy()

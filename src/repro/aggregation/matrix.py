@@ -1,0 +1,208 @@
+"""The ``ParameterMatrix``: one stacked update matrix, kernels cached once.
+
+Every aggregation call in a round operates on the same n device updates,
+and the Krum family, clustering, AutoGM and the geometric median all need
+(subsets of) the same pairwise geometry.  A :class:`ParameterMatrix`
+stacks the updates into a single C-contiguous ``(n, d)`` float64 array
+*once* and lazily caches the shared kernels from
+:mod:`repro.aggregation.norms` — squared row norms, the Gram matrix,
+all-pairs squared distances and the cosine-similarity matrix — so each is
+computed at most once per round no matter how many rules consume it.
+
+Because the cached values come from the exact same kernel functions the
+reference oracles call, caching cannot change a single bit of any rule's
+output (see the bit-equivalence contract in :mod:`repro.aggregation.norms`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aggregation.norms import (
+    cosine_from_gram,
+    gram_matrix,
+    pairwise_sq_distances_from,
+    row_sq_norms,
+)
+
+__all__ = ["ParameterMatrix", "as_parameter_matrix"]
+
+
+class ParameterMatrix:
+    """Stacked ``(n, d)`` update matrix with lazily cached shared kernels.
+
+    Parameters
+    ----------
+    updates:
+        Either an ``(n, d)`` array-like or a sequence of n flat vectors;
+        stacked/coerced once to C-contiguous float64.
+    weights:
+        Optional per-row weights; validated, defaulted to uniform and
+        normalised to sum to 1 (same rules as ``validate_updates``).
+    """
+
+    __slots__ = ("data", "weights", "_sq_norms", "_norms", "_gram", "_d2", "_cos")
+
+    def __init__(
+        self,
+        updates: np.ndarray | Sequence[np.ndarray],
+        weights: np.ndarray | None = None,
+    ) -> None:
+        from repro.aggregation.base import validate_updates
+
+        if isinstance(updates, np.ndarray) and updates.ndim == 2:
+            stacked = updates
+        else:
+            stacked = np.stack([np.asarray(u, dtype=np.float64) for u in updates])
+        data, w = validate_updates(stacked, weights)
+        self.data = np.ascontiguousarray(data)
+        self.weights = w
+        self._sq_norms: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._gram: np.ndarray | None = None
+        self._d2: np.ndarray | None = None
+        self._cos: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # shape
+    @property
+    def n_updates(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.data.shape[1]
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------
+    # cached kernels
+    @property
+    def sq_norms(self) -> np.ndarray:
+        """Row-wise squared norms (:func:`row_sq_norms`), cached."""
+        if self._sq_norms is None:
+            self._sq_norms = row_sq_norms(self.data)
+        return self._sq_norms
+
+    @property
+    def norms(self) -> np.ndarray:
+        """Row-wise L2 norms (``sqrt`` of :attr:`sq_norms`), cached."""
+        if self._norms is None:
+            self._norms = np.sqrt(self.sq_norms)
+        return self._norms
+
+    @property
+    def gram(self) -> np.ndarray:
+        """Gram matrix ``data @ data.T`` (shared BLAS kernel), cached."""
+        if self._gram is None:
+            self._gram = gram_matrix(self.data)
+        return self._gram
+
+    @property
+    def pairwise_sq_dists(self) -> np.ndarray:
+        """All-pairs squared Euclidean distances, cached."""
+        if self._d2 is None:
+            self._d2 = pairwise_sq_distances_from(self.gram, self.sq_norms)
+        return self._d2
+
+    @property
+    def cosine(self) -> np.ndarray:
+        """Pairwise cosine-similarity matrix, cached."""
+        if self._cos is None:
+            self._cos = cosine_from_gram(self.gram, self.norms)
+        return self._cos
+
+    # ------------------------------------------------------------------
+    # derived matrices
+    def with_weights(self, weights: np.ndarray | None) -> "ParameterMatrix":
+        """Same rows and caches, different (re-validated) weights."""
+        from repro.aggregation.base import validate_updates
+
+        _, w = validate_updates(self.data, weights)
+        clone = ParameterMatrix.__new__(ParameterMatrix)
+        clone.data = self.data
+        clone.weights = w
+        clone._sq_norms = self._sq_norms
+        clone._norms = self._norms
+        clone._gram = self._gram
+        clone._d2 = self._d2
+        clone._cos = self._cos
+        return clone
+
+    def subset(
+        self, indices: np.ndarray, weights: np.ndarray | None = None
+    ) -> "ParameterMatrix":
+        """Row subset that *slices* the parent's cached kernels.
+
+        Slicing copies entries verbatim, so the child's Gram/distances
+        are bitwise the corresponding entries of the parent's — which is
+        exactly what a per-vector oracle sharing the parent kernel sees.
+        (Recomputing a fresh gemm on the subset could round differently.)
+        ``weights`` defaults to the parent's, renormalised over the kept
+        rows.
+        """
+        indices = np.asarray(indices)
+        if weights is None:
+            kept = self.weights[indices]
+            total = kept.sum()
+            if total <= 0:
+                raise ValueError("subset weights must not all be zero")
+            weights = kept / total
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+        # Rows and weights were validated on the parent; re-normalising
+        # here would divide by a sum that is only ~1.0 and shift bits.
+        child = ParameterMatrix.__new__(ParameterMatrix)
+        child.data = np.ascontiguousarray(self.data[indices])
+        child.weights = weights
+        child._sq_norms = None
+        child._norms = None
+        child._gram = None
+        child._d2 = None
+        child._cos = None
+        ix = np.ix_(indices, indices)
+        if self._sq_norms is not None:
+            child._sq_norms = self._sq_norms[indices]
+        if self._norms is not None:
+            child._norms = self._norms[indices]
+        if self._gram is not None:
+            child._gram = self._gram[ix]
+        if self._d2 is not None:
+            child._d2 = self._d2[ix].copy()
+        if self._cos is not None:
+            child._cos = self._cos[ix].copy()
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cached = [
+            name
+            for name, slot in (
+                ("sq_norms", self._sq_norms),
+                ("gram", self._gram),
+                ("pairwise", self._d2),
+                ("cosine", self._cos),
+            )
+            if slot is not None
+        ]
+        return (
+            f"ParameterMatrix(n={self.n_updates}, d={self.dim}, "
+            f"cached={cached})"
+        )
+
+
+def as_parameter_matrix(
+    updates: "np.ndarray | Sequence[np.ndarray] | ParameterMatrix",
+    weights: np.ndarray | None = None,
+) -> ParameterMatrix:
+    """Coerce ``updates`` to a :class:`ParameterMatrix`, reusing caches.
+
+    A pre-built matrix passes through unchanged (or with re-validated
+    weights via :meth:`ParameterMatrix.with_weights` if ``weights`` is
+    given); anything else is stacked and validated once.
+    """
+    if isinstance(updates, ParameterMatrix):
+        return updates if weights is None else updates.with_weights(weights)
+    return ParameterMatrix(updates, weights)

@@ -10,13 +10,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.norms import weighted_combine
 
 __all__ = ["FedAvg"]
 
 
 @register_aggregator("fedavg")
 class FedAvg(Aggregator):
-    """``sum_k w_k * update_k`` with weights normalised to 1."""
+    """``sum_k w_k * update_k`` with weights normalised to 1.
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        return weights @ updates
+    Uses the bit-safe :func:`weighted_combine` kernel (not a BLAS dgemv),
+    so the per-vector reference oracle reproduces it exactly.
+    """
+
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        return weighted_combine(matrix.weights, matrix.data)

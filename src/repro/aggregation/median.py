@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
 
 __all__ = ["Median"]
 
@@ -19,5 +20,5 @@ __all__ = ["Median"]
 class Median(Aggregator):
     """Element-wise median over the update axis."""
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
-        return np.median(updates, axis=0)
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        return np.median(matrix.data, axis=0)

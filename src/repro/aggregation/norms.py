@@ -1,36 +1,167 @@
 """Vectorised distance/similarity kernels shared by the rules.
 
-The Gram-matrix formulation computes all pairwise squared Euclidean
-distances with one matmul instead of a double loop — the dominant cost of
-Krum-family rules — per the HPC guides' "vectorise the bottleneck" rule.
+Two kinds of kernel live here and together they define the repo's
+*bit-equivalence contract* (see DESIGN.md, "Aggregation fast path"):
+
+1. **Shared BLAS kernels** — :func:`gram_matrix` and the pairwise-distance
+   assembly built on it.  Their floating-point result depends on the BLAS
+   blocking schedule, so the fast path and the reference path both call
+   the *same* function (the fast path merely caches the result on a
+   :class:`~repro.aggregation.matrix.ParameterMatrix`).  Identical inputs
+   through identical code gives exact equality by construction.
+
+2. **Bit-safe reductions** — :func:`row_sq_norms`, :func:`sq_dists_to`
+   and :func:`weighted_combine`.  These are written only from NumPy
+   reduction forms that are bit-identical to the naive per-vector loop
+   (``sum(axis=1)`` of a contiguous row equals the 1-D sum of that row;
+   an ``axis=0`` reduce equals sequential accumulation per column), so a
+   per-vector oracle recomputing them one row at a time reproduces the
+   vectorised output bit for bit.  Blocking is over the *independent*
+   axis only, which cannot change any summation order.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["pairwise_sq_distances", "l2_norms"]
+__all__ = [
+    "pairwise_sq_distances",
+    "pairwise_sq_distances_from",
+    "gram_matrix",
+    "row_sq_norms",
+    "l2_norms",
+    "sq_dists_to",
+    "weighted_combine",
+    "cosine_from_gram",
+]
+
+# Block sizes keep the temporaries a few MB so they stay cache/TLB friendly
+# on large d without changing results (blocking is over independent axes).
+_COMBINE_BLOCK_COLS = 8192
+_DIST_BLOCK_ROWS = 64
 
 
-def pairwise_sq_distances(updates: np.ndarray) -> np.ndarray:
-    """All-pairs squared Euclidean distances of row vectors.
+def row_sq_norms(updates: np.ndarray) -> np.ndarray:
+    """Row-wise squared Euclidean norms, bit-equal to ``((u * u)).sum()``.
 
-    Uses ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b`` with a single Gram matmul.
-    Values are clipped at zero to absorb the formulation's small negative
-    round-off, and the diagonal is exactly zero.
+    ``(A * A).sum(axis=1)`` performs an independent 1-D pairwise sum per
+    contiguous row — the same reduction the per-vector loop performs —
+    so slicing one row out and recomputing gives the identical bits.
     """
     updates = np.asarray(updates, dtype=np.float64)
     if updates.ndim != 2:
         raise ValueError(f"updates must be [k, d], got {updates.shape}")
-    sq = np.einsum("ij,ij->i", updates, updates)
-    gram = updates @ updates.T
+    return (updates * updates).sum(axis=1)
+
+
+def gram_matrix(updates: np.ndarray) -> np.ndarray:
+    """Inner-product Gram matrix ``A @ A.T`` (shared BLAS kernel).
+
+    The summation order inside the matmul is BLAS-implementation defined,
+    so callers needing exact agreement must share *this* kernel rather
+    than recompute dot products row by row.
+    """
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got {updates.shape}")
+    return updates @ updates.T
+
+
+def pairwise_sq_distances_from(gram: np.ndarray, sq: np.ndarray) -> np.ndarray:
+    """Assemble all-pairs squared distances from a Gram matrix and row norms.
+
+    Uses ``|a-b|^2 = |a|^2 + |b|^2 - 2 a.b``; values are clipped at zero
+    to absorb the formulation's small negative round-off and the diagonal
+    is exactly zero.  Elementwise throughout, hence order-independent.
+    """
     d2 = sq[:, None] + sq[None, :] - 2.0 * gram
     np.maximum(d2, 0.0, out=d2)
     np.fill_diagonal(d2, 0.0)
     return d2
 
 
-def l2_norms(updates: np.ndarray) -> np.ndarray:
-    """Row-wise Euclidean norms."""
+def pairwise_sq_distances(updates: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances of row vectors.
+
+    One Gram matmul instead of a double loop — the dominant cost of
+    Krum-family rules — per the HPC guides' "vectorise the bottleneck"
+    rule.
+    """
     updates = np.asarray(updates, dtype=np.float64)
-    return np.sqrt(np.einsum("ij,ij->i", updates, updates))
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got {updates.shape}")
+    return pairwise_sq_distances_from(gram_matrix(updates), row_sq_norms(updates))
+
+
+def l2_norms(updates: np.ndarray) -> np.ndarray:
+    """Row-wise Euclidean norms (bit-safe: ``sqrt`` of :func:`row_sq_norms`)."""
+    return np.sqrt(row_sq_norms(updates))
+
+
+def sq_dists_to(
+    updates: np.ndarray, point: np.ndarray, block: int = _DIST_BLOCK_ROWS
+) -> np.ndarray:
+    """Squared distances of every row to ``point``.
+
+    Bit-equal to the per-vector ``((u - point) * (u - point)).sum()``:
+    each row's subtraction/square is elementwise and its ``sum(axis=1)``
+    is the same independent 1-D reduction.  Rows are processed in blocks
+    so the ``(block, d)`` temporary stays small.
+    """
+    updates = np.asarray(updates, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got {updates.shape}")
+    k = updates.shape[0]
+    out = np.empty(k, dtype=np.float64)
+    for lo in range(0, k, block):
+        hi = min(lo + block, k)
+        diff = updates[lo:hi] - point
+        np.multiply(diff, diff, out=diff)
+        out[lo:hi] = diff.sum(axis=1)
+    return out
+
+
+def weighted_combine(
+    coeffs: np.ndarray, updates: np.ndarray, block: int = _COMBINE_BLOCK_COLS
+) -> np.ndarray:
+    """``sum_i coeffs[i] * updates[i]``, bit-equal to sequential accumulation.
+
+    ``(coeffs[:, None] * block).sum(axis=0)`` reduces each column
+    sequentially over rows i = 0..k-1 — exactly the order of the naive
+    ``acc += coeffs[i] * updates[i]`` loop — while columns are mutually
+    independent, so blocking over columns cannot change any bits.  This
+    replaces ``coeffs @ updates`` (dgemv), whose accumulation order is
+    BLAS-defined and *not* loop-reproducible.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(f"updates must be [k, d], got {updates.shape}")
+    if coeffs.shape != (updates.shape[0],):
+        raise ValueError(
+            f"coeffs must be [k] = [{updates.shape[0]}], got {coeffs.shape}"
+        )
+    d = updates.shape[1]
+    out = np.empty(d, dtype=np.float64)
+    col = coeffs[:, None]
+    for lo in range(0, d, block):
+        hi = min(lo + block, d)
+        out[lo:hi] = (col * updates[:, lo:hi]).sum(axis=0)
+    return out
+
+
+def cosine_from_gram(
+    gram: np.ndarray, norms: np.ndarray, eps: float = 1e-12
+) -> np.ndarray:
+    """Pairwise cosine similarity from a shared Gram matrix and row norms.
+
+    ``sim[i, j] = gram[i, j] / (max(norms[i], eps) * max(norms[j], eps))``
+    clipped to [-1, 1] with an exact unit diagonal.  Elementwise given the
+    shared ``gram``, hence reproducible per entry by the oracle.
+    """
+    safe = np.maximum(norms, eps)
+    sim = gram / (safe[:, None] * safe[None, :])
+    np.clip(sim, -1.0, 1.0, out=sim)
+    np.fill_diagonal(sim, 1.0)
+    return sim

@@ -1,0 +1,345 @@
+"""Per-vector reference oracles for every registered aggregation rule.
+
+These are the slow, obviously-correct implementations the differential
+test suite (`tests/test_aggregation_differential.py`) locks the fast path
+against with **exact** equality (``np.array_equal``, not ``allclose``).
+
+The bit-equivalence contract (documented in :mod:`repro.aggregation.norms`
+and DESIGN.md) has two halves:
+
+* O(n d) work is done here one vector (or one coordinate) at a time with
+  plain sequential accumulation — which is bit-identical to the fast
+  path's axis-0/axis-1 NumPy reductions and blocked kernels by
+  construction of those kernels.
+* The Gram/pairwise-distance geometry, whose BLAS summation order is not
+  loop-reproducible, is obtained from the *same shared kernel functions*
+  the fast path caches (:func:`gram_matrix`,
+  :func:`pairwise_sq_distances`); the oracle merely recomputes them on
+  every call instead of caching.  Likewise the O(n^2) span-form Weiszfeld
+  bookkeeping (:func:`weiszfeld_span`) and the O(n) selection logic
+  (Krum's stable order, clustering's component labelling) are shared —
+  they are control flow, not the vectorised hot path under test.
+
+Oracles subclass their fast counterparts purely to inherit constructor
+validation and hyper-parameters; every ``_aggregate`` below is a full
+reimplementation that never touches the :class:`ParameterMatrix` caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.autogm import AutoGM
+from repro.aggregation.base import register_reference
+from repro.aggregation.clipping import CenteredClipping
+from repro.aggregation.clustering import (
+    ClusteringAggregator,
+    _connected_components,
+    _lex_greater,
+)
+from repro.aggregation.geomed import GeoMed, weiszfeld_span
+from repro.aggregation.krum import Krum, MultiKrum, _resolve_f, _stable_order
+from repro.aggregation.lipschitz import LipschitzFilter
+from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.mean import FedAvg
+from repro.aggregation.median import Median
+from repro.aggregation.norms import (
+    gram_matrix,
+    pairwise_sq_distances_from,
+)
+from repro.aggregation.trimmed_mean import TrimmedMean
+
+__all__ = [
+    "ReferenceFedAvg",
+    "ReferenceMedian",
+    "ReferenceTrimmedMean",
+    "ReferenceKrum",
+    "ReferenceMultiKrum",
+    "ReferenceGeoMed",
+    "ReferenceAutoGM",
+    "ReferenceCenteredClipping",
+    "ReferenceClustering",
+    "ReferenceLipschitzFilter",
+]
+
+
+# ----------------------------------------------------------------------
+# per-vector / per-coordinate building blocks
+def _seq_combine(coeffs: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """``sum_i coeffs[i] * rows[i]`` by naive sequential accumulation."""
+    acc = np.zeros(rows.shape[1], dtype=np.float64)
+    for i in range(rows.shape[0]):
+        acc = acc + coeffs[i] * rows[i]
+    return acc
+
+
+def _row_mean(rows: np.ndarray) -> np.ndarray:
+    """Plain mean of rows: sequential sum, then divide."""
+    acc = np.zeros(rows.shape[1], dtype=np.float64)
+    for i in range(rows.shape[0]):
+        acc = acc + rows[i]
+    return acc / rows.shape[0]
+
+
+def _per_row_sq_norms(rows: np.ndarray) -> np.ndarray:
+    return np.array([float(((r) * (r)).sum()) for r in rows])
+
+
+def _per_row_sq_dists(rows: np.ndarray, point: np.ndarray) -> np.ndarray:
+    out = np.empty(rows.shape[0], dtype=np.float64)
+    for i in range(rows.shape[0]):
+        diff = rows[i] - point
+        out[i] = (diff * diff).sum()
+    return out
+
+
+def _per_column_median(rows: np.ndarray) -> np.ndarray:
+    return np.array([np.median(rows[:, j]) for j in range(rows.shape[1])])
+
+
+def _shared_geometry(updates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(gram, sq_norms) via the shared kernel / the per-row loop."""
+    return gram_matrix(updates), _per_row_sq_norms(updates)
+
+
+# ----------------------------------------------------------------------
+# oracles
+@register_reference("fedavg")
+class ReferenceFedAvg(FedAvg):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        return _seq_combine(matrix.weights, matrix.data)
+
+
+@register_reference("median")
+class ReferenceMedian(Median):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        return _per_column_median(matrix.data)
+
+
+@register_reference("trimmed_mean")
+class ReferenceTrimmedMean(TrimmedMean):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates = matrix.data
+        k, d = updates.shape
+        trim = int(self.beta * k)
+        if trim == 0:
+            return _row_mean(updates)
+        if 2 * trim >= k:
+            raise ValueError(
+                f"beta={self.beta} trims all {k} updates; reduce beta or add updates"
+            )
+        out = np.empty(d, dtype=np.float64)
+        count = k - 2 * trim
+        for j in range(d):
+            kept = np.sort(updates[:, j])[trim : k - trim]
+            s = 0.0
+            for v in kept:
+                s += float(v)
+            out[j] = s / count
+        return out
+
+
+def _reference_krum_scores(updates: np.ndarray, f: int) -> np.ndarray:
+    """Per-row Krum scores on the shared pairwise-distance kernel."""
+    k = updates.shape[0]
+    n_neighbours = k - f - 2
+    gram, sq = _shared_geometry(updates)
+    d2 = pairwise_sq_distances_from(gram, sq)
+    scores = np.empty(k, dtype=np.float64)
+    for i in range(k):
+        ordered = np.sort(d2[i])
+        scores[i] = ordered[1 : 1 + n_neighbours].sum()
+    return scores
+
+
+@register_reference("krum")
+class ReferenceKrum(Krum):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates = matrix.data
+        k = updates.shape[0]
+        if k == 1:
+            return updates[0].copy()
+        if k <= 3:
+            return _per_column_median(updates)
+        f = _resolve_f(k, self.f, self.byzantine_fraction)
+        scores = _reference_krum_scores(updates, f)
+        return updates[_stable_order(scores, updates)[0]].copy()
+
+
+@register_reference("multikrum")
+class ReferenceMultiKrum(MultiKrum):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates = matrix.data
+        k = updates.shape[0]
+        if k == 1:
+            return updates[0].copy()
+        if k <= 3:
+            return _per_column_median(updates)
+        f = _resolve_f(k, self.f, self.byzantine_fraction)
+        scores = _reference_krum_scores(updates, f)
+        m = self.m if self.m is not None else max(1, k - f)
+        m = min(m, k)
+        chosen = _stable_order(scores, updates)[:m]
+        return _row_mean(updates[chosen])
+
+
+@register_reference("geomed")
+class ReferenceGeoMed(GeoMed):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates = matrix.data
+        gram, sq = _shared_geometry(updates)
+        lam, anchor, _ = weiszfeld_span(
+            gram, sq, matrix.weights, max_iter=self.max_iter, tol=self.tol
+        )
+        if anchor >= 0:
+            return updates[anchor].copy()
+        return _seq_combine(lam, updates)
+
+
+@register_reference("autogm")
+class ReferenceAutoGM(AutoGM):
+    def _median_pass(
+        self,
+        updates: np.ndarray,
+        gram: np.ndarray,
+        sq: np.ndarray,
+        weights: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        lam, anchor, d2 = weiszfeld_span(
+            gram, sq, weights, max_iter=self.max_iter, tol=self.tol
+        )
+        if anchor >= 0:
+            d2_full = pairwise_sq_distances_from(gram, sq)
+            return updates[anchor].copy(), np.sqrt(d2_full[anchor])
+        return _seq_combine(lam, updates), np.sqrt(d2)
+
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
+        gram, sq = _shared_geometry(updates)
+        center, dists = self._median_pass(updates, gram, sq, weights)
+        scale = float(np.median(dists))
+        if scale <= 0.0:
+            return center
+        keep = dists <= self.z * scale
+        if keep.sum() < max(1, updates.shape[0] // 2):
+            return center
+        idx = np.flatnonzero(keep)
+        kept_w = weights[idx]
+        kept_w = kept_w / kept_w.sum()
+        refined, _ = self._median_pass(
+            updates[idx], gram[np.ix_(idx, idx)], sq[idx], kept_w
+        )
+        return refined
+
+
+@register_reference("centered_clipping")
+class ReferenceCenteredClipping(CenteredClipping):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
+        k = updates.shape[0]
+        if (
+            self.stateful
+            and self._center is not None
+            and self._center.shape == updates.shape[1:]
+        ):
+            center = self._center.copy()
+        else:
+            center = _per_column_median(updates)
+        if self.tau is None:
+            norms = np.sqrt(_per_row_sq_dists(updates, center))
+            tau = float(np.median(norms))
+            if tau <= 0.0:
+                tau = 1.0
+        else:
+            tau = self.tau
+        denom = max(float(weights.sum()), 1e-12)
+        for _ in range(self.n_iter):
+            norms = np.sqrt(_per_row_sq_dists(updates, center))
+            delta = np.zeros(updates.shape[1], dtype=np.float64)
+            for i in range(k):
+                scale = min(1.0, tau / max(float(norms[i]), 1e-12))
+                coeff = (weights[i] * scale) / denom
+                delta = delta + coeff * (updates[i] - center)
+            center = center + delta
+        if self.stateful:
+            self._center = center.copy()
+        return center
+
+
+@register_reference("clustering")
+class ReferenceClustering(ClusteringAggregator):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
+        k = updates.shape[0]
+        if k == 1:
+            return updates[0].copy()
+        gram, sq = _shared_geometry(updates)
+        sim = np.empty((k, k), dtype=np.float64)
+        for i in range(k):
+            safe_i = max(float(np.sqrt(sq[i])), 1e-12)
+            for j in range(k):
+                safe_j = max(float(np.sqrt(sq[j])), 1e-12)
+                value = gram[i, j] / (safe_i * safe_j)
+                sim[i, j] = min(max(value, -1.0), 1.0)
+            sim[i, i] = 1.0
+        adjacency = sim >= self.threshold
+        np.fill_diagonal(adjacency, True)
+        labels = _connected_components(adjacency)
+        best_mean: np.ndarray | None = None
+        best_key: tuple[float, int] | None = None
+        for cid in np.unique(labels):
+            members = labels == cid
+            w = weights[members]
+            total = float(w.sum())
+            if total > 0:
+                mean = _seq_combine(w / total, updates[members])
+            else:
+                mean = _row_mean(updates[members])
+            key = (total, int(members.sum()))
+            if (
+                best_key is None
+                or key > best_key
+                or (key == best_key and _lex_greater(mean, best_mean))
+            ):
+                best_key = key
+                best_mean = mean
+        assert best_mean is not None
+        return best_mean
+
+
+@register_reference("lipschitz")
+class ReferenceLipschitzFilter(LipschitzFilter):
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates, weights = matrix.data, matrix.weights
+        k = updates.shape[0]
+        if (
+            self._prev_updates is None
+            or self._prev_updates.shape != updates.shape
+            or self._prev_aggregate is None
+        ):
+            result = (
+                _per_column_median(updates)
+                if self.fallback == "median"
+                else _seq_combine(weights, updates)
+            )
+            self._prev_updates = updates.copy()
+            self._prev_aggregate = result.copy()
+            return result
+
+        delta = _row_mean(updates) - self._prev_aggregate
+        model_shift = float(np.sqrt((delta * delta).sum()))
+        # per-vector shift against the *matching* previous row
+        update_shifts = np.empty(k, dtype=np.float64)
+        for i in range(k):
+            diff = updates[i] - self._prev_updates[i]
+            update_shifts[i] = np.sqrt((diff * diff).sum())
+        coefficients = update_shifts / max(model_shift, 1e-12)
+
+        keep_count = max(1, int(np.ceil(self.quantile * k)))
+        keep = np.sort(np.argsort(coefficients, kind="stable")[:keep_count])
+        w = weights[keep]
+        result = _seq_combine(w / float(w.sum()), updates[keep])
+
+        self._prev_updates = updates.copy()
+        self._prev_aggregate = result.copy()
+        return result

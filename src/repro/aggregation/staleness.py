@@ -34,11 +34,15 @@ class StalenessWeight(ABC):
     def weight(self, staleness: float) -> float:
         ...
 
+    def _batch(self, staleness: np.ndarray) -> np.ndarray:
+        """Vectorised discount; subclasses override with array expressions."""
+        return np.array([self.weight(float(s)) for s in staleness])
+
     def weights(self, staleness: np.ndarray) -> np.ndarray:
         staleness = np.asarray(staleness, dtype=np.float64)
         if (staleness < 0).any():
             raise ValueError("staleness must be non-negative")
-        return np.array([self.weight(float(s)) for s in staleness])
+        return self._batch(staleness)
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,9 @@ class ConstantStaleness(StalenessWeight):
 
     def weight(self, staleness: float) -> float:
         return 1.0
+
+    def _batch(self, staleness: np.ndarray) -> np.ndarray:
+        return np.ones_like(staleness)
 
 
 @dataclass(frozen=True)
@@ -61,6 +68,9 @@ class PolynomialStaleness(StalenessWeight):
 
     def weight(self, staleness: float) -> float:
         return float((1.0 + staleness) ** -self.a)
+
+    def _batch(self, staleness: np.ndarray) -> np.ndarray:
+        return (1.0 + staleness) ** -self.a
 
 
 @dataclass(frozen=True)
@@ -82,6 +92,13 @@ class HingeStaleness(StalenessWeight):
         if staleness <= self.b:
             return 1.0
         return float(1.0 / (1.0 + self.a * (staleness - self.b)))
+
+    def _batch(self, staleness: np.ndarray) -> np.ndarray:
+        return np.where(
+            staleness <= self.b,
+            1.0,
+            1.0 / (1.0 + self.a * (staleness - self.b)),
+        )
 
 
 def apply_staleness(

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import Aggregator, register_aggregator
+from repro.aggregation.matrix import ParameterMatrix
 
 __all__ = ["TrimmedMean"]
 
@@ -30,10 +31,13 @@ class TrimmedMean(Aggregator):
             raise ValueError(f"beta must be in [0, 0.5), got {beta}")
         self.beta = float(beta)
 
-    def _aggregate(self, updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        updates = matrix.data
         k = updates.shape[0]
         trim = int(self.beta * k)
         if trim == 0:
+            # axis-0 mean reduces rows sequentially per column — the same
+            # order as the oracle's running per-vector accumulation.
             return updates.mean(axis=0)
         if 2 * trim >= k:
             raise ValueError(

@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.aggregation.matrix import ParameterMatrix
+
 __all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
 
 
@@ -65,11 +67,17 @@ class ConsensusProtocol(ABC):
 
     def agree(
         self,
-        proposals: np.ndarray,
+        proposals: "np.ndarray | ParameterMatrix",
         weights: np.ndarray | None = None,
         byzantine_mask: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
     ) -> ConsensusResult:
+        if isinstance(proposals, ParameterMatrix):
+            # Round-stacked matrix from the trainer: reuse its validated
+            # rows/weights instead of coercing a second time.
+            if weights is None:
+                weights = proposals.weights
+            proposals = proposals.data
         proposals = np.asarray(proposals, dtype=np.float64)
         if proposals.ndim != 2 or proposals.shape[0] == 0:
             raise ValueError(

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.aggregation.norms import sq_dists_to
 from repro.data.dataset import Dataset
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
@@ -100,6 +101,8 @@ def median_distance_scores(proposals: np.ndarray) -> np.ndarray:
     """
     proposals = np.asarray(proposals, dtype=np.float64)
     center = np.median(proposals, axis=0)
-    dists = np.linalg.norm(proposals - center, axis=1)
+    # Shared bit-safe kernel from the aggregation fast path, so consensus
+    # scoring is exactly reproducible by a per-proposal loop.
+    dists = np.sqrt(sq_dists_to(proposals, center))
     scores = -dists
     return np.tile(scores, (proposals.shape[0], 1))

@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from repro.aggregation.base import get_aggregator
+from repro.aggregation.matrix import ParameterMatrix
 from repro.attacks.base import ModelAttack
 from repro.consensus import (
     ApproximateAgreement,
@@ -476,13 +477,16 @@ class ABDHFLTrainer:
     def _aggregate_level(
         self, level: int, stack: np.ndarray, w: np.ndarray, byz: np.ndarray
     ) -> np.ndarray:
+        # Stack + validate once; every rule/protocol below shares the
+        # matrix's cached geometry kernels.
+        matrix = ParameterMatrix(stack, w)
         spec = self.config.aggregation_for(level)
         if spec.kind == "bra":
             aggregator = self._level_bra[level]
-            return aggregator(stack, w)  # type: ignore[operator]
+            return aggregator(matrix)  # type: ignore[operator]
         protocol = self._level_cba[level]
         result = protocol.agree(
-            stack, weights=w, byzantine_mask=byz, rng=self._consensus_rng
+            matrix, byzantine_mask=byz, rng=self._consensus_rng
         )
         return result.value
 
@@ -532,7 +536,7 @@ class ABDHFLTrainer:
             if silent is not None:
                 stack, w_arr = stack[~silent], w_arr[~silent]
             aggregator = self._level_bra[0]
-            self.global_model = aggregator(stack, w_arr)  # type: ignore[operator]
+            self.global_model = aggregator(ParameterMatrix(stack, w_arr))  # type: ignore[operator]
             n = stack.shape[0]
             record.model_messages += 2 * (n - 1)  # collect + broadcast
         else:
@@ -545,7 +549,9 @@ class ABDHFLTrainer:
                     w_arr = w_arr[~silent]
                     byz_arr = byz_arr[~silent]
             result = protocol.agree(
-                stack, weights=w_arr, byzantine_mask=byz_arr, rng=self._consensus_rng
+                ParameterMatrix(stack, w_arr),
+                byzantine_mask=byz_arr,
+                rng=self._consensus_rng,
             )
             self.global_model = result.value
             record.top_excluded = result.n_excluded

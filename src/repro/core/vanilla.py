@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.aggregation.base import Aggregator, get_aggregator
+from repro.aggregation.matrix import ParameterMatrix
 from repro.attacks.base import ModelAttack
 from repro.core.config import TrainingConfig
 from repro.core.local import LocalTrainer
@@ -119,11 +120,14 @@ class VanillaFLTrainer:
                 for vector, cid in zip(malicious, sorted(self.byzantine)):
                     uploads[cid] = vector
 
-        stack = np.stack([uploads[c] for c in self._client_order])
         weights = np.array(
             [self.trainers[c].n_samples for c in self._client_order], dtype=np.float64
         )
-        self.global_model = self.aggregator(stack, weights)
+        # Stack once into the fast-path matrix (kernels cached for the rule).
+        matrix = ParameterMatrix(
+            [uploads[c] for c in self._client_order], weights
+        )
+        self.global_model = self.aggregator(matrix)
 
         if evaluate:
             acc, loss = self._evaluate()

@@ -86,6 +86,48 @@ class TimingConfig:
             return self.per_level_aggregate[level]
         return self.global_aggregate if level == 0 else self.partial_aggregate
 
+    @classmethod
+    def from_benchmark(
+        cls,
+        bench: "str | dict",
+        local_compute: LatencyModel,
+        rule: str = "krum",
+        partial_size: tuple[int, int] = (16, 1000),
+        global_size: tuple[int, int] = (256, 100000),
+        **kwargs: object,
+    ) -> "TimingConfig":
+        """Build a config whose aggregation durations are *measured*.
+
+        ``bench`` is ``BENCH_aggregation.json`` (path or parsed dict) as
+        emitted by ``benchmarks/bench_aggregation_kernels.py``.  The
+        warm fast-path timing of ``rule`` at ``partial_size`` becomes
+        τ'_l and at ``global_size`` becomes τ'_g, so the event-driven
+        timing study runs on the aggregation stack's real kernel cost
+        instead of a guessed constant.
+        """
+        if isinstance(bench, str):
+            import json
+
+            with open(bench) as fh:
+                bench = json.load(fh)
+        timing: dict[tuple[str, int, int], float] = {
+            (r["rule"], r["n"], r["d"]): r["fast_warm_s"]
+            for r in bench["results"]
+        }
+        try:
+            partial = timing[(rule, *partial_size)]
+            top = timing[(rule, *global_size)]
+        except KeyError as exc:
+            raise KeyError(
+                f"benchmark has no entry for rule {rule!r} at {exc.args[0]!r}"
+            ) from None
+        return cls(
+            local_compute=local_compute,
+            partial_aggregate=FixedLatency(partial),
+            global_aggregate=FixedLatency(top),
+            **kwargs,  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class ClusterRoundTiming:

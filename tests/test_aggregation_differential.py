@@ -1,0 +1,259 @@
+"""Differential harness: fast aggregation path vs per-vector oracles.
+
+Every rule registered in :mod:`repro.aggregation` ships in two builds —
+the vectorised fast path and a deliberately-naive per-vector reference
+(``get_aggregator(name, reference=True)``).  The contract is **bit
+equivalence**: for any valid input the two must return byte-identical
+arrays (``np.array_equal``, never ``allclose``).  These tests sweep that
+contract over randomized honest/Byzantine mixtures built from the real
+attack implementations, degenerate inputs, an exact-integer domain where
+even naive formula reorderings cannot hide, and stateful rules across
+rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    ParameterMatrix,
+    available_aggregators,
+    geometric_median,
+    get_aggregator,
+)
+from repro.attacks import ALIE, IPM, Scaling, SignFlip
+
+ALL_RULES = available_aggregators()
+
+ATTACKS = {
+    "none": None,
+    "sign_flip": SignFlip(),
+    "scaling": Scaling(),
+    "alie": ALIE(),
+    "ipm": IPM(),
+}
+
+
+def assert_bit_equal(fast_out: np.ndarray, ref_out: np.ndarray, context: str) -> None:
+    __tracebackhide__ = True
+    if not np.array_equal(fast_out, ref_out):
+        diff = np.abs(fast_out - ref_out)
+        raise AssertionError(
+            f"{context}: fast path diverged from reference "
+            f"(max |diff| = {diff.max():.3e} at coordinate {int(diff.argmax())})"
+        )
+
+
+def make_mixture(
+    attack_name: str, n: int, d: int, n_byz: int, seed: int
+) -> np.ndarray:
+    """Honest SGD-like cluster, optionally with fabricated Byzantine rows."""
+    rng = np.random.default_rng(seed)
+    center = rng.standard_normal(d)
+    honest = center + 0.1 * rng.standard_normal((n - n_byz, d))
+    attack = ATTACKS[attack_name]
+    if attack is None or n_byz == 0:
+        extra = center + 0.1 * rng.standard_normal((n_byz, d))
+        return np.vstack([honest, extra]) if n_byz else honest
+    byz = attack(honest, n_byz, rng)
+    return np.vstack([honest, byz])
+
+
+class TestRegistryParity:
+    def test_every_rule_has_a_reference_oracle(self):
+        assert available_aggregators() == available_aggregators(reference=True)
+
+    def test_reference_flag_selects_different_implementations(self):
+        for name in ALL_RULES:
+            fast = get_aggregator(name)
+            ref = get_aggregator(name, reference=True)
+            assert type(fast) is not type(ref), name
+
+
+class TestRandomizedMixtures:
+    """The core differential sweep: every rule x every attack, exact."""
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    @pytest.mark.parametrize("attack", sorted(ATTACKS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_equals_reference(self, rule, attack, seed):
+        n, d = 13, 37
+        updates = make_mixture(attack, n, d, n_byz=3, seed=seed)
+        rng = np.random.default_rng(seed + 1000)
+        weights = rng.random(n) + 0.25
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        out_fast = fast(updates.copy(), weights.copy())
+        out_ref = ref(updates.copy(), weights.copy())
+        assert_bit_equal(out_fast, out_ref, f"{rule}/{attack}/seed={seed}")
+        assert out_fast.dtype == np.float64
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    @pytest.mark.parametrize("n,d", [(4, 3), (9, 128), (24, 11)])
+    def test_fast_equals_reference_unweighted(self, rule, n, d):
+        updates = make_mixture("alie", n, d, n_byz=max(1, n // 4), seed=n * d)
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        assert_bit_equal(fast(updates), ref(updates), f"{rule}/{n}x{d}")
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_input_form_is_irrelevant(self, rule):
+        """ndarray, list-of-vectors and a prebuilt ParameterMatrix all give
+        the same bits — the matrix is a cache, not a different algorithm."""
+        updates = make_mixture("ipm", 10, 23, n_byz=2, seed=99)
+        weights = np.linspace(0.5, 2.0, 10)
+        # Fresh instance per call: stateful rules (lipschitz) must see the
+        # same history for each input form.
+        from_array = get_aggregator(rule)(updates, weights)
+        from_list = get_aggregator(rule)([row for row in updates], weights)
+        from_matrix = get_aggregator(rule)(ParameterMatrix(updates, weights))
+        assert_bit_equal(from_array, from_list, f"{rule}: array vs list")
+        assert_bit_equal(from_array, from_matrix, f"{rule}: array vs matrix")
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_single_update(self, rule):
+        updates = np.random.default_rng(7).standard_normal((1, 9))
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        assert_bit_equal(fast(updates), ref(updates), f"{rule}: n=1")
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_all_identical_updates(self, rule):
+        vector = np.random.default_rng(8).standard_normal(17)
+        updates = np.tile(vector, (6, 1))
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        out_fast = fast(updates)
+        assert_bit_equal(out_fast, ref(updates), f"{rule}: identical")
+        assert np.all(np.isfinite(out_fast))
+
+    @pytest.mark.parametrize("rule", ["krum", "multikrum"])
+    def test_f_zero(self, rule):
+        updates = make_mixture("none", 8, 12, n_byz=0, seed=3)
+        fast = get_aggregator(rule, f=0)
+        ref = get_aggregator(rule, reference=True, f=0)
+        assert_bit_equal(fast(updates), ref(updates), f"{rule}: f=0")
+
+    @pytest.mark.parametrize("rule", ["krum", "multikrum"])
+    @pytest.mark.parametrize("n", [4, 7, 12])
+    def test_f_at_tolerance_bound(self, rule, n):
+        """f = k - 3 leaves exactly one Krum neighbour — the boundary of
+        the rule's definition."""
+        updates = make_mixture("sign_flip", n, 10, n_byz=1, seed=n)
+        fast = get_aggregator(rule, f=n - 3)
+        ref = get_aggregator(rule, reference=True, f=n - 3)
+        assert_bit_equal(fast(updates), ref(updates), f"{rule}: f=k-3, k={n}")
+
+    @pytest.mark.parametrize("rule", ["krum", "multikrum"])
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_tiny_stacks_take_fallback_path(self, rule, n):
+        """k <= 3 cannot satisfy k - f - 2 >= 1 with f >= 1; both builds
+        must agree on the documented median fallback."""
+        updates = make_mixture("none", n, 6, n_byz=0, seed=n)
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        assert_bit_equal(fast(updates), ref(updates), f"{rule}: k={n}")
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_zero_weight_entries(self, rule):
+        updates = make_mixture("scaling", 9, 15, n_byz=2, seed=21)
+        weights = np.array([1.0, 0.0, 2.0, 1.0, 0.0, 1.0, 1.0, 3.0, 1.0])
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        out_fast = fast(updates, weights)
+        assert_bit_equal(out_fast, ref(updates, weights), f"{rule}: zero weights")
+        assert np.all(np.isfinite(out_fast))
+
+
+class TestExactIntegerDomain:
+    """Small-integer updates make every sum exact in float64, so here even
+    an *algebraically* equivalent reordering cannot produce a mismatch —
+    any failure is a real logic divergence, not rounding."""
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_integer_updates_match_exactly(self, rule, seed):
+        rng = np.random.default_rng(seed)
+        updates = rng.integers(-4, 5, size=(11, 19)).astype(np.float64)
+        weights = rng.integers(1, 5, size=11).astype(np.float64)
+        fast = get_aggregator(rule)
+        ref = get_aggregator(rule, reference=True)
+        assert_bit_equal(
+            fast(updates, weights), ref(updates, weights), f"{rule}: integers"
+        )
+
+
+class TestStatefulRules:
+    """Rules carrying state between rounds must stay bit-equal round by
+    round, not just on the first call."""
+
+    def test_lipschitz_two_rounds(self):
+        fast = get_aggregator("lipschitz")
+        ref = get_aggregator("lipschitz", reference=True)
+        for round_seed in (0, 1, 2):
+            updates = make_mixture("alie", 10, 14, n_byz=2, seed=round_seed)
+            assert_bit_equal(
+                fast(updates), ref(updates), f"lipschitz round {round_seed}"
+            )
+
+    def test_centered_clipping_stateful_two_rounds(self):
+        fast = get_aggregator("centered_clipping", stateful=True)
+        ref = get_aggregator("centered_clipping", reference=True, stateful=True)
+        for round_seed in (0, 1, 2):
+            updates = make_mixture("ipm", 9, 14, n_byz=2, seed=round_seed)
+            assert_bit_equal(
+                fast(updates), ref(updates), f"clipping round {round_seed}"
+            )
+
+
+class TestGeoMedRegressions:
+    """Regression coverage for the Weiszfeld zero-distance anchor guard."""
+
+    def test_duplicated_update_vector_no_nan(self):
+        """Two identical rows used to make an iterate land exactly on a
+        data point; the naive 1/dist re-weighting then divided by zero."""
+        v = np.array([1.0, 2.0, 3.0])
+        updates = np.stack([v, v, np.array([10.0, 10.0, 10.0]),
+                            np.array([-8.0, 0.0, 4.0])])
+        out = geometric_median(updates)
+        assert np.all(np.isfinite(out))
+        # The duplicated pair is a strict majority by weight against two
+        # scattered points pulling in opposite directions: the geometric
+        # median is the duplicate itself.
+        dup_heavy = np.vstack([np.tile(v, (3, 1)), updates[2:]])
+        anchored = geometric_median(dup_heavy)
+        np.testing.assert_array_equal(anchored, v)
+
+    def test_duplicate_matches_reference(self):
+        v = np.full(5, 0.5)
+        updates = np.vstack([np.tile(v, (2, 1)),
+                             np.random.default_rng(0).standard_normal((3, 5))])
+        fast = get_aggregator("geomed")
+        ref = get_aggregator("geomed", reference=True)
+        assert_bit_equal(fast(updates), ref(updates), "geomed duplicate rows")
+
+    def test_zero_weight_point_at_optimum_is_not_returned(self):
+        """A zero-weight vector placed where Weiszfeld starts (the weighted
+        mean) must neither be returned as the 'median' nor poison the
+        iteration with 0/0 weights."""
+        rng = np.random.default_rng(5)
+        honest = rng.standard_normal((4, 6))
+        weights = np.array([1.0, 1.0, 1.0, 1.0, 0.0])
+        start = np.average(honest, axis=0)  # iterate 0 for the honest set
+        updates = np.vstack([honest, start[None, :]])
+        out = geometric_median(updates, weights)
+        assert np.all(np.isfinite(out))
+        expected = geometric_median(honest)
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    def test_anchor_on_positive_weight_duplicate_is_exact_row(self):
+        """When the anchor fires it must return the data row itself (a
+        copy), not a reconstruction with rounding."""
+        v = np.array([0.1, -0.2, 0.3, 12.5])
+        updates = np.vstack([np.tile(v, (5, 1)),
+                             np.array([[100.0, 100.0, 100.0, 100.0]])])
+        out = geometric_median(updates)
+        np.testing.assert_array_equal(out, v)

@@ -110,6 +110,85 @@ def test_identical_inputs_fixpoint(rule_name, vector, k):
     np.testing.assert_allclose(rule(updates), vector, atol=1e-7)
 
 
+@pytest.mark.parametrize("rule_name", sorted(RULES))
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), perm_seed=st.integers(0, 2**31))
+def test_honest_set_permutation_invariance(rule_name, seed, perm_seed):
+    """Shuffling only the *honest* updates (Byzantine rows pinned at the
+    tail) never changes the aggregate — order of arrival within the
+    honest cluster carries no information."""
+    rng = np.random.default_rng(seed)
+    center = rng.standard_normal(5)
+    honest = center + 0.1 * rng.standard_normal((8, 5))
+    byz = center + 10.0 * rng.standard_normal((2, 5))
+    perm = np.random.default_rng(perm_seed).permutation(honest.shape[0])
+    rule = RULES[rule_name]()
+    out1 = rule(np.vstack([honest, byz]))
+    out2 = RULES[rule_name]()(np.vstack([honest[perm], byz]))
+    np.testing.assert_allclose(out1, out2, atol=1e-6, rtol=1e-6)
+
+
+@pytest.mark.parametrize("rule_name", ["fedavg", "median", "trimmed_mean"])
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), shift=st.integers(-50, 50))
+def test_exact_translation_equivariance_integer_domain(rule_name, seed, shift):
+    """On small-integer inputs every sum is exact in float64, so the
+    linear/order-statistic rules must be translation equivariant to the
+    *bit*, not just to tolerance.  16 rows and beta=0.25 keep every
+    divisor a power of two, so the divisions are exact as well."""
+    rules = {
+        "fedavg": FedAvg(),
+        "median": Median(),
+        "trimmed_mean": TrimmedMean(beta=0.25),
+    }
+    rng = np.random.default_rng(seed)
+    updates = rng.integers(-8, 9, size=(16, 7)).astype(np.float64)
+    out1 = rules[rule_name](updates + float(shift))
+    out2 = rules[rule_name](updates) + float(shift)
+    np.testing.assert_array_equal(out1, out2)
+
+
+class TestDeliveredRetentionIndependence:
+    """Aggregation results must not depend on whether the transport keeps
+    its debugging buffer of delivered messages (``Channel.delivered``):
+    the buffer is observability, never part of the data path."""
+
+    @staticmethod
+    def _run_round(record_deliveries, delivered_maxlen, rule_name):
+        from repro.sim.engine import Simulator
+        from repro.sim.latency import FixedLatency
+        from repro.sim.network import Channel
+
+        sim = Simulator()
+        channel = Channel(
+            sim,
+            FixedLatency(1.0),
+            np.random.default_rng(42),
+            record_deliveries=record_deliveries,
+            delivered_maxlen=delivered_maxlen,
+        )
+        rng = np.random.default_rng(0)
+        uploads = [rng.standard_normal(6) for _ in range(8)]
+        received = []
+        for src, vector in enumerate(uploads):
+            channel.send(
+                src, 99, "model", vector, vector.nbytes,
+                lambda m: received.append((m.src, m.payload)),
+            )
+        sim.run()
+        received.sort(key=lambda item: item[0])
+        stack = np.stack([vector for _, vector in received])
+        return RULES[rule_name]()(stack), channel.stats.messages
+
+    @pytest.mark.parametrize("rule_name", sorted(RULES))
+    def test_aggregate_identical_across_retention_settings(self, rule_name):
+        baseline, n_base = self._run_round(False, None, rule_name)
+        for record, maxlen in [(True, None), (True, 3), (True, 0)]:
+            out, n_msgs = self._run_round(record, maxlen, rule_name)
+            np.testing.assert_array_equal(baseline, out)
+            assert n_msgs == n_base
+
+
 @pytest.mark.parametrize("rule_name", ["median", "trimmed_mean", "krum", "multikrum", "geomed"])
 @settings(max_examples=25, deadline=None)
 @given(

@@ -1,0 +1,122 @@
+"""Cross-process determinism regression for the fast aggregation path.
+
+The vectorised kernels must not introduce any run-to-run nondeterminism
+(thread-count-dependent reductions, hash-ordered iteration, uninitialised
+memory).  Two *fresh* interpreter processes running the same 3-round
+fault-injected training therefore have to produce byte-identical
+flattened global models — compared by hash, so the child ships one line
+of output, not megabytes of parameters.
+
+Marked ``slow``: each test trains in two subprocesses.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+TRAINER_CHILD = """
+import hashlib
+import numpy as np
+from repro.core.config import ABDHFLConfig, LevelAggregation, TrainingConfig
+from repro.core.trainer import ABDHFLTrainer
+from repro.data.partition import iid_partition
+from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
+from repro.faults import FaultPlan
+from repro.nn.model import MLP
+from repro.topology.tree import build_ecsm
+from repro.utils.seeding import SeedSequenceFactory
+
+seeds = SeedSequenceFactory(0)
+hierarchy = build_ecsm(n_levels=3, cluster_size=2, n_top=2)
+n_clients = len(hierarchy.bottom_clients())
+train, test = make_synthetic_mnist(
+    n_clients * 80, 300, seeds.generator("data"),
+    SyntheticMNIST(side=8, noise_sigma=0.15),
+)
+partition = iid_partition(train, n_clients, seeds.generator("part"))
+datasets = dict(enumerate(partition.shards))
+model = MLP(64, (16,), 10, seeds.generator("init"))
+cfg = ABDHFLConfig(
+    training=TrainingConfig(local_iterations=8, batch_size=16, learning_rate=0.8),
+    default_intermediate=LevelAggregation("bra", "multikrum"),
+    default_top=LevelAggregation("cba", "voting"),
+)
+plan = FaultPlan.uniform(drop_probability=0.15, seed=4, max_retries=1)
+trainer = ABDHFLTrainer(
+    hierarchy, datasets, model, cfg, test, seed=0, fault_plan=plan
+)
+records = trainer.run(3)
+digest = hashlib.sha256()
+digest.update(
+    np.ascontiguousarray(trainer.global_model, dtype=np.float64).tobytes()
+)
+for r in records:
+    digest.update(np.float64(r.test_accuracy).tobytes())
+    digest.update(np.float64(r.test_loss).tobytes())
+print(digest.hexdigest())
+"""
+
+EVENT_RUN_CHILD = """
+import hashlib
+import numpy as np
+from repro.faults import FaultPlan
+from repro.pipeline.event_run import EventDrivenRun, TimingConfig
+from repro.sim.latency import FixedLatency, UniformLatency
+from repro.topology.tree import build_ecsm
+
+cfg = TimingConfig(
+    local_compute=UniformLatency(8.0, 12.0),
+    partial_aggregate=FixedLatency(1.0),
+    global_aggregate=FixedLatency(5.0),
+    link=UniformLatency(0.05, 0.2),
+)
+hierarchy = build_ecsm(n_levels=3, cluster_size=4, n_top=4)
+plan = FaultPlan.uniform(drop_probability=0.10, seed=5, max_retries=1,
+                         leader_timeout=20.0)
+run = EventDrivenRun(hierarchy, cfg, flag_level=1, seed=3, fault_plan=plan)
+timings = run.run(3)
+digest = hashlib.sha256()
+for t in timings:
+    for value in (t.round_index, t.cluster_index):
+        digest.update(np.int64(value).tobytes())
+    for value in (t.first_upload, t.flag_arrival, t.global_arrival):
+        digest.update(np.float64(value).tobytes())
+print(digest.hexdigest())
+"""
+
+
+def _run_child(script: str) -> str:
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    # Different hash seeds between the two runs would expose any reliance
+    # on set/dict iteration order.
+    env.pop("PYTHONHASHSEED", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout.strip()
+    assert len(out) == 64, f"expected one sha256 line, got: {out!r}"
+    return out
+
+
+@pytest.mark.slow
+def test_fault_injected_training_is_byte_identical_across_processes():
+    assert _run_child(TRAINER_CHILD) == _run_child(TRAINER_CHILD)
+
+
+@pytest.mark.slow
+def test_event_run_timings_are_byte_identical_across_processes():
+    assert _run_child(EVENT_RUN_CHILD) == _run_child(EVENT_RUN_CHILD)
