@@ -35,6 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.aggregation import ParameterMatrix, get_aggregator
+from repro.check import sanitize
 
 SIZES: list[tuple[int, int]] = [
     (16, 1_000),
@@ -135,6 +136,80 @@ def bench_rule(rule: str, n: int, d: int, seed: int = 0) -> dict:
     }
 
 
+SANITIZE_RULES = ("fedavg", "krum")
+# The opt-out path is one module-level boolean test; "zero overhead"
+# allows for timer noise but nothing resembling an array traversal.
+SANITIZE_OFF_TOLERANCE = 1.10  # relative
+SANITIZE_OFF_EPSILON = 2e-4  # absolute seconds
+
+
+def bench_sanitizer_overhead(rule: str, n: int, d: int, seed: int = 0) -> dict:
+    """Time one warm aggregation raw / checks-off / checks-on.
+
+    ``raw`` calls ``_aggregate`` directly (the pre-guard code path);
+    ``off`` goes through ``__call__`` with sanitizers disabled — the
+    guard must cost one boolean test; ``on`` pays the real
+    ``assert_finite`` traversals.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = _make_updates(n, d, rng)
+    weights = rng.random(n) + 0.5
+    fast = get_aggregator(rule)
+    matrix = ParameterMatrix(list(vectors), weights)
+    fast(matrix)  # prime kernels
+
+    def run_raw() -> np.ndarray:
+        return fast._aggregate(matrix)
+
+    def run_off() -> np.ndarray:
+        return fast(matrix)
+
+    def run_on() -> np.ndarray:
+        with sanitize.sanitized(True):
+            return fast(matrix)
+
+    # The guards are read-only: enabling them must not change a bit.
+    if not np.array_equal(run_on(), run_off()):
+        raise AssertionError(f"{rule}: sanitizers changed the aggregate")
+
+    reps = max(10, _reps_for(run_raw)[0])
+    raw_s = _best_of(run_raw, reps)
+    off_s = _best_of(run_off, reps)
+    on_s = _best_of(run_on, reps)
+    return {
+        "rule": rule,
+        "n": n,
+        "d": d,
+        "raw_s": raw_s,
+        "off_s": off_s,
+        "on_s": on_s,
+        "off_overhead": off_s / max(raw_s, 1e-12),
+        "on_overhead": on_s / max(raw_s, 1e-12),
+    }
+
+
+def check_sanitizer_overhead(n: int, d: int) -> list[str]:
+    """CI gate: the disabled-sanitizer path must be free."""
+    failures = []
+    for rule in SANITIZE_RULES:
+        row = bench_sanitizer_overhead(rule, n, d)
+        print(
+            f"sanitize {rule:10s} n={n:4d} d={d:6d}  "
+            f"raw={row['raw_s']*1e3:8.3f}ms  "
+            f"off={row['off_s']*1e3:8.3f}ms ({row['off_overhead']:.3f}x)  "
+            f"on={row['on_s']*1e3:8.3f}ms ({row['on_overhead']:.3f}x)",
+            flush=True,
+        )
+        if row["off_s"] > row["raw_s"] * SANITIZE_OFF_TOLERANCE + SANITIZE_OFF_EPSILON:
+            failures.append(
+                f"{rule}: disabled sanitizers cost "
+                f"{row['off_overhead']:.3f}x over the raw path at n={n}, "
+                f"d={d} ({row['off_s']:.5f}s vs {row['raw_s']:.5f}s); the "
+                "opt-out must stay one boolean test"
+            )
+    return failures
+
+
 def run_grid(sizes: list[tuple[int, int]]) -> dict:
     results = []
     for n, d in sizes:
@@ -192,7 +267,14 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="benchmark only the CI gate size and fail if the fast path "
-        "is slower than reference (or Krum/GeoMed below the speedup floor)",
+        "is slower than reference (or Krum/GeoMed below the speedup floor); "
+        "also runs the sanitizer-overhead gate",
+    )
+    parser.add_argument(
+        "--sanitize-overhead",
+        action="store_true",
+        help="only measure repro.check sanitizer overhead (on/off vs raw) "
+        "and fail if the opt-out path is not free",
     )
     parser.add_argument(
         "--output",
@@ -203,6 +285,15 @@ def main(argv: list[str] | None = None) -> int:
         "--check writes nothing unless this is given)",
     )
     args = parser.parse_args(argv)
+
+    if args.sanitize_overhead:
+        failures = check_sanitizer_overhead(*CHECK_SIZE)
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: disabled sanitizers add no measurable overhead")
+        return 0
 
     sizes = [CHECK_SIZE] if args.check else SIZES
     report = run_grid(sizes)
@@ -216,13 +307,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         failures = check(report)
+        failures.extend(check_sanitizer_overhead(*CHECK_SIZE))
         for message in failures:
             print(f"CHECK FAILED: {message}", file=sys.stderr)
         if failures:
             return 1
         print("check passed: fast path faster than reference at "
               f"n={CHECK_SIZE[0]}, d={CHECK_SIZE[1]}; "
-              f"{' and '.join(SPEEDUP_RULES)} above {SPEEDUP_FLOOR}x")
+              f"{' and '.join(SPEEDUP_RULES)} above {SPEEDUP_FLOOR}x; "
+              "disabled sanitizers add no measurable overhead")
     return 0
 
 

@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.aggregation.matrix import ParameterMatrix, as_parameter_matrix
+from repro.check import sanitize
 
 __all__ = [
     "Aggregator",
@@ -81,7 +82,17 @@ class Aggregator(ABC):
         updates: "np.ndarray | Sequence[np.ndarray] | ParameterMatrix",
         weights: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self._aggregate(as_parameter_matrix(updates, weights))
+        matrix = as_parameter_matrix(updates, weights)
+        if sanitize.enabled():
+            sanitize.assert_finite(
+                matrix.data, "aggregation input", rule=self.name or None
+            )
+            out = self._aggregate(matrix)
+            sanitize.assert_finite(
+                out, "aggregation output", rule=self.name or None
+            )
+            return out
+        return self._aggregate(matrix)
 
     @abstractmethod
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:

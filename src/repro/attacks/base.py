@@ -13,6 +13,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.check import sanitize
+
 __all__ = ["ModelAttack", "register_attack", "get_attack", "available_attacks"]
 
 _REGISTRY: dict[str, Callable[..., "ModelAttack"]] = {}
@@ -45,6 +47,7 @@ class ModelAttack(ABC):
                 f"{type(self).__name__} returned shape {out.shape}, expected "
                 f"({n_byzantine}, {honest_updates.shape[1]})"
             )
+        sanitize.assert_finite(out, "attack output", rule=self.name or None)
         return out
 
     @abstractmethod

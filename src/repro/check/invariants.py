@@ -1,0 +1,141 @@
+"""Shared quorum arithmetic and consensus-result invariants.
+
+The paper's agreement guarantees (Theorems 1-3) rest on the classic
+Byzantine bounds: at most ``f`` faulty members can be tolerated among
+``n`` when ``3f < n``, and a quorum of ``2f + 1`` members guarantees an
+honest majority among any two intersecting quorums.  Every protocol must
+source that arithmetic from the helpers below instead of hand-rolling
+``2*f+1`` / ``n//3`` expressions — the ``INV001`` lint rule in
+``tools/abdlint.py`` enforces it.
+
+:func:`check_consensus_result` is the runtime half: a structural checker
+run at every ``ConsensusProtocol.agree()`` call while
+:func:`repro.check.sanitize.enabled` — the decision mask, cost
+accounting and committee membership must be internally consistent no
+matter which protocol produced them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle: consensus.base imports this module
+    from repro.consensus.base import ConsensusResult
+
+__all__ = [
+    "InvariantViolation",
+    "max_faulty",
+    "quorum_size",
+    "fault_bound_holds",
+    "require_fault_bound",
+    "check_consensus_result",
+]
+
+
+class InvariantViolation(ValueError):
+    """A protocol invariant does not hold.
+
+    Subclasses :class:`ValueError` so pre-existing callers that treated
+    bound violations as value errors keep working.
+    """
+
+
+def max_faulty(n: int) -> int:
+    """Largest Byzantine count ``f`` tolerable among ``n`` members.
+
+    The optimal-resilience bound ``3f < n`` solved for ``f``.
+    """
+    if n < 1:
+        raise InvariantViolation(f"group size must be positive, got {n}")
+    return (n - 1) // 3  # abdlint: ignore[INV001]
+
+
+def quorum_size(f: int) -> int:
+    """Members needed for an honest-majority quorum given ``f`` faults."""
+    if f < 0:
+        raise InvariantViolation(f"fault count must be non-negative, got {f}")
+    return 2 * f + 1  # abdlint: ignore[INV001]
+
+
+def fault_bound_holds(n: int, f: int) -> bool:
+    """Whether ``f`` faulty of ``n`` members satisfies ``3f < n``."""
+    return f <= max_faulty(n)
+
+
+def require_fault_bound(
+    n: int,
+    f: int,
+    *,
+    protocol: str = "consensus",
+    allow_singleton: bool = True,
+) -> None:
+    """Raise :class:`InvariantViolation` unless ``f < n/3``.
+
+    ``allow_singleton`` exempts the degenerate single-member group the
+    protocols accept for unit-scale runs (a lone member trivially agrees
+    with itself).
+    """
+    if allow_singleton and n <= 1:
+        return
+    if not fault_bound_holds(n, f):
+        raise InvariantViolation(
+            f"{protocol} safety violated: f={f} faulty of n={n} "
+            f"(requires f < n/3, i.e. f <= {max_faulty(n)}, "
+            f"quorum {quorum_size(max_faulty(n))})"
+        )
+
+
+def check_consensus_result(
+    result: "ConsensusResult",
+    n: int,
+    d: int,
+    *,
+    protocol: str = "",
+) -> None:
+    """Structural invariants of a consensus outcome.
+
+    Checked at every ``agree()`` call while runtime checks are enabled:
+
+    * the acceptance mask is a boolean vector over the ``n`` proposals
+      with at least one accepted member (liveness: a decision exists);
+    * the agreed value has the proposal dimension ``d``;
+    * the :class:`~repro.consensus.base.CostModel` accounting is
+      non-negative in every field;
+    * a reported committee is a duplicate-free subset of the membership.
+    """
+    label = protocol or type(result).__name__
+    accepted = np.asarray(result.accepted)
+    if accepted.shape != (n,) or accepted.dtype != np.bool_:
+        raise InvariantViolation(
+            f"{label}: accepted mask must be bool[{n}], got "
+            f"{accepted.dtype}{list(accepted.shape)}"
+        )
+    if not accepted.any():
+        raise InvariantViolation(f"{label}: no proposal accepted (liveness)")
+    value = np.asarray(result.value)
+    if value.shape != (d,):
+        raise InvariantViolation(
+            f"{label}: agreed value shape {value.shape} != ({d},)"
+        )
+    cost = result.cost
+    for field_name in ("model_messages", "scalar_messages", "rounds", "scalar_bytes"):
+        amount = getattr(cost, field_name)
+        if amount < 0:
+            raise InvariantViolation(
+                f"{label}: CostModel.{field_name} is negative ({amount})"
+            )
+    committee = result.info.get("committee")
+    if committee is not None:
+        members = np.asarray(committee)
+        if members.size:
+            if members.min() < 0 or members.max() >= n:
+                raise InvariantViolation(
+                    f"{label}: committee members outside [0, {n}): "
+                    f"{members.tolist()}"
+                )
+            if np.unique(members).size != members.size:
+                raise InvariantViolation(
+                    f"{label}: committee contains duplicates: {members.tolist()}"
+                )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.invariants import require_fault_bound
 from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
 
 __all__ = ["ApproximateAgreement"]
@@ -73,10 +74,7 @@ class ApproximateAgreement(ConsensusProtocol):
     ) -> ConsensusResult:
         n, d = proposals.shape
         f = self.f if self.f is not None else int(byzantine_mask.sum())
-        if n <= 3 * f and n > 1:
-            raise ValueError(
-                f"approximate agreement requires n > 3f (n={n}, f={f})"
-            )
+        require_fault_bound(n, f, protocol="approximate agreement")
 
         honest_idx = np.flatnonzero(~byzantine_mask)
         byz_idx = np.flatnonzero(byzantine_mask)

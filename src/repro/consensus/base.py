@@ -8,6 +8,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aggregation.matrix import ParameterMatrix
+from repro.check import invariants, sanitize
+from repro.utils.seeding import seeded_generator
 
 __all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
 
@@ -45,7 +47,7 @@ class ConsensusResult:
     value: np.ndarray
     accepted: np.ndarray  # boolean mask over proposals
     cost: CostModel = field(default_factory=CostModel)
-    info: dict = field(default_factory=dict)
+    info: dict[str, object] = field(default_factory=dict)
 
     @property
     def n_excluded(self) -> int:
@@ -101,8 +103,21 @@ class ConsensusProtocol(ABC):
                 raise ValueError(
                     f"byzantine_mask shape {byzantine_mask.shape} != ({n},)"
                 )
-        rng = rng if rng is not None else np.random.default_rng(0)
-        return self._agree(proposals, weights, byzantine_mask, rng)
+        rng = rng if rng is not None else seeded_generator(0)
+        checking = sanitize.enabled()
+        if checking:
+            sanitize.assert_finite(
+                proposals, "consensus proposals", rule=self.name or None
+            )
+        result = self._agree(proposals, weights, byzantine_mask, rng)
+        if checking:
+            invariants.check_consensus_result(
+                result, n=n, d=proposals.shape[1], protocol=self.name or type(self).__name__
+            )
+            sanitize.assert_finite(
+                result.value, "consensus output", rule=self.name or None
+            )
+        return result
 
     @abstractmethod
     def _agree(

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.invariants import quorum_size, require_fault_bound
 from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
 from repro.consensus.validation import ModelValidator, median_distance_scores
 
@@ -70,11 +71,7 @@ class PBFTConsensus(ConsensusProtocol):
                 raise ValueError(f"silent_mask shape {silent.shape} != ({n},)")
         faulty = byzantine_mask | silent
         f = int(faulty.sum())
-        if 3 * f >= n and n > 1:
-            raise ValueError(
-                f"PBFT safety violated: f={f} faulty (Byzantine + silent) of "
-                f"n={n} (requires f < n/3)"
-            )
+        require_fault_bound(n, f, protocol="PBFT (Byzantine + silent)")
 
         if self.validator is not None:
             scores = self.validator.score_matrix(proposals).mean(axis=0)
@@ -129,5 +126,6 @@ class PBFTConsensus(ConsensusProtocol):
                 "view_changes": view_changes,
                 "view_timeouts": view_timeouts,
                 "scores": scores,
+                "quorum": quorum_size(f),
             },
         )

@@ -96,6 +96,11 @@ class ABDHFLConfig:
     global_arrival_iteration:
         In pipeline mode, the local iteration index at which the global
         model arrives and Eq. 1 is applied.
+    sanitize:
+        Run the :mod:`repro.check` numeric sanitizers and consensus
+        invariant checks for every round of this trainer (they are off
+        process-wide unless ``REPRO_SANITIZE`` is set).  Checks are
+        read-only: enabling them never changes a drawn bit.
     """
 
     training: TrainingConfig = field(default_factory=TrainingConfig)
@@ -110,6 +115,7 @@ class ABDHFLConfig:
     flag_level: int = 1
     pipeline_mode: bool = False
     global_arrival_iteration: int = 2
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 < self.phi <= 1.0):

@@ -11,14 +11,16 @@ which is what this trainer reproduces.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.aggregation.base import get_aggregator
+from repro.aggregation.base import Aggregator, get_aggregator
 from repro.aggregation.matrix import ParameterMatrix
 from repro.attacks.base import ModelAttack
+from repro.check import sanitize
 from repro.consensus import (
     ApproximateAgreement,
     CommitteeConsensus,
@@ -216,7 +218,7 @@ class ABDHFLTrainer:
 
         # Instantiate one aggregator/protocol object per level so stateful
         # mechanisms (PoS stake, stateful clipping) persist across rounds.
-        self._level_bra: dict[int, object] = {}
+        self._level_bra: dict[int, Aggregator] = {}
         self._level_cba: dict[int, ConsensusProtocol] = {}
         for level in range(hierarchy.n_levels):
             spec = config.aggregation_for(level)
@@ -247,6 +249,11 @@ class ABDHFLTrainer:
 
     def run_round(self, evaluate: bool = True) -> RoundRecord:
         """Execute one global round (Algorithm 1)."""
+        ctx = sanitize.sanitized(True) if self.config.sanitize else nullcontext()
+        with ctx, sanitize.provenance(round_index=self.round_index):
+            return self._run_round(evaluate)
+
+    def _run_round(self, evaluate: bool) -> RoundRecord:
         if self._fault is not None:
             self._fault.begin_round(self.round_index)
         local_models, local_losses = self._local_training()
@@ -452,7 +459,8 @@ class ABDHFLTrainer:
                 stack, w_arr, byz_arr = self._apply_quorum(
                     stack, w_arr, np.asarray(byz_flags)
                 )
-                value = self._aggregate_level(level, stack, w_arr, byz_arr)
+                with sanitize.provenance(node_id=leader):
+                    value = self._aggregate_level(level, stack, w_arr, byz_arr)
                 partials[key] = value
                 weights[key] = float(w_arr.sum())
                 # Uploads to the leader + broadcast of the partial model
@@ -483,7 +491,7 @@ class ABDHFLTrainer:
         spec = self.config.aggregation_for(level)
         if spec.kind == "bra":
             aggregator = self._level_bra[level]
-            return aggregator(matrix)  # type: ignore[operator]
+            return aggregator(matrix)
         protocol = self._level_cba[level]
         result = protocol.agree(
             matrix, byzantine_mask=byz, rng=self._consensus_rng
@@ -536,7 +544,7 @@ class ABDHFLTrainer:
             if silent is not None:
                 stack, w_arr = stack[~silent], w_arr[~silent]
             aggregator = self._level_bra[0]
-            self.global_model = aggregator(ParameterMatrix(stack, w_arr))  # type: ignore[operator]
+            self.global_model = aggregator(ParameterMatrix(stack, w_arr))
             n = stack.shape[0]
             record.model_messages += 2 * (n - 1)  # collect + broadcast
         else:

@@ -27,6 +27,7 @@ from repro.experiments.setup import (
 )
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
+from repro.utils.seeding import seeded_generator
 
 __all__ = ["BackdoorOutcome", "attack_success_rate", "run_backdoor"]
 
@@ -78,7 +79,7 @@ def run_backdoor(
     config = config or ExperimentConfig(malicious_fraction=0.25)
     base = replace(config, attack="none")  # poisoning applied manually below
     data = prepare_data(base)
-    rng = np.random.default_rng(base.seed + 1)
+    rng = seeded_generator(base.seed + 1)
     for cid in data.byzantine:
         data.client_datasets[cid] = backdoor_trigger(
             data.client_datasets[cid],

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.aggregation.base import get_aggregator
 from repro.attacks.base import get_attack
+from repro.utils.seeding import seeded_generator
 
 __all__ = ["gradient_gap", "MatrixCell", "run_defence_matrix", "breakdown_curve"]
 
@@ -67,7 +68,7 @@ def gradient_gap(
     """Mean normalised distance of the aggregate from the true gradient."""
     if not (0.0 <= byzantine_fraction < 1.0):
         raise ValueError(f"byzantine_fraction out of range: {byzantine_fraction}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_generator(seed)
     aggregator = get_aggregator(defence, **(defence_options or {}))
     attacker = get_attack(attack, **(attack_options or {})) if attack != "none" else None
     n_byz = int(byzantine_fraction * n_total)

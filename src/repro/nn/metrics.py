@@ -15,7 +15,8 @@ def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
         raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
     if predictions.size == 0:
         raise ValueError("cannot compute accuracy of an empty batch")
-    return float(np.mean(predictions == targets))
+    # Elementwise match on integer class labels, not a float equality test.
+    return float(np.mean(predictions == targets))  # abdlint: ignore[NUM001]
 
 
 def confusion_matrix(

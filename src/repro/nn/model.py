@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.check import sanitize
 from repro.nn.layers import Layer, Linear, ReLU
 from repro.utils.flatten import FlatSpec, flatten_arrays, unflatten_vector
 
@@ -34,11 +35,13 @@ class Sequential:
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, train=train)
+        sanitize.assert_finite(x, "forward output")
         return x
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad_out = layer.backward(grad_out)
+        sanitize.assert_finite(grad_out, "backward gradient")
         return grad_out
 
     def predict(self, x: np.ndarray) -> np.ndarray:

@@ -49,19 +49,27 @@ class Simulator:
         """Drain the queue, optionally bounded by time and/or event count.
 
         With ``until`` set, the clock is advanced to exactly ``until`` if
-        the queue empties (or only holds later events) first.
+        the queue empties (or only holds later events) first.  Hitting
+        ``max_events`` stops *without* advancing the clock: the queue may
+        still hold work at or before ``until``.
+
+        Every event goes through :meth:`step` — there is no separate
+        ``run`` counter to drift from :attr:`events_processed`.
         """
-        processed = 0
+        start = self._events_processed
         while True:
-            if max_events is not None and processed >= max_events:
+            if (
+                max_events is not None
+                and self._events_processed - start >= max_events
+            ):
                 return
             next_time = self.queue.peek_time()
             if next_time is None:
                 break
             if until is not None and next_time > until:
                 break
-            self.step()
-            processed += 1
+            if not self.step():  # pragma: no cover - peek_time guarantees work
+                break
         if until is not None and until > self.now:
             self.now = until
 

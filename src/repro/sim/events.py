@@ -3,6 +3,14 @@
 Events are ordered by ``(time, sequence)``; the monotone sequence number
 makes ordering total and deterministic even when timestamps tie (a
 classic DES pitfall — heap comparison must never reach the payload).
+
+The queue doubles as its own watchdog: every ``pop()`` asserts that a
+same-timestamp successor carries a *larger* sequence number than the
+event popped before it, so any regression toward insertion-identity
+tie-breaking (``id()`` ordering, payload comparison, a heap that drops
+the sequence key) fails loudly instead of silently de-synchronising
+runs.  While :func:`repro.check.sanitize.enabled`, tied pairs are also
+recorded in :attr:`EventQueue.tie_log` for post-run inspection.
 """
 
 from __future__ import annotations
@@ -12,7 +20,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["Event", "EventQueue"]
+from repro.check import sanitize
+
+__all__ = ["Event", "EventQueue", "TieBreakError"]
+
+
+class TieBreakError(AssertionError):
+    """Same-timestamp events were popped out of sequence order."""
 
 
 @dataclass(order=True)
@@ -35,6 +49,11 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        # Tie detection state: the previously popped event's key, the
+        # count of same-timestamp pops, and (checks on) the tied pairs.
+        self._last_popped: tuple[float, int] | None = None
+        self.ties_observed: int = 0
+        self.tie_log: list[tuple[float, int, int]] = []
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         if time < 0:
@@ -48,8 +67,32 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._record_pop(event)
                 return event
         raise IndexError("pop from empty event queue")
+
+    def _record_pop(self, event: Event) -> None:
+        """Assert deterministic tie-breaking between consecutive pops.
+
+        Two events popped back-to-back at the same timestamp must leave
+        in ascending sequence (= scheduling) order; anything else means
+        the ordering reached insertion identity or the payload.
+        """
+        last = self._last_popped
+        self._last_popped = (event.time, event.sequence)
+        if last is None:
+            return
+        last_time, last_sequence = last
+        if event.time == last_time:
+            self.ties_observed += 1
+            if sanitize.enabled():
+                self.tie_log.append((event.time, last_sequence, event.sequence))
+            if event.sequence <= last_sequence:
+                raise TieBreakError(
+                    f"non-deterministic tie-break at t={event.time}: popped "
+                    f"sequence {event.sequence} after {last_sequence}; "
+                    "same-timestamp events must leave in scheduling order"
+                )
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if empty."""

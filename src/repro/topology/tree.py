@@ -453,6 +453,6 @@ def worst_case_placement(
         else:
             fill_honest_cluster(led)
 
-    for device in byz:
+    for device in sorted(byz):
         hierarchy.nodes[device].byzantine = True
     return sorted(byz)

@@ -18,7 +18,21 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["SeedSequenceFactory", "spawn_rngs", "derive_seed"]
+__all__ = ["SeedSequenceFactory", "spawn_rngs", "derive_seed", "seeded_generator"]
+
+
+def seeded_generator(seed: int) -> np.random.Generator:
+    """The canonical way to build a one-off seeded generator.
+
+    Exists so *every* RNG construction in the library routes through this
+    module (the ``DET001`` lint rule forbids ``np.random.*`` calls
+    elsewhere): components that need one ad-hoc stream — a documented
+    fixed fallback, a derived ``seed + k`` — get it here without changing
+    a single drawn bit relative to ``np.random.default_rng(seed)``.
+    Components with hierarchical structure should prefer
+    :class:`SeedSequenceFactory`.
+    """
+    return np.random.default_rng(seed)
 
 
 def derive_seed(root_seed: int, *path: int | str) -> int:

@@ -5,10 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.check import sanitize
 from repro.data.dataset import Dataset
 from repro.data.synthetic_mnist import SyntheticMNIST, make_synthetic_mnist
 from repro.nn.model import MLP
 from repro.topology.tree import build_ecsm
+
+
+@pytest.fixture(autouse=True)
+def _sanitizers_always_on():
+    """Run every test with the repro.check sanitizers enabled.
+
+    Production code keeps them opt-in (config/env); the test suite is
+    where a NaN, overflow, or consensus-invariant break must never slip
+    through silently.  The context manager restores the previous state,
+    so tests exercising enable/disable semantics stay isolated.
+    """
+    with sanitize.sanitized(True):
+        yield
 
 
 @pytest.fixture

@@ -1,0 +1,131 @@
+"""Quorum arithmetic helpers and the consensus-result structural checker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import (
+    InvariantViolation,
+    check_consensus_result,
+    fault_bound_holds,
+    max_faulty,
+    quorum_size,
+    require_fault_bound,
+)
+from repro.consensus.base import ConsensusResult, CostModel
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        ("n", "f"), [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (9, 2), (10, 3)]
+    )
+    def test_max_faulty_values(self, n, f):
+        assert max_faulty(n) == f
+
+    def test_max_faulty_matches_bound_exactly(self):
+        # f is tolerable iff 3f < n — for every n, max_faulty is the
+        # largest such f and max_faulty + 1 breaks the bound.
+        for n in range(1, 60):
+            f = max_faulty(n)
+            assert 3 * f < n
+            assert 3 * (f + 1) >= n
+            assert fault_bound_holds(n, f)
+            assert not fault_bound_holds(n, f + 1)
+
+    def test_max_faulty_rejects_empty_group(self):
+        with pytest.raises(InvariantViolation):
+            max_faulty(0)
+
+    @pytest.mark.parametrize(("f", "q"), [(0, 1), (1, 3), (2, 5), (5, 11)])
+    def test_quorum_size(self, f, q):
+        assert quorum_size(f) == q
+
+    def test_quorum_rejects_negative(self):
+        with pytest.raises(InvariantViolation):
+            quorum_size(-1)
+
+    def test_violation_is_value_error(self):
+        # Pre-existing callers catch ValueError for bound violations.
+        assert issubclass(InvariantViolation, ValueError)
+
+
+class TestRequireFaultBound:
+    def test_within_bound_passes(self):
+        require_fault_bound(4, 1)
+        require_fault_bound(7, 2, protocol="PBFT")
+
+    def test_violation_raises_with_protocol_name(self):
+        with pytest.raises(InvariantViolation, match="PBFT"):
+            require_fault_bound(3, 1, protocol="PBFT")
+
+    def test_singleton_exempt_by_default(self):
+        require_fault_bound(1, 1)
+
+    def test_singleton_enforced_when_asked(self):
+        with pytest.raises(InvariantViolation):
+            require_fault_bound(1, 1, allow_singleton=False)
+
+
+def _result(n=4, d=3, **overrides) -> ConsensusResult:
+    defaults = dict(
+        value=np.zeros(d),
+        accepted=np.ones(n, dtype=bool),
+        cost=CostModel(model_messages=n, scalar_messages=n * n, rounds=1),
+        info={},
+    )
+    defaults.update(overrides)
+    return ConsensusResult(**defaults)
+
+
+class TestCheckConsensusResult:
+    def test_well_formed_passes(self):
+        check_consensus_result(_result(), n=4, d=3)
+
+    def test_committee_subset_passes(self):
+        result = _result(info={"committee": [0, 2, 3]})
+        check_consensus_result(result, n=4, d=3)
+
+    def test_wrong_mask_dtype(self):
+        result = _result(accepted=np.ones(4, dtype=np.int64))
+        with pytest.raises(InvariantViolation, match="bool"):
+            check_consensus_result(result, n=4, d=3)
+
+    def test_wrong_mask_shape(self):
+        result = _result(accepted=np.ones(5, dtype=bool))
+        with pytest.raises(InvariantViolation, match="accepted mask"):
+            check_consensus_result(result, n=4, d=3)
+
+    def test_liveness_requires_an_accepted_proposal(self):
+        result = _result(accepted=np.zeros(4, dtype=bool))
+        with pytest.raises(InvariantViolation, match="liveness"):
+            check_consensus_result(result, n=4, d=3)
+
+    def test_value_dimension(self):
+        result = _result(value=np.zeros(7))
+        with pytest.raises(InvariantViolation, match="shape"):
+            check_consensus_result(result, n=4, d=3)
+
+    @pytest.mark.parametrize(
+        "field", ["model_messages", "scalar_messages", "rounds", "scalar_bytes"]
+    )
+    def test_negative_cost_rejected(self, field):
+        cost = CostModel()
+        setattr(cost, field, -1)
+        with pytest.raises(InvariantViolation, match=field):
+            check_consensus_result(_result(cost=cost), n=4, d=3)
+
+    def test_committee_out_of_range(self):
+        result = _result(info={"committee": [0, 4]})
+        with pytest.raises(InvariantViolation, match="outside"):
+            check_consensus_result(result, n=4, d=3)
+
+    def test_committee_duplicates(self):
+        result = _result(info={"committee": [1, 1, 2]})
+        with pytest.raises(InvariantViolation, match="duplicates"):
+            check_consensus_result(result, n=4, d=3)
+
+    def test_protocol_label_in_message(self):
+        result = _result(accepted=np.zeros(4, dtype=bool))
+        with pytest.raises(InvariantViolation, match="my-protocol"):
+            check_consensus_result(result, n=4, d=3, protocol="my-protocol")

@@ -1,0 +1,247 @@
+"""Per-rule fixtures for the ``tools/abdlint.py`` determinism linter.
+
+Each rule gets a positive (must fire) and negative (must stay silent)
+fixture, plus the exemption and pragma semantics the codebase relies on.
+The final test is the PR's acceptance criterion itself: the real tree
+lints clean.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "tools"))
+
+import abdlint  # noqa: E402
+
+
+def rules_at(source: str, path: str = "src/repro/example.py") -> set[str]:
+    return {f.rule for f in abdlint.lint_source(source, path=path)}
+
+
+class TestSelfTest:
+    def test_every_rule_fires_and_suppresses(self):
+        assert abdlint.self_test() == []
+
+    def test_builtin_fixtures(self):
+        for rule, (bad, good) in abdlint._FIXTURES.items():
+            assert rule in rules_at(bad), rule
+            assert rules_at(good) == set(), rule
+
+
+class TestDET001:
+    def test_module_level_numpy_rng(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_at(src) == {"DET001"}
+
+    def test_default_rng_flagged_in_src(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert "DET001" in rules_at(src)
+
+    def test_default_rng_allowed_in_tests_and_benchmarks(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_at(src, path="tests/test_x.py") == set()
+        assert rules_at(src, path="benchmarks/bench_x.py") == set()
+
+    def test_stdlib_random(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_at(src) == {"DET001"}
+        assert rules_at(src, path="tests/test_x.py") == {"DET001"}
+
+    def test_import_alias_resolved(self):
+        src = "import numpy.random as npr\nx = npr.rand(3)\n"
+        assert rules_at(src) == {"DET001"}
+
+    def test_seeding_module_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_at(src, path="src/repro/utils/seeding.py") == set()
+
+    def test_seeded_generator_is_clean(self):
+        src = (
+            "from repro.utils.seeding import seeded_generator\n"
+            "x = seeded_generator(7).random(3)\n"
+        )
+        assert rules_at(src) == set()
+
+
+class TestDET002:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.perf_counter()", "time.monotonic_ns()"],
+    )
+    def test_time_module(self, call):
+        src = f"import time\nt = {call}\n"
+        assert rules_at(src) == {"DET002"}
+
+    def test_datetime_now(self):
+        src = "import datetime\nt = datetime.datetime.now()\n"
+        assert rules_at(src) == {"DET002"}
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert rules_at(src) == {"DET002"}
+
+    def test_from_import_resolved(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        assert rules_at(src) == {"DET002"}
+
+    def test_benchmarks_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert rules_at(src, path="benchmarks/bench_x.py") == set()
+
+    def test_simulation_time_is_clean(self):
+        src = "def run(sim):\n    return sim.now\n"
+        assert rules_at(src) == set()
+
+
+class TestDET003:
+    def test_for_over_set_literal(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert rules_at(src) == {"DET003"}
+
+    def test_for_over_set_call(self):
+        src = "for x in set(items):\n    print(x)\n"
+        assert rules_at(src) == {"DET003"}
+
+    def test_tracked_set_variable(self):
+        src = "pending = set(a) - set(b)\nfor x in pending:\n    go(x)\n"
+        assert rules_at(src) == {"DET003"}
+
+    def test_reassignment_clears_tracking(self):
+        src = "pending = set(a)\npending = sorted(pending)\nfor x in pending:\n    go(x)\n"
+        assert rules_at(src) == set()
+
+    def test_comprehension_over_set(self):
+        src = "out = [f(x) for x in {1, 2}]\n"
+        assert rules_at(src) == {"DET003"}
+
+    def test_set_operator_binop(self):
+        src = "for x in set(a) | set(b):\n    go(x)\n"
+        assert rules_at(src) == {"DET003"}
+
+    def test_sorted_wrap_is_clean(self):
+        src = "pending = set(a)\nfor x in sorted(pending):\n    go(x)\n"
+        assert rules_at(src) == set()
+
+    def test_membership_and_len_are_clean(self):
+        src = "seen = set(a)\nok = b in seen\nn = len(seen)\n"
+        assert rules_at(src) == set()
+
+
+class TestNUM001:
+    ARRAY_EQ = (
+        "import numpy as np\n"
+        "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+        "    return bool((a == b).all())\n"
+    )
+
+    def test_annotated_array_equality(self):
+        assert rules_at(self.ARRAY_EQ) == {"NUM001"}
+
+    def test_tests_exempt(self):
+        assert rules_at(self.ARRAY_EQ, path="tests/test_x.py") == set()
+
+    def test_nan_comparison(self):
+        src = "import numpy as np\ndef f(x):\n    return x == np.nan\n"
+        assert rules_at(src) == {"NUM001"}
+        src = "def f(x):\n    return x != float('nan')\n"
+        assert rules_at(src) == {"NUM001"}
+
+    def test_scalar_int_comparison_is_clean(self):
+        src = "def f(n: int):\n    return n == 0\n"
+        assert rules_at(src) == set()
+
+    def test_array_equal_is_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+            "    return np.array_equal(a, b)\n"
+        )
+        assert rules_at(src) == set()
+
+
+class TestINV001:
+    def test_two_f_plus_one(self):
+        src = "def quorum(f: int) -> int:\n    return 2 * f + 1\n"
+        assert rules_at(src) == {"INV001"}
+        src = "def quorum(f: int) -> int:\n    return 1 + f * 2\n"
+        assert rules_at(src) == {"INV001"}
+
+    def test_floor_div_three(self):
+        src = "def cap(n: int) -> int:\n    return (n - 1) // 3\n"
+        assert rules_at(src) == {"INV001"}
+
+    def test_three_f_compare(self):
+        src = "def ok(n: int, f: int) -> bool:\n    return 3 * f < n\n"
+        assert rules_at(src) == {"INV001"}
+
+    def test_plain_triple_product_is_clean(self):
+        # 3 * views outside a comparison is cost accounting, not a bound.
+        src = "def rounds(views: int) -> int:\n    return 3 * views\n"
+        assert rules_at(src) == set()
+
+    def test_invariants_module_and_tests_exempt(self):
+        src = "q = 2 * f + 1\n"
+        assert rules_at(src, path="src/repro/check/invariants.py") == set()
+        assert rules_at(src, path="tests/test_x.py") == set()
+
+    def test_helpers_are_clean(self):
+        src = (
+            "from repro.check.invariants import quorum_size\n"
+            "def quorum(f: int) -> int:\n    return quorum_size(f)\n"
+        )
+        assert rules_at(src) == set()
+
+
+class TestPragmasAndCLI:
+    def test_bare_pragma_suppresses_all(self):
+        src = "import time\nt = time.time()  # abdlint: ignore\n"
+        assert rules_at(src) == set()
+
+    def test_rule_list_pragma(self):
+        src = "import time\nt = time.time()  # abdlint: ignore[DET002]\n"
+        assert rules_at(src) == set()
+
+    def test_wrong_rule_pragma_does_not_suppress(self):
+        src = "import time\nt = time.time()  # abdlint: ignore[DET001]\n"
+        assert rules_at(src) == {"DET002"}
+
+    def test_select_subset(self):
+        src = "import time\nimport random\nt = time.time()\nx = random.random()\n"
+        findings = abdlint.lint_source(
+            src, path="src/x.py", select={"DET002"}
+        )
+        assert {f.rule for f in findings} == {"DET002"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            abdlint.lint_source("x = 1\n", select={"BOGUS"})
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = abdlint.lint_source("def broken(:\n", path="src/x.py")
+        assert [f.rule for f in findings] == ["E999"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert abdlint.main([str(bad)]) == 1
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert abdlint.main([str(good)]) == 0
+        capsys.readouterr()
+
+    def test_finding_render_is_clickable(self):
+        finding = abdlint.lint_source(
+            "import time\nt = time.time()\n", path="src/x.py"
+        )[0]
+        assert finding.render().startswith("src/x.py:2:")
+
+
+class TestRealTree:
+    def test_repository_lints_clean(self):
+        """Acceptance criterion: the shipped tree has zero findings."""
+        paths = [str(REPO / p) for p in ("src", "tests", "benchmarks", "tools")]
+        findings = abdlint.lint_paths(paths)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -92,13 +92,16 @@ print(digest.hexdigest())
 """
 
 
-def _run_child(script: str) -> str:
+def _run_child(script: str, sanitize: bool = False) -> str:
     env = os.environ.copy()
     existing = env.get("PYTHONPATH", "")
     env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
     # Different hash seeds between the two runs would expose any reliance
     # on set/dict iteration order.
     env.pop("PYTHONHASHSEED", None)
+    env.pop("REPRO_SANITIZE", None)
+    if sanitize:
+        env["REPRO_SANITIZE"] = "1"
     proc = subprocess.run(
         [sys.executable, "-c", script],
         env=env,
@@ -120,3 +123,17 @@ def test_fault_injected_training_is_byte_identical_across_processes():
 @pytest.mark.slow
 def test_event_run_timings_are_byte_identical_across_processes():
     assert _run_child(EVENT_RUN_CHILD) == _run_child(EVENT_RUN_CHILD)
+
+
+@pytest.mark.slow
+def test_sanitizers_do_not_change_a_single_bit():
+    """The repro.check guards are read-only: the fault-injected 3-round
+    run with ``REPRO_SANITIZE=1`` hashes identically to the plain
+    determinism baseline (and, transitively, completes with zero
+    sanitizer findings)."""
+    assert _run_child(TRAINER_CHILD, sanitize=True) == _run_child(TRAINER_CHILD)
+
+
+@pytest.mark.slow
+def test_sanitized_event_run_matches_baseline():
+    assert _run_child(EVENT_RUN_CHILD, sanitize=True) == _run_child(EVENT_RUN_CHILD)

@@ -63,7 +63,7 @@ class TestPrepareData:
         for cid in data.byzantine:
             assert np.all(data.client_datasets[cid].y == 9)
         honest = set(data.hierarchy.bottom_clients()) - set(data.byzantine)
-        for cid in honest:
+        for cid in sorted(honest):
             assert len(np.unique(data.client_datasets[cid].y)) > 1
 
     def test_noniid_honest_cover(self):
@@ -71,7 +71,7 @@ class TestPrepareData:
         data = prepare_data(cfg)
         honest = set(data.hierarchy.bottom_clients()) - set(data.byzantine)
         covered = set()
-        for cid in honest:
+        for cid in sorted(honest):
             covered.update(np.unique(data.client_datasets[cid].y).tolist())
         assert covered == set(range(10))
 

@@ -1,9 +1,12 @@
 """Tests for the event queue and simulator engine."""
 
+import heapq
+
 import pytest
 
+from repro.check import sanitize
 from repro.sim.engine import Simulator
-from repro.sim.events import EventQueue
+from repro.sim.events import Event, EventQueue, TieBreakError
 
 
 class TestEventQueue:
@@ -194,3 +197,110 @@ class TestSimulatorEdgeCases:
         sim.run()
         assert sim.events_processed == 1
         assert keep.time == 1.0
+
+
+class TestTieDetector:
+    def test_normal_ties_pop_in_sequence_order(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(1.0, lambda: None)
+        sequences = [q.pop().sequence for _ in range(3)]
+        assert sequences == sorted(sequences)
+        assert q.ties_observed == 2
+
+    def test_tie_log_recorded_while_checks_enabled(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop(), q.pop()
+        assert q.tie_log == [(2.0, 0, 1)]
+
+    def test_tie_log_off_when_checks_disabled(self):
+        with sanitize.sanitized(False):
+            q = EventQueue()
+            q.push(2.0, lambda: None)
+            q.push(2.0, lambda: None)
+            q.pop(), q.pop()
+        assert q.tie_log == []
+        assert q.ties_observed == 1  # the counter itself is always on
+
+    def test_catches_insertion_order_dependent_schedule(self):
+        """A queue regressing to insertion-identity tie-breaking fails
+        loudly.  Simulated by pushing events with *decreasing* sequence
+        numbers straight onto the heap — exactly what a heap that lost
+        its sequence key degenerates into."""
+        q = EventQueue()
+        heapq.heappush(q._heap, Event(time=1.0, sequence=5, callback=lambda: None))
+        heapq.heappush(q._heap, Event(time=1.0, sequence=5, callback=lambda: None))
+        q.pop()
+        with pytest.raises(TieBreakError, match="tie-break"):
+            q.pop()
+
+    def test_different_times_never_flagged(self):
+        q = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            q.push(t, lambda: None)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+        assert q.ties_observed == 0
+
+    def test_cancelled_events_do_not_enter_tie_state(self):
+        q = EventQueue()
+        dropped = q.push(1.0, lambda: None)
+        q.push(1.0, lambda: None)
+        dropped.cancel()
+        q.pop()
+        assert q.ties_observed == 0
+
+
+class TestRunStepUnification:
+    def test_run_counts_via_step(self):
+        """run() and step() share one code path; interleaving them can
+        never make events_processed drift."""
+        sim = Simulator()
+        for t in range(6):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        assert sim.step()
+        assert sim.events_processed == 3
+        sim.run(max_events=1)
+        assert sim.events_processed == 4
+        sim.run()
+        assert sim.events_processed == 6
+        assert not sim.step()  # empty queue: no increment
+        assert sim.events_processed == 6
+
+    def test_run_until_empty_queue_advances_clock_only(self):
+        sim = Simulator()
+        sim.run(until=4.5)
+        assert sim.now == 4.5
+        assert sim.events_processed == 0
+
+    def test_run_until_with_only_later_events_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(9.0, lambda: fired.append(9))
+        sim.run(until=4.0)
+        assert fired == []
+        assert sim.now == 4.0
+        sim.run()
+        assert fired == [9]
+        assert sim.now == 9.0
+
+    def test_max_events_stop_leaves_clock_at_last_event(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=10.0, max_events=2)
+        assert sim.now == 2.0  # horizon not applied: work remains
+
+    def test_step_respects_causality_with_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run(until=5.0)  # processes the event, then now = 5.0
+        sim.schedule(0.0, lambda: seen.append(sim.now))
+        assert sim.step()
+        assert seen == [1.0, 5.0]

@@ -1,0 +1,646 @@
+#!/usr/bin/env python3
+"""abdlint — ABD-HFL-specific determinism and invariant linter.
+
+A small AST linter (stdlib only) enforcing the repo conventions that the
+reproduction's guarantees rest on.  Rules:
+
+``DET001``
+    No global-state RNG: every call into ``np.random.*`` / ``random.*``
+    must instead route through a seeded ``np.random.Generator`` obtained
+    from :mod:`repro.utils.seeding` (the only exempt module).  In test
+    and benchmark files, building ad-hoc *seeded* generators via
+    ``np.random.default_rng(seed)`` is tolerated.
+
+``DET002``
+    No wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``datetime.now``, …) outside ``benchmarks/`` — simulation time is
+    the only clock.
+
+``DET003``
+    No iteration over ``set``/``frozenset`` values (literals, ``set()``
+    calls, set operators, or variables assigned from them) in ``for``
+    statements or comprehensions: hash order is not a schedule.  Wrap
+    the set in ``sorted(...)`` or use an ordered container.
+
+``NUM001``
+    No bare ``==``/``!=`` on float ndarrays (parameters or variables
+    annotated ``np.ndarray``) or against ``np.nan`` outside tests — use
+    ``np.array_equal`` for bit-equality contracts or ``np.isclose``
+    for tolerances.
+
+``INV001``
+    No hand-rolled quorum arithmetic (``2*f + 1``, ``n // 3``,
+    ``3*f >= n`` comparisons): use
+    :func:`repro.check.invariants.quorum_size`,
+    :func:`repro.check.invariants.max_faulty` and
+    :func:`repro.check.invariants.require_fault_bound`.
+
+Suppression: append ``# abdlint: ignore[RULE]`` (or a comma-separated
+rule list, or a bare ``# abdlint: ignore``) to the offending line.
+
+Usage::
+
+    python tools/abdlint.py src tests            # lint trees/files
+    python tools/abdlint.py --self-test          # rules must fire on
+                                                 # their seeded fixtures
+    python tools/abdlint.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RULES: dict[str, str] = {
+    "DET001": "global-state RNG call; use a seeded np.random.Generator "
+    "from repro.utils.seeding",
+    "DET002": "wall-clock read in deterministic code; only benchmarks/ "
+    "may read real time",
+    "DET003": "iteration over an unordered set; wrap in sorted(...) or "
+    "use an ordered container",
+    "NUM001": "bare ==/!= on a float ndarray; use np.array_equal or "
+    "np.isclose",
+    "INV001": "hand-rolled quorum arithmetic; use repro.check.invariants "
+    "(quorum_size/max_faulty/require_fault_bound)",
+}
+
+_PRAGMA = re.compile(r"#\s*abdlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_ARRAY_ANNOTATION = re.compile(r"\bndarray\b|\bParameterMatrix\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileKind:
+    """Path-derived exemption context."""
+
+    is_tests: bool
+    is_benchmarks: bool
+    is_seeding: bool
+    is_invariants: bool
+
+    @classmethod
+    def from_path(cls, path: str) -> "FileKind":
+        posix = Path(path).as_posix()
+        parts = posix.split("/")
+        name = parts[-1]
+        return cls(
+            is_tests="tests" in parts[:-1] or name.startswith("test_")
+            or name == "conftest.py",
+            is_benchmarks="benchmarks" in parts[:-1] or name.startswith("bench_"),
+            is_seeding=posix.endswith("repro/utils/seeding.py"),
+            is_invariants=posix.endswith("repro/check/invariants.py"),
+        )
+
+
+def _suppressed_rules(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule set (None = all rules)."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        if match.group(1) is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {
+                rule.strip().upper() for rule in match.group(1).split(",") if rule.strip()
+            }
+    return out
+
+
+class _Scope:
+    """Names known to be sets / ndarrays in one lexical scope."""
+
+    __slots__ = ("sets", "arrays")
+
+    def __init__(self) -> None:
+        self.sets: set[str] = set()
+        self.arrays: set[str] = set()
+
+
+class Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str, select: set[str]) -> None:
+        self.path = path
+        self.kind = FileKind.from_path(path)
+        self.select = select
+        self.suppressed = _suppressed_rules(source)
+        self.findings: list[Finding] = []
+        self.aliases: dict[str, str] = {}
+        self.scopes: list[_Scope] = [_Scope()]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    def report(self, node: ast.AST, rule: str, message: str | None = None) -> None:
+        if rule not in self.select:
+            return
+        lineno = getattr(node, "lineno", 0)
+        rules_off = self.suppressed.get(lineno, set())
+        if rules_off is None or rule in rules_off:
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message or RULES[rule],
+            )
+        )
+
+    def _lookup(self, name: str, table: str) -> bool:
+        for scope in reversed(self.scopes):
+            attrs: set[str] = getattr(scope, table)
+            if name in attrs:
+                return True
+        return False
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted path of a called name through the import table."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                root = alias.name.split(".")[0]
+                self.aliases[root] = root
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # scopes and type facts
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        scope = _Scope()
+        args = node.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            args.vararg,
+            args.kwarg,
+        ]:
+            if arg is None or arg.annotation is None:
+                continue
+            try:
+                annotation = ast.unparse(arg.annotation)
+            except Exception:
+                continue
+            if _ARRAY_ANNOTATION.search(annotation):
+                scope.arrays.add(arg.arg)
+        self.scopes.append(scope)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_assignment(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            try:
+                annotation = ast.unparse(node.annotation)
+            except Exception:
+                annotation = ""
+            scope = self.scopes[-1]
+            if re.search(r"\b(set|frozenset)\b", annotation):
+                scope.sets.add(node.target.id)
+            elif _ARRAY_ANNOTATION.search(annotation):
+                scope.arrays.add(node.target.id)
+            elif node.value is not None:
+                self._record_assignment([node.target], node.value)
+        self.generic_visit(node)
+
+    def _record_assignment(
+        self, targets: Sequence[ast.expr], value: ast.expr
+    ) -> None:
+        scope = self.scopes[-1]
+        is_set = self.is_set_expr(value)
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if is_set:
+                scope.sets.add(target.id)
+            else:
+                scope.sets.discard(target.id)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id, "sets")
+        return False
+
+    def _is_array_expr(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and self._lookup(node.id, "arrays")
+
+    def _is_nan_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in ("nan", "NaN", "NAN"):
+            base = node.value
+            return isinstance(base, ast.Name) and self.aliases.get(base.id) in (
+                "numpy",
+                "math",
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "float" and node.args:
+                arg = node.args[0]
+                return (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.lower() == "nan"
+                )
+        return False
+
+    # ------------------------------------------------------------------
+    # DET001 / DET002
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.resolve_call(node.func)
+        if dotted is not None:
+            self._check_rng(node, dotted)
+            self._check_clock(node, dotted)
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: str) -> None:
+        if self.kind.is_seeding:
+            return
+        if dotted == "random" or dotted.startswith("random."):
+            self.report(
+                node,
+                "DET001",
+                f"stdlib RNG call {dotted}() uses global state; draw from a "
+                "seeded np.random.Generator (repro.utils.seeding)",
+            )
+            return
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.removeprefix("numpy.random.")
+            if leaf == "default_rng" and (
+                self.kind.is_tests or self.kind.is_benchmarks
+            ):
+                return  # ad-hoc seeded generators are fine in tests/benchmarks
+            detail = (
+                "bypasses the seed tree; use repro.utils.seeding "
+                "(SeedSequenceFactory or seeded_generator)"
+                if leaf in ("default_rng", "Generator", "SeedSequence", "PCG64")
+                else "uses the global numpy RNG state"
+            )
+            self.report(node, "DET001", f"np.random.{leaf}() {detail}")
+
+    def _check_clock(self, node: ast.Call, dotted: str) -> None:
+        if self.kind.is_benchmarks:
+            return
+        if dotted in _WALL_CLOCK:
+            self.report(
+                node,
+                "DET002",
+                f"{dotted}() reads the wall clock; deterministic code must "
+                "use simulation time (Simulator.now)",
+            )
+
+    # ------------------------------------------------------------------
+    # DET003
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iteration(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self.is_set_expr(iter_node):
+            self.report(
+                iter_node,
+                "DET003",
+                "iterating a set in scheduling/fan-out code is "
+                "hash-order-dependent; wrap in sorted(...) or keep an "
+                "ordered container",
+            )
+
+    # ------------------------------------------------------------------
+    # NUM001 / INV001
+    def visit_Compare(self, node: ast.Compare) -> None:
+        comparators = [node.left, *node.comparators]
+        if not self.kind.is_tests and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            if any(self._is_nan_expr(c) for c in comparators):
+                self.report(
+                    node,
+                    "NUM001",
+                    "comparison against NaN is always False; use np.isnan",
+                )
+            elif any(self._is_array_expr(c) for c in comparators):
+                self.report(
+                    node,
+                    "NUM001",
+                    "bare ==/!= on a float ndarray; use np.array_equal for "
+                    "bit-equality or np.isclose for tolerances",
+                )
+        if not (self.kind.is_invariants or self.kind.is_tests or self.kind.is_benchmarks):
+            for side in comparators:
+                if self._is_triple_product(side):
+                    self.report(
+                        node,
+                        "INV001",
+                        "hand-rolled 3f-vs-n bound; use "
+                        "repro.check.invariants.require_fault_bound / "
+                        "fault_bound_holds",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not (self.kind.is_invariants or self.kind.is_tests or self.kind.is_benchmarks):
+            if self._is_two_f_plus_one(node):
+                self.report(
+                    node,
+                    "INV001",
+                    "hand-rolled quorum size 2f+1; use "
+                    "repro.check.invariants.quorum_size",
+                )
+            elif self._is_floor_div_three(node):
+                self.report(
+                    node,
+                    "INV001",
+                    "hand-rolled //3 fault bound; use "
+                    "repro.check.invariants.max_faulty",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_constant(node: ast.expr, value: int) -> bool:
+        return isinstance(node, ast.Constant) and node.value == value
+
+    def _is_scaled_name(self, node: ast.expr, factor: int) -> bool:
+        """``factor * x`` or ``x * factor`` with a non-constant ``x``."""
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+            return False
+        left, right = node.left, node.right
+        if self._is_constant(left, factor) and not isinstance(right, ast.Constant):
+            return True
+        return self._is_constant(right, factor) and not isinstance(left, ast.Constant)
+
+    def _is_two_f_plus_one(self, node: ast.BinOp) -> bool:
+        if not isinstance(node.op, ast.Add):
+            return False
+        left, right = node.left, node.right
+        return (
+            self._is_constant(right, 1) and self._is_scaled_name(left, 2)
+        ) or (self._is_constant(left, 1) and self._is_scaled_name(right, 2))
+
+    def _is_floor_div_three(self, node: ast.BinOp) -> bool:
+        return (
+            isinstance(node.op, ast.FloorDiv)
+            and self._is_constant(node.right, 3)
+            and not isinstance(node.left, ast.Constant)
+        )
+
+    def _is_triple_product(self, node: ast.expr) -> bool:
+        return self._is_scaled_name(node, 3)
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint python ``source``; ``path`` drives the per-tree exemptions."""
+    chosen = set(select) if select is not None else set(RULES)
+    unknown = chosen - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rules: {sorted(unknown)}")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = Linter(path, source, chosen)
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_paths(
+    paths: Sequence[str], select: Iterable[str] | None = None
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            files = sorted(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            files = [root]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+        for file in files:
+            findings.extend(
+                lint_source(
+                    file.read_text(encoding="utf-8"),
+                    path=file.as_posix(),
+                    select=select,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# self-test fixtures: each rule must fire on its bad snippet and stay
+# silent on the good one.  CI runs --self-test so a regression that
+# silences a rule fails the build even with a violation-free tree.
+_FIXTURES: dict[str, tuple[str, str]] = {
+    "DET001": (
+        "import numpy as np\nx = np.random.rand(4)\n",
+        "from repro.utils.seeding import seeded_generator\n"
+        "x = seeded_generator(0).random(4)\n",
+    ),
+    "DET002": (
+        "import time\nstart = time.perf_counter()\n",
+        "def run(sim):\n    return sim.now\n",
+    ),
+    "DET003": (
+        "pending = {3, 1, 2}\nfor node in pending:\n    print(node)\n",
+        "pending = {3, 1, 2}\nfor node in sorted(pending):\n    print(node)\n",
+    ),
+    "NUM001": (
+        "import numpy as np\n"
+        "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+        "    return bool((a == b).all())\n",
+        "import numpy as np\n"
+        "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+        "    return np.array_equal(a, b)\n",
+    ),
+    "INV001": (
+        "def quorum(f: int, n: int) -> int:\n"
+        "    assert 3 * f < n\n"
+        "    return 2 * f + 1\n",
+        "from repro.check.invariants import quorum_size, require_fault_bound\n"
+        "def quorum(f: int, n: int) -> int:\n"
+        "    require_fault_bound(n, f)\n"
+        "    return quorum_size(f)\n",
+    ),
+}
+
+
+def self_test() -> list[str]:
+    """Run every rule against its fixtures; returns failure messages."""
+    failures: list[str] = []
+    for rule, (bad, good) in _FIXTURES.items():
+        fired = {f.rule for f in lint_source(bad, path=f"src/fixture_{rule}.py")}
+        if rule not in fired:
+            failures.append(f"{rule}: did not fire on its seeded violation")
+        clean = lint_source(good, path=f"src/fixture_{rule}.py")
+        if clean:
+            failures.append(
+                f"{rule}: clean fixture produced findings: "
+                + "; ".join(f.render() for f in clean)
+            )
+        pragma_lines = []
+        for line in bad.splitlines():
+            pragma_lines.append(
+                line + "  # abdlint: ignore" if line.strip() else line
+            )
+        suppressed = lint_source(
+            "\n".join(pragma_lines) + "\n", path=f"src/fixture_{rule}.py"
+        )
+        if suppressed:
+            failures.append(f"{rule}: pragma failed to suppress the finding")
+    return failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="abdlint", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule subset (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on its seeded fixture (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}: {description}")
+        return 0
+
+    if args.self_test:
+        failures = self_test()
+        for failure in failures:
+            print(f"SELF-TEST FAILED: {failure}", file=sys.stderr)
+        if not failures:
+            print(f"self-test passed: {len(_FIXTURES)} rules fire and suppress")
+        return 1 if failures else 0
+
+    if not args.paths:
+        parser.error("no paths given (or use --self-test / --list-rules)")
+    select = (
+        {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"abdlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
