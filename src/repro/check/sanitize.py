@@ -207,6 +207,24 @@ def assert_finite(
     message = f"sanitizer: {what} contains {counts} of {arr.size} values"
     if where:
         message += f" [{where}]"
+    # Imported lazily: repro.obs must stay importable without repro.check
+    # loaded (and vice versa), and this is the cold error path anyway.
+    from repro.obs import trace as _trace
+
+    tr = _trace.tracer()
+    if tr is not None:
+        tr.metrics.counter("sanitize.trips").inc()
+        tr.instant(
+            "sanitize.trip",
+            "fault",
+            float(round_index) if isinstance(round_index, int) else 0.0,
+            what=what,
+            rule=rule,
+            node=node_id,
+            nan=n_nan,
+            inf=n_inf,
+            overflow=n_over,
+        )
     raise SanitizerError(
         message,
         what=what,

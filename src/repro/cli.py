@@ -8,10 +8,14 @@ Commands map one-to-one onto the experiment runners:
 ``pipeline``  — event-driven Fig. 2 timing run + overall efficiency
 ``tolerance`` — Theorem 2 closed form + optional empirical sweep
 ``matrix``    — attack x defence robustness matrix
+``report``    — render a trace file into the Table-V-style breakdown
 
 Every command accepts ``--rounds``, ``--seed`` and an optional ``--out``
 directory for persisted results.  Defaults are the reduced scale;
 ``--paper-scale`` switches to the full Appendix D configuration.
+``--trace PATH`` records a :mod:`repro.obs` trace of the command to
+``PATH`` (equivalent to running under ``REPRO_TRACE=PATH``); the trace
+can then be inspected with ``python -m repro report PATH``.
 """
 
 from __future__ import annotations
@@ -36,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper-scale",
         action="store_true",
         help="use the full Appendix D configuration (slow)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record an observability trace (JSONL) of the command to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -71,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     mx = sub.add_parser("matrix", help="attack x defence matrix")
     mx.add_argument("--byzantine-fraction", type=float, default=0.25)
+
+    rp = sub.add_parser("report", help="render a run report from a trace file")
+    rp.add_argument("trace_file", type=Path, help="JSONL trace to render")
+    rp.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally export the trace in Chrome trace_event format",
+    )
     return parser
 
 
@@ -192,6 +213,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(f"plain mean of per-cluster nu:       {result.unweighted_mean:.3f}")
     print(f"total waiting / overlapped time:    {result.total_waiting:.1f} / "
           f"{result.total_overlapped:.1f}")
+    print("network traffic:")
+    print(run.channel.stats.summary())
     return 0
 
 
@@ -249,6 +272,17 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_report, write_chrome_trace
+
+    events = load_trace(args.trace_file)
+    print(render_report(events))
+    if args.chrome is not None:
+        path = write_chrome_trace(args.chrome, events)
+        print(f"saved Chrome trace {path}")
+    return 0
+
+
 _COMMANDS = {
     "table5": _cmd_table5,
     "figure3": _cmd_figure3,
@@ -256,12 +290,29 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "tolerance": _cmd_tolerance,
     "matrix": _cmd_matrix,
+    "report": _cmd_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import trace as _trace
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None and args.command != "report":
+        with _trace.traced(trace_path):
+            status = _COMMANDS[args.command](args)
+        print(f"saved trace {trace_path}")
+        return status
+    status = _COMMANDS[args.command](args)
+    # REPRO_TRACE=<path> installed a process-wide tracer at import time;
+    # persist what it collected once the command is done.
+    env_path = _trace.env_trace_path()
+    tr = _trace.tracer()
+    if args.command != "report" and env_path is not None and tr is not None:
+        tr.save(env_path)
+        print(f"saved trace {env_path}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

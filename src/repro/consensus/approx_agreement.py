@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import sanitize
 from repro.check.invariants import require_fault_bound
 from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
+from repro.obs import trace
 
 __all__ = ["ApproximateAgreement"]
 
@@ -81,6 +83,10 @@ class ApproximateAgreement(ConsensusProtocol):
         if honest_idx.size == 0:
             raise ValueError("no honest members to agree")
 
+        tr = trace.tracer()
+        ambient_round = sanitize.current_provenance().get("round_index")
+        t = float(ambient_round) if isinstance(ambient_round, int) else 0.0
+
         values = proposals.copy()
         rounds = 0
         for rounds in range(1, self.max_rounds + 1):
@@ -88,6 +94,11 @@ class ApproximateAgreement(ConsensusProtocol):
             diameter = float(
                 (honest_vals.max(axis=0) - honest_vals.min(axis=0)).max()
             ) if honest_idx.size > 1 else 0.0
+            if tr is not None:
+                tr.instant(
+                    "aa.round", "consensus", t,
+                    iteration=rounds, diameter=diameter,
+                )
             if diameter <= self.epsilon:
                 rounds -= 1  # this round was not actually executed
                 break

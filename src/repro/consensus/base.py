@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.aggregation.matrix import ParameterMatrix
 from repro.check import invariants, sanitize
+from repro.obs import trace
 from repro.utils.seeding import seeded_generator
 
 __all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
@@ -110,6 +111,9 @@ class ConsensusProtocol(ABC):
                 proposals, "consensus proposals", rule=self.name or None
             )
         result = self._agree(proposals, weights, byzantine_mask, rng)
+        tr = trace.tracer()
+        if tr is not None:
+            self._trace_instance(tr, result, n=n, d=proposals.shape[1])
         if checking:
             invariants.check_consensus_result(
                 result, n=n, d=proposals.shape[1], protocol=self.name or type(self).__name__
@@ -118,6 +122,45 @@ class ConsensusProtocol(ABC):
                 result.value, "consensus output", rule=self.name or None
             )
         return result
+
+    def _trace_instance(
+        self, tr: "trace.Tracer", result: ConsensusResult, n: int, d: int
+    ) -> None:
+        """Record one consensus execution (instant + counters, read-only).
+
+        The timestamp is the ambient training round from the sanitizer
+        provenance stack (the trainer always opens one around a round);
+        0 when the protocol runs outside any round, e.g. in unit tests.
+        """
+        name = self.name or type(self).__name__
+        ambient_round = sanitize.current_provenance().get("round_index")
+        t = ambient_round if isinstance(ambient_round, int) else 0
+        args: dict[str, object] = {
+            "round": t,
+            "n": n,
+            "d": d,
+            "excluded": result.n_excluded,
+            "rounds": result.cost.rounds,
+            "messages": result.cost.total_messages(),
+            "bytes": result.cost.total_bytes(d),
+        }
+        for key in ("view_changes", "view_timeouts"):
+            value = result.info.get(key)
+            if isinstance(value, int):
+                args[key] = value
+        tr.instant(f"consensus.{name}", "consensus", float(t), **args)
+        tr.metrics.counter(f"consensus.{name}.instances").inc()
+        tr.metrics.counter(f"consensus.{name}.excluded").inc(result.n_excluded)
+        tr.metrics.counter(f"consensus.{name}.messages").inc(
+            result.cost.total_messages()
+        )
+        tr.metrics.counter(f"consensus.{name}.bytes").inc(
+            result.cost.total_bytes(d)
+        )
+        rejection = result.n_excluded / n if n else 0.0
+        tr.metrics.histogram(
+            "consensus.rejection_rate", bounds=(0.1, 0.2, 0.3, 0.5)
+        ).observe(rejection)
 
     @abstractmethod
     def _agree(

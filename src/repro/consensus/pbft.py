@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import sanitize
 from repro.check.invariants import quorum_size, require_fault_bound
 from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
 from repro.consensus.validation import ModelValidator, median_distance_scores
+from repro.obs import trace
 
 __all__ = ["PBFTConsensus"]
 
@@ -113,6 +115,11 @@ class PBFTConsensus(ConsensusProtocol):
         # initial proposal collection (n-1 model msgs to the primary) and
         # view-change broadcasts (n(n-1) scalar each).
         views = view_changes + 1
+        tr = trace.tracer()
+        if tr is not None:
+            self._trace_views(
+                tr, n=n, view_changes=view_changes, view_timeouts=view_timeouts
+            )
         cost = CostModel(
             model_messages=(n - 1) + views * (n - 1),
             scalar_messages=views * 2 * n * (n - 1) + view_changes * n * (n - 1),
@@ -129,3 +136,32 @@ class PBFTConsensus(ConsensusProtocol):
                 "quorum": quorum_size(f),
             },
         )
+
+    @staticmethod
+    def _trace_views(
+        tr: "trace.Tracer", n: int, view_changes: int, view_timeouts: int
+    ) -> None:
+        """Per-phase instants for the deciding view plus failed-view marks.
+
+        The protocol is simulated at the message-*count* level, so the
+        per-phase trace records the bill of each PBFT phase rather than
+        individual message timings (those live on the transport spans).
+        """
+        ambient_round = sanitize.current_provenance().get("round_index")
+        t = float(ambient_round) if isinstance(ambient_round, int) else 0.0
+        for view in range(view_changes):
+            tr.instant(
+                "pbft.view_change", "consensus", t, view=view,
+                messages=n * (n - 1),
+            )
+        tr.metrics.counter("pbft.view_changes").inc(view_changes)
+        tr.metrics.counter("pbft.view_timeouts").inc(view_timeouts)
+        for phase, messages in (
+            ("pre_prepare", n - 1),
+            ("prepare", n * (n - 1)),
+            ("commit", n * (n - 1)),
+        ):
+            tr.instant(
+                f"pbft.{phase}", "consensus", t,
+                view=view_changes, messages=messages,
+            )

@@ -101,6 +101,11 @@ class ABDHFLConfig:
         invariant checks for every round of this trainer (they are off
         process-wide unless ``REPRO_SANITIZE`` is set).  Checks are
         read-only: enabling them never changes a drawn bit.
+    trace:
+        Record :mod:`repro.obs` trace events and per-round metric
+        snapshots for this trainer (off process-wide unless
+        ``REPRO_TRACE`` is set).  Tracing is read-only like the
+        sanitizers: a traced run is bit-identical to an untraced one.
     """
 
     training: TrainingConfig = field(default_factory=TrainingConfig)
@@ -116,6 +121,7 @@ class ABDHFLConfig:
     pipeline_mode: bool = False
     global_arrival_iteration: int = 2
     sanitize: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 < self.phi <= 1.0):

@@ -33,6 +33,7 @@ from repro.data.dataset import Dataset
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
+from repro.obs import trace
 from repro.sim.latency import LatencyModel, LogNormalLatency
 from repro.utils.seeding import SeedSequenceFactory
 
@@ -146,6 +147,15 @@ class FedAsyncTrainer:
         update = self.trainers[client].train_round(self._base_models[client])
         staleness = self.version - base_version
         self._staleness_log.append(staleness)
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant(
+                "fedasync.update", "round", self.sim_time,
+                actor=client, staleness=staleness, version=self.version,
+            )
+            tr.metrics.histogram(
+                "fedasync.staleness", bounds=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0)
+            ).observe(float(staleness))
         beta_s = self.beta * self.staleness.weight(staleness)
         self.global_model = (1.0 - beta_s) * self.global_model + beta_s * update
         self.version += 1

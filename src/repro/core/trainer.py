@@ -38,6 +38,7 @@ from repro.data.dataset import Dataset
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.faults.rounds import RoundFaultInjector
 from repro.nn.losses import SoftmaxCrossEntropy
+from repro.obs import trace
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
 from repro.topology.cluster import Cluster
@@ -171,6 +172,10 @@ class ABDHFLTrainer:
         self.top_byzantine_votes = top_byzantine_votes
         self.correction = correction or AdaptiveCorrection()
         self._seeds = SeedSequenceFactory(seed)
+        # config.trace gives this trainer its own tracer, installed only
+        # for the duration of each round (mirroring the per-round
+        # sanitized() scope) so process-wide state is never left mutated.
+        self.tracer: trace.Tracer | None = trace.Tracer() if config.trace else None
         self._fault = (
             RoundFaultInjector(fault_plan, hierarchy)
             if fault_plan is not None
@@ -250,16 +255,29 @@ class ABDHFLTrainer:
     def run_round(self, evaluate: bool = True) -> RoundRecord:
         """Execute one global round (Algorithm 1)."""
         ctx = sanitize.sanitized(True) if self.config.sanitize else nullcontext()
-        with ctx, sanitize.provenance(round_index=self.round_index):
+        tctx = trace.scoped(self.tracer) if self.tracer is not None else nullcontext()
+        with ctx, tctx, sanitize.provenance(round_index=self.round_index):
             return self._run_round(evaluate)
 
     def _run_round(self, evaluate: bool) -> RoundRecord:
+        tr = trace.tracer()
+        t = float(self.round_index)
         if self._fault is not None:
             self._fault.begin_round(self.round_index)
+        if tr is not None:
+            tr.instant("trainer.local_training", "round", t, round=self.round_index)
         local_models, local_losses = self._local_training()
         if self.model_attack is not None:
             self._apply_model_attack(local_models)
+        if tr is not None:
+            tr.instant(
+                "trainer.partial_aggregation", "round", t, round=self.round_index
+            )
         partials, weights, model_messages = self._partial_aggregation(local_models)
+        if tr is not None:
+            tr.instant(
+                "trainer.global_aggregation", "round", t, round=self.round_index
+            )
         record = self._global_aggregation(partials, weights)
         record.model_messages += model_messages
         record.mean_local_loss = float(np.mean(local_losses)) if local_losses else 0.0
@@ -270,8 +288,37 @@ class ABDHFLTrainer:
             record.test_accuracy = float("nan")
             record.test_loss = float("nan")
         self.history.append(record)
+        if tr is not None:
+            self._trace_round(tr, record)
         self.round_index += 1
         return record
+
+    def _trace_round(self, tr: "trace.Tracer", record: RoundRecord) -> None:
+        """Per-round trace instant + metrics snapshot (tracing active)."""
+        t = float(record.round_index)
+        tr.instant(
+            "trainer.round",
+            "round",
+            t,
+            round=record.round_index,
+            model_messages=record.model_messages,
+            top_excluded=record.top_excluded,
+            mean_local_loss=record.mean_local_loss,
+            test_accuracy=record.test_accuracy,
+        )
+        m = tr.metrics
+        m.counter("trainer.rounds").inc()
+        m.counter("trainer.model_messages").inc(record.model_messages)
+        m.counter("trainer.top_excluded").inc(record.top_excluded)
+        if math.isfinite(record.test_accuracy):
+            m.gauge("trainer.test_accuracy").set(record.test_accuracy)
+        if self._fault is not None:
+            m.gauge("faults.timeouts_fired").set(self.fault_stats.timeouts_fired)
+            m.gauge("faults.quorums_degraded").set(
+                self.fault_stats.quorums_degraded
+            )
+            m.gauge("faults.retries").set(self.fault_stats.retries)
+        tr.snapshot_metrics(t)
 
     def sync_membership(
         self, new_datasets: dict[int, Dataset] | None = None

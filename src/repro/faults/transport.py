@@ -23,6 +23,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.faults.plan import FaultPlan, FaultStats
+from repro.obs import trace
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.network import Channel, Message
@@ -64,6 +65,20 @@ class FaultyChannel(Channel):
         self.plan = plan
         self.fault_stats = stats if stats is not None else FaultStats()
         self._fault_rng = plan.rng("transport")
+
+    def _fault_instant(self, name: str, message: Message) -> None:
+        """Record an injected-fault instant when tracing is on (read-only)."""
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant(
+                name,
+                "fault",
+                self.sim.now,
+                actor=message.dst,
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+            )
 
     # ------------------------------------------------------------------
     def send(
@@ -128,6 +143,8 @@ class FaultyChannel(Channel):
         # and its retransmission timer dies with it.
         if self.plan.crashes.crashed(src, now):
             self.fault_stats.crash_drops += 1
+            message.dropped = True
+            self._fault_instant("transport.sender_crashed", message)
             return message
         self.stats.record(message)
 
@@ -135,16 +152,20 @@ class FaultyChannel(Channel):
         faults = self.plan.link_faults(src, dst)
         if self.plan.partitioned(src, dst, now):
             self.fault_stats.partition_drops += 1
+            self._fault_instant("transport.partition_drop", message)
             lost = True
         elif faults.drop_probability > 0 and (
             self._fault_rng.random() < faults.drop_probability
         ):
             self.fault_stats.dropped += 1
+            self._fault_instant("transport.drop", message)
             lost = True
 
         if lost:
+            message.dropped = True
             if attempt < max_retries:
                 self.fault_stats.retries += 1
+                self._fault_instant("transport.retry", message)
                 backoff = self.plan.retry_backoff * (2.0**attempt)
                 self.sim.schedule(
                     backoff,
@@ -164,6 +185,7 @@ class FaultyChannel(Channel):
             self._fault_rng.random() < faults.duplicate_probability
         ):
             self.fault_stats.duplicated += 1
+            self._fault_instant("transport.duplicate", message)
             dup = Message(
                 src=src,
                 dst=dst,
@@ -188,9 +210,9 @@ class FaultyChannel(Channel):
             # Receiver may have crashed while the message was in flight.
             if self.plan.crashes.crashed(message.dst, self.sim.now):
                 self.fault_stats.crash_drops += 1
+                message.dropped = True
+                self._fault_instant("transport.receiver_crashed", message)
                 return
-            message.delivered_at = self.sim.now
-            self.delivered.append(message)
-            on_delivery(message)
+            self._deliver(message, on_delivery)
 
         self.sim.schedule(delay, deliver)

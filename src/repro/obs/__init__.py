@@ -1,0 +1,67 @@
+"""Observability: sim-time tracing, metrics, run reports, profiling.
+
+``repro.obs`` is the third leg of the repo's tooling tripod — static
+checks live in ``tools/abdlint.py``, runtime correctness in
+:mod:`repro.check`, and *visibility* here:
+
+* :mod:`repro.obs.trace` — span tracer keyed to simulator time (round
+  indices for the round trainer), gated like the sanitizers
+  (``REPRO_TRACE`` / config flag / context manager), zero overhead off;
+* :mod:`repro.obs.metrics` — deterministic counters/gauges/fixed-bucket
+  histograms snapshotted into the trace stream;
+* :mod:`repro.obs.export` — JSONL schema validation and Chrome
+  ``trace_event`` export for ``about://tracing``;
+* :mod:`repro.obs.report` — the Table-V-style wait/compute/comm
+  breakdown behind ``python -m repro report``;
+* :mod:`repro.obs.profile` — wall-clock hooks on the numeric kernels,
+  activatable only explicitly (benchmarks), DET002-carved-out.
+"""
+
+from repro.obs.export import (
+    TraceSchemaError,
+    load_trace,
+    to_chrome_trace,
+    validate_event,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler, profiling
+from repro.obs.report import PhaseBreakdown, RunReport, build_report, render_report
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    env_trace_path,
+    scoped,
+    traced,
+    tracer,
+)
+
+__all__ = [
+    "TraceSchemaError",
+    "load_trace",
+    "to_chrome_trace",
+    "validate_event",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "profiling",
+    "PhaseBreakdown",
+    "RunReport",
+    "build_report",
+    "render_report",
+    "TraceEvent",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "env_trace_path",
+    "scoped",
+    "traced",
+    "tracer",
+]

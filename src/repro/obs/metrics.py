@@ -1,0 +1,172 @@
+"""Deterministic metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry backs the per-round metric snapshots the tracer emits.  Two
+design rules keep snapshots *bit-deterministic* across identically-seeded
+runs:
+
+* histogram bucket bounds are fixed at creation (never derived from the
+  observed data), so the bucket a value lands in depends only on the
+  value;
+* :meth:`MetricsRegistry.snapshot` serialises metrics sorted by name and
+  every aggregate it reports (count/sum/min/max) is an exact fold of the
+  observed values in observation order.
+
+Metrics are cheap but not free — they are only ever touched behind the
+:func:`repro.obs.trace.tracer` gate, so a run without tracing never
+allocates or updates any of them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically non-decreasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with exact count/sum/min/max.
+
+    ``bounds`` are the strictly-increasing upper edges of the finite
+    buckets; an implicit overflow bucket catches everything above the
+    last edge.  A value ``v`` lands in the first bucket with
+    ``v <= bounds[i]``.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        edges = [float(b) for b in bounds]
+        if any(not math.isfinite(b) for b in edges):
+            raise ValueError(f"bucket bounds must be finite, got {edges}")
+        if any(b2 <= b1 for b1, b2 in zip(edges, edges[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {edges}")
+        self.name = name
+        self.bounds: tuple[float, ...] = tuple(edges)
+        self.buckets: list[int] = [0] * (len(edges) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"cannot observe non-finite value {value}")
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different kind (or a histogram with different bounds) is an error —
+    a silently re-bucketed histogram would corrupt the snapshot stream.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory: type, **kwargs: object) -> Metric:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not factory:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {factory.__name__}"
+                )
+            return existing
+        metric: Metric = factory(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, Counter)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, Gauge)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        metric = self._get_or_create(name, Histogram, bounds=bounds)
+        assert isinstance(metric, Histogram)
+        if metric.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{metric.bounds}, requested {tuple(bounds)}"
+            )
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Deterministic (name-sorted) view of every registered metric."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}

@@ -1,0 +1,111 @@
+"""Wall-clock profiling hooks for the numeric kernels (benchmarks only).
+
+This is the ONE module in ``src/`` allowed to read the wall clock
+(abdlint DET002 carves it out, and its self-test pins the carve-out):
+simulation components record *sim-time* via :mod:`repro.obs.trace`;
+real-time profiling exists solely so the benchmarks tree can attribute
+wall-clock cost to the aggregation kernels and NN forward/backward
+passes without hand-instrumenting every call site.
+
+No environment variable activates profiling — a profiler must be
+installed explicitly (:func:`install` / :func:`profiling`), which only
+benchmark code does.  While no profiler is installed, every hook costs a
+single ``active() is None`` test, mirroring the
+:mod:`repro.check.sanitize` and :mod:`repro.obs.trace` opt-out paths.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Profiler", "ProfileRecord", "active", "install", "uninstall", "profiling"]
+
+
+class ProfileRecord:
+    """Exact fold of the wall-clock durations observed under one key."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Profiler:
+    """Accumulates wall-clock durations per named section."""
+
+    def __init__(self) -> None:
+        self.records: dict[str, ProfileRecord] = {}
+
+    @contextmanager
+    def record(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (exceptions included)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self.records.get(name)
+            if entry is None:
+                entry = self.records[name] = ProfileRecord()
+            entry.add(elapsed)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Name-sorted {count, total, mean, min, max} per section."""
+        return {
+            name: {
+                "count": float(record.count),
+                "total": record.total,
+                "mean": record.mean,
+                "min": record.min,
+                "max": record.max,
+            }
+            for name, record in sorted(self.records.items())
+        }
+
+
+_profiler: Profiler | None = None
+
+
+def active() -> Profiler | None:
+    """The installed profiler, or ``None`` — the hooks' single gate."""
+    return _profiler
+
+
+def install(instance: Profiler | None = None) -> Profiler:
+    """Install ``instance`` (or a fresh :class:`Profiler`) process-wide."""
+    global _profiler
+    _profiler = instance if instance is not None else Profiler()
+    return _profiler
+
+
+def uninstall() -> None:
+    """Remove the installed profiler."""
+    global _profiler
+    _profiler = None
+
+
+@contextmanager
+def profiling(instance: Profiler | None = None) -> Iterator[Profiler]:
+    """Scope with a profiler installed; the previous one is restored."""
+    global _profiler
+    previous = _profiler
+    installed = install(instance)
+    try:
+        yield installed
+    finally:
+        _profiler = previous

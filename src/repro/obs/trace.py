@@ -1,0 +1,285 @@
+"""Span tracing keyed to simulator time, with deterministic JSONL output.
+
+The tracer is the observability counterpart of
+:mod:`repro.check.sanitize` and follows the same gating pattern:
+
+* environment: ``REPRO_TRACE=1`` (or a file path, read once at import —
+  a path additionally becomes the default save target the CLI uses);
+* API: :func:`enable` / :func:`disable` / the :func:`traced` and
+  :func:`scoped` context managers;
+* trainer: ``ABDHFLConfig(trace=True)`` gives the trainer a private
+  tracer active for every round it runs.
+
+When tracing is off, every instrumentation site in the hot paths pays a
+single ``tracer() is None`` test and touches nothing else (asserted by
+``benchmarks/bench_aggregation_kernels.py --trace-overhead``).  When on,
+events are appended to an in-memory list and serialised on demand.
+
+Determinism contract
+--------------------
+Tracing is *read-only*: it never draws randomness, never schedules
+events, and never reorders anything — a traced run is bit-identical to
+an untraced run.  The trace itself is deterministic too: events are
+recorded in execution order, timestamps are simulation time (or round
+indices for the round-synchronous trainer — never the wall clock), JSON
+keys are sorted and non-finite floats are mapped to ``null``, so
+identical seeds produce byte-identical trace files.
+
+Event model (one JSON object per line)
+--------------------------------------
+``name``
+    What happened (``"local_compute"``, ``"pbft.view_change"``, ...).
+``cat``
+    Grouping used by consumers; the run-report renderer understands
+    ``"compute"`` / ``"comm"`` / ``"wait"`` spans, ``"fault"`` instants
+    and ``"metrics"`` samples.
+``ph``
+    ``"X"`` — a complete span (``t`` start, ``dur`` length),
+    ``"i"`` — an instant, ``"C"`` — a metrics sample.
+``t`` / ``dur``
+    Sim-time seconds (event-driven runs) or round index (round trainer).
+``actor``
+    Optional integer node/device id.
+``args``
+    Free-form JSON-safe payload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "tracer",
+    "enabled",
+    "enable",
+    "disable",
+    "scoped",
+    "traced",
+    "env_trace_path",
+]
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+#: Valid ``ph`` phase codes: span, instant, metrics sample.
+PHASES: tuple[str, ...] = ("X", "i", "C")
+
+
+def _jsonable(value: object) -> object:
+    """Coerce ``value`` into deterministic JSON-safe data.
+
+    Non-finite floats become ``None`` (strict JSON has no NaN/Inf), numpy
+    scalars collapse to their python value, mappings/sequences recurse,
+    and anything else falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return _jsonable(item())
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded trace event (already JSON-safe)."""
+
+    name: str
+    cat: str
+    ph: str
+    t: float
+    dur: float | None = None
+    actor: int | None = None
+    args: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "t": self.t,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.actor is not None:
+            out["actor"] = self.actor
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class Tracer:
+    """An in-memory event sink plus its metrics registry."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        t: float,
+        actor: int | None = None,
+        **args: object,
+    ) -> None:
+        """Record an instantaneous event at time ``t``."""
+        t = float(t)
+        if not math.isfinite(t):
+            return  # a NaN timestamp carries no information worth keeping
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="i",
+                t=t,
+                actor=actor,
+                args={k: _jsonable(v) for k, v in args.items()},
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        actor: int | None = None,
+        **args: object,
+    ) -> None:
+        """Record a complete ``[start, end]`` span (``end >= start``)."""
+        start = float(start)
+        end = float(end)
+        if not (math.isfinite(start) and math.isfinite(end)) or end < start:
+            return
+        self.events.append(
+            TraceEvent(
+                name=name,
+                cat=cat,
+                ph="X",
+                t=start,
+                dur=end - start,
+                actor=actor,
+                args={k: _jsonable(v) for k, v in args.items()},
+            )
+        )
+
+    def snapshot_metrics(self, t: float) -> None:
+        """Emit one ``"C"`` sample per registered metric at time ``t``."""
+        t = float(t)
+        if not math.isfinite(t):
+            return
+        for name, snap in self.metrics.snapshot().items():
+            self.events.append(
+                TraceEvent(
+                    name=name,
+                    cat="metrics",
+                    ph="C",
+                    t=t,
+                    args={k: _jsonable(v) for k, v in snap.items()},
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise all events, one sorted-key JSON object per line."""
+        lines = [
+            json.dumps(e.as_dict(), sort_keys=True, allow_nan=False)
+            for e in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the JSONL trace to ``path`` (parents created)."""
+        target = Path(path)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target
+
+
+# ----------------------------------------------------------------------
+# process-wide gating (the repro.check.sanitize pattern)
+# ----------------------------------------------------------------------
+def _env_setting() -> str:
+    return os.environ.get("REPRO_TRACE", "").strip()
+
+
+def env_trace_path() -> Path | None:
+    """The save path carried by ``REPRO_TRACE`` (``None`` for bare ``1``)."""
+    value = _env_setting()
+    if not value or value.lower() in _TRUTHY:
+        return None
+    return Path(value)
+
+
+_tracer: Tracer | None = Tracer() if _env_setting() else None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off.
+
+    This is THE gate every instrumentation site checks; the disabled
+    path is this single attribute read.
+    """
+    return _tracer
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on."""
+    return _tracer is not None
+
+
+def enable(instance: Tracer | None = None) -> Tracer:
+    """Install ``instance`` (or a fresh :class:`Tracer`) process-wide."""
+    global _tracer
+    _tracer = instance if instance is not None else Tracer()
+    return _tracer
+
+
+def disable() -> None:
+    """Turn tracing off process-wide."""
+    global _tracer
+    _tracer = None
+
+
+@contextmanager
+def scoped(instance: Tracer) -> Iterator[Tracer]:
+    """Scope with ``instance`` installed; the previous tracer is restored."""
+    global _tracer
+    previous = _tracer
+    _tracer = instance
+    try:
+        yield instance
+    finally:
+        _tracer = previous
+
+
+@contextmanager
+def traced(path: "str | Path | None" = None) -> Iterator[Tracer]:
+    """Scope with a *fresh* tracer; optionally saved to ``path`` on exit."""
+    instance = Tracer()
+    with scoped(instance):
+        yield instance
+    if path is not None:
+        instance.save(path)

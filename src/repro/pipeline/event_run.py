@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.faults.transport import FaultyChannel
+from repro.obs import trace
 from repro.sim.engine import Simulator
 from repro.sim.latency import FixedLatency, LatencyModel
 from repro.sim.network import Channel, Message
@@ -158,13 +159,20 @@ class ClusterRoundTiming:
 class _LeaderState:
     """Per-(round, cluster) collection state at one level."""
 
-    __slots__ = ("senders", "quorum_met", "aggregated", "timeout_scheduled")
+    __slots__ = (
+        "senders",
+        "quorum_met",
+        "aggregated",
+        "timeout_scheduled",
+        "first_arrival",
+    )
 
     def __init__(self) -> None:
         self.senders: set[int] = set()
         self.quorum_met: bool = False
         self.aggregated: bool = False
         self.timeout_scheduled: bool = False
+        self.first_arrival: float = math.nan
 
     @property
     def received(self) -> int:
@@ -255,6 +263,16 @@ class EventDrivenRun:
             for device in cluster.members:
                 self._start_training(device, cluster, round_index=0)
         self.sim.run()
+        tr = trace.tracer()
+        if tr is not None:
+            m = tr.metrics
+            m.gauge("pipeline.completed_rounds").set(self.completed_rounds())
+            m.gauge("pipeline.timeouts_fired").set(self.fault_stats.timeouts_fired)
+            m.gauge("pipeline.reelections").set(self.fault_stats.reelections)
+            m.gauge("pipeline.retries").set(self.fault_stats.retries)
+            m.gauge("pipeline.messages").set(self.channel.stats.messages)
+            m.gauge("pipeline.bytes").set(self.channel.stats.bytes)
+            tr.snapshot_metrics(self.sim.now)
         return sorted(
             self.timings.values(), key=lambda t: (t.round_index, t.cluster_index)
         )
@@ -309,6 +327,9 @@ class EventDrivenRun:
         """Crash-stop: a crashed *leader* additionally triggers the
         Assumption-3 repair (re-election up the leader chain)."""
         self.fault_stats.crashes += 1
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant("pipeline.crash", "fault", self.sim.now, actor=device)
         if device not in self.hierarchy.nodes:
             return
         bottom = self.hierarchy.bottom_level
@@ -322,10 +343,18 @@ class EventDrivenRun:
             return  # last member of its cluster: nothing to re-elect
         self._removed[device] = (cluster.index, byzantine)
         self.fault_stats.reelections += len(repaired)
+        if tr is not None:
+            tr.instant(
+                "pipeline.reelection", "fault", self.sim.now,
+                actor=device, repaired=len(repaired),
+            )
         self._compute_flag_ancestors()
 
     def _on_recover(self, device: int) -> None:
         self.fault_stats.recoveries += 1
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant("pipeline.recover", "fault", self.sim.now, actor=device)
         if device in self._removed:
             cluster_index, byzantine = self._removed.pop(device)
             join_cluster(
@@ -363,6 +392,12 @@ class EventDrivenRun:
         duration = self.config.local_compute.sample(self._compute_rng)
         finish = start + duration
         self._device_busy_until[device] = finish
+        tr = trace.tracer()
+        if tr is not None:
+            tr.span(
+                "local_compute", "compute", start, finish,
+                actor=device, round=round_index,
+            )
 
         def upload() -> None:
             if self._is_crashed(device):
@@ -386,6 +421,8 @@ class EventDrivenRun:
         if msg.src in state.senders:
             return  # duplicate delivery (or stale retransmission)
         state.senders.add(msg.src)
+        if state.received == 1:
+            state.first_arrival = msg.delivered_at
         if cluster.level == self.hierarchy.bottom_level and state.received == 1:
             timing = self._timing(round_index, cluster.index)
             timing.first_upload = msg.delivered_at
@@ -414,11 +451,38 @@ class EventDrivenRun:
             return
         self.fault_stats.timeouts_fired += 1
         self.fault_stats.quorums_degraded += 1
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant(
+                "pipeline.leader_timeout", "fault", self.sim.now,
+                level=cluster.level, cluster=cluster.index,
+                round=round_index, received=state.received,
+            )
         state.quorum_met = True
         self._begin_aggregation(cluster, round_index)
 
     def _begin_aggregation(self, cluster: Cluster, round_index: int) -> None:
         duration = self.config.aggregate_model(cluster.level).sample(self._agg_rng)
+        tr = trace.tracer()
+        if tr is not None:
+            leader = (
+                cluster.leader if cluster.leader is not None else cluster.members[0]
+            )
+            state = self._leader_state.get(
+                (cluster.level, cluster.index, round_index)
+            )
+            # τ_L: the leader waited from the first arrival until the
+            # quorum (or its timeout) released the aggregation.
+            if state is not None and math.isfinite(state.first_arrival):
+                tr.span(
+                    "leader_wait", "wait", state.first_arrival, self.sim.now,
+                    actor=leader, round=round_index,
+                    level=cluster.level, received=state.received,
+                )
+            tr.span(
+                "aggregate", "compute", self.sim.now, self.sim.now + duration,
+                actor=leader, round=round_index, level=cluster.level,
+            )
         self.sim.schedule(
             duration, lambda: self._on_aggregated(cluster, round_index)
         )
@@ -472,6 +536,12 @@ class EventDrivenRun:
                 prev = self._timing(round_index, c.index)
                 if math.isnan(prev.flag_arrival):
                     prev.flag_arrival = self.sim.now
+                    tr = trace.tracer()
+                    if tr is not None:
+                        tr.instant(
+                            "pipeline.flag_arrival", "round", self.sim.now,
+                            round=round_index, cluster=c.index,
+                        )
                 if round_index + 1 < self.n_rounds:
                     for device in c.members:
                         self._start_training(device, c, round_index + 1)
@@ -488,6 +558,12 @@ class EventDrivenRun:
                 timing = self._timing(round_index, c.index)
                 if math.isnan(timing.global_arrival):
                     timing.global_arrival = self.sim.now
+                    tr = trace.tracer()
+                    if tr is not None:
+                        tr.instant(
+                            "pipeline.global_arrival", "round", self.sim.now,
+                            round=round_index, cluster=c.index,
+                        )
                 # Flag at the top level: the global model IS the trigger
                 # for the next round.
                 if self.flag_level == 0:

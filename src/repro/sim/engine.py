@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs import trace
 from repro.sim.events import Event, EventQueue
 
 __all__ = ["Simulator"]
@@ -72,6 +73,15 @@ class Simulator:
                 break
         if until is not None and until > self.now:
             self.now = until
+        tr = trace.tracer()
+        if tr is not None:
+            tr.instant(
+                "sim.run",
+                "sim",
+                self.now,
+                events=self._events_processed - start,
+                pending=len(self.queue),
+            )
 
     @property
     def events_processed(self) -> int:

@@ -6,6 +6,11 @@ latency model (no loss, no corruption — Byzantine behaviour lives in the
 *content* of messages, not in the transport).  The fault-injected
 transport that *does* lose, duplicate and reorder messages lives in
 :mod:`repro.faults.transport` and subclasses :class:`Channel`.
+
+When tracing is on (:mod:`repro.obs.trace`), every delivery emits a
+``"comm"`` span covering the message's in-flight window, which is what
+the run-report renderer folds into the communication column of the
+Table-V breakdown.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import trace
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 
@@ -24,7 +30,14 @@ __all__ = ["Message", "NetworkStats", "Channel"]
 
 @dataclass
 class Message:
-    """A payload in flight."""
+    """A payload in flight.
+
+    One :class:`Message` is one transmission attempt: retransmissions
+    create fresh objects.  ``dropped`` is the explicit loss marker — a
+    message the fault layer removed has ``dropped=True`` and keeps
+    ``delivered_at`` at NaN, so consumers branch on the flag instead of
+    NaN-testing a float.
+    """
 
     src: int
     dst: int
@@ -33,16 +46,27 @@ class Message:
     size_bytes: int
     sent_at: float
     delivered_at: float = float("nan")
+    dropped: bool = False
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate transport accounting (always on, O(#kinds) memory)."""
+    """Aggregate transport accounting (always on, O(#kinds) memory).
+
+    Send-side counters (``messages`` / ``bytes`` and the ``by_kind``
+    maps) are recorded at transmission; delivery-side latency summaries
+    (count/sum/max of ``delivered_at - sent_at``, in sim-time) at the
+    delivery instant, so dropped messages never contribute a latency.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    delivered: int = 0
+    delivered_by_kind: dict[str, int] = field(default_factory=dict)
+    latency_sum: dict[str, float] = field(default_factory=dict)
+    latency_max: dict[str, float] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
         self.messages += 1
@@ -52,16 +76,40 @@ class NetworkStats:
             self.bytes_by_kind.get(message.kind, 0) + message.size_bytes
         )
 
+    def record_delivery(self, message: Message) -> None:
+        """Account one delivered message's sim-time latency."""
+        kind = message.kind
+        latency = message.delivered_at - message.sent_at
+        self.delivered += 1
+        self.delivered_by_kind[kind] = self.delivered_by_kind.get(kind, 0) + 1
+        self.latency_sum[kind] = self.latency_sum.get(kind, 0.0) + latency
+        if latency > self.latency_max.get(kind, 0.0):
+            self.latency_max[kind] = latency
+
+    def latency_summary(self, kind: str) -> tuple[int, float, float]:
+        """Per-kind ``(count, mean, max)`` delivery latency (sim-time)."""
+        count = self.delivered_by_kind.get(kind, 0)
+        if count == 0:
+            return 0, 0.0, 0.0
+        return count, self.latency_sum[kind] / count, self.latency_max[kind]
+
     def summary(self) -> str:
         """One-line-per-kind report separating model from control traffic."""
         lines = [f"{self.messages} messages, {self.bytes} bytes"]
         for kind in sorted(
             self.by_kind, key=lambda k: self.bytes_by_kind[k], reverse=True
         ):
-            lines.append(
+            line = (
                 f"  {kind}: {self.by_kind[kind]} messages, "
                 f"{self.bytes_by_kind[kind]} bytes"
             )
+            count, mean, peak = self.latency_summary(kind)
+            if count:
+                line += (
+                    f", {count} delivered, latency mean {mean:.4f}s "
+                    f"max {peak:.4f}s"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -134,12 +182,37 @@ class Channel:
         delay: float,
         on_delivery: Callable[[Message], None],
     ) -> None:
-        def deliver() -> None:
-            message.delivered_at = self.sim.now
-            self.delivered.append(message)
-            on_delivery(message)
+        self.sim.schedule(delay, lambda: self._deliver(message, on_delivery))
 
-        self.sim.schedule(delay, deliver)
+    def _deliver(
+        self, message: Message, on_delivery: Callable[[Message], None]
+    ) -> None:
+        """Finalise a delivery: stamp, account, trace, hand to the receiver."""
+        message.delivered_at = self.sim.now
+        self.stats.record_delivery(message)
+        tr = trace.tracer()
+        if tr is not None:
+            args: dict[str, object] = {
+                "src": message.src,
+                "dst": message.dst,
+                "bytes": message.size_bytes,
+            }
+            # The timing-skeleton runners carry the round index as the
+            # payload; surface it so reports attribute comm per round.
+            if isinstance(message.payload, int) and not isinstance(
+                message.payload, bool
+            ):
+                args["round"] = message.payload
+            tr.span(
+                message.kind,
+                "comm",
+                message.sent_at,
+                message.delivered_at,
+                actor=message.dst,
+                **args,
+            )
+        self.delivered.append(message)
+        on_delivery(message)
 
     def broadcast(
         self,

@@ -92,7 +92,7 @@ print(digest.hexdigest())
 """
 
 
-def _run_child(script: str, sanitize: bool = False) -> str:
+def _run_child(script: str, sanitize: bool = False, trace: str | None = None) -> str:
     env = os.environ.copy()
     existing = env.get("PYTHONPATH", "")
     env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
@@ -100,8 +100,11 @@ def _run_child(script: str, sanitize: bool = False) -> str:
     # on set/dict iteration order.
     env.pop("PYTHONHASHSEED", None)
     env.pop("REPRO_SANITIZE", None)
+    env.pop("REPRO_TRACE", None)
     if sanitize:
         env["REPRO_SANITIZE"] = "1"
+    if trace is not None:
+        env["REPRO_TRACE"] = trace
     proc = subprocess.run(
         [sys.executable, "-c", script],
         env=env,
@@ -110,9 +113,21 @@ def _run_child(script: str, sanitize: bool = False) -> str:
         timeout=600,
     )
     assert proc.returncode == 0, proc.stderr
-    out = proc.stdout.strip()
-    assert len(out) == 64, f"expected one sha256 line, got: {out!r}"
-    return out
+    lines = proc.stdout.strip().splitlines()
+    for line in lines:
+        assert len(line) == 64, f"expected sha256 lines, got: {proc.stdout!r}"
+    assert lines, f"no output: {proc.stdout!r}"
+    return lines[0] if len(lines) == 1 else "\n".join(lines)
+
+
+#: Appended to a child running under ``REPRO_TRACE``: prints the sha256
+#: of the serialised trace as a second output line.
+TRACE_HASH_SUFFIX = """
+from repro.obs import trace as obs_trace
+tr = obs_trace.tracer()
+assert tr is not None, "REPRO_TRACE did not install a tracer"
+print(hashlib.sha256(tr.to_jsonl().encode()).hexdigest())
+"""
 
 
 @pytest.mark.slow
@@ -137,3 +152,22 @@ def test_sanitizers_do_not_change_a_single_bit():
 @pytest.mark.slow
 def test_sanitized_event_run_matches_baseline():
     assert _run_child(EVENT_RUN_CHILD, sanitize=True) == _run_child(EVENT_RUN_CHILD)
+
+
+@pytest.mark.slow
+def test_traced_training_is_bit_identical_to_untraced():
+    """Tracing is read-only: the fault-injected 3-round run under
+    ``REPRO_TRACE=1`` hashes identically to the untraced baseline."""
+    traced = _run_child(TRAINER_CHILD + TRACE_HASH_SUFFIX, trace="1")
+    state_digest = traced.split("\n")[0]
+    assert state_digest == _run_child(TRAINER_CHILD)
+
+
+@pytest.mark.slow
+def test_traced_event_run_matches_baseline_and_trace_is_deterministic():
+    """The traced event run is bit-identical to the untraced one, and two
+    identically-seeded processes serialise byte-identical traces."""
+    first = _run_child(EVENT_RUN_CHILD + TRACE_HASH_SUFFIX, trace="1").split("\n")
+    second = _run_child(EVENT_RUN_CHILD + TRACE_HASH_SUFFIX, trace="1").split("\n")
+    assert first[0] == _run_child(EVENT_RUN_CHILD)
+    assert first == second  # timing digest AND trace hash match byte-for-byte

@@ -1,0 +1,51 @@
+"""Tests for :mod:`repro.utils.reporting` (benchmark report emission)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.utils.reporting import emit_report, results_dir
+
+
+@pytest.fixture(autouse=True)
+def _results_in_tmp(tmp_path, monkeypatch):
+    """Point REPRO_RESULTS_DIR at a scratch directory for every test."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    return tmp_path / "results"
+
+
+class TestResultsDir:
+    def test_env_override_and_creation_on_demand(self, _results_in_tmp):
+        assert not _results_in_tmp.exists()
+        assert results_dir() == _results_in_tmp
+        assert _results_in_tmp.is_dir()
+
+    def test_nested_path_parents_created(self, tmp_path, monkeypatch):
+        target = tmp_path / "a" / "b" / "c"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == target
+        assert target.is_dir()
+
+    def test_default_is_benchmarks_results(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert results_dir() == Path("benchmarks/results")
+        assert (tmp_path / "benchmarks" / "results").is_dir()
+
+
+class TestEmitReport:
+    def test_prints_and_persists(self, _results_in_tmp, capsys):
+        path = emit_report("table5", "| a | b |")
+        assert path == _results_in_tmp / "table5.txt"
+        assert path.read_text() == "| a | b |\n"
+        assert "| a | b |" in capsys.readouterr().out
+
+    def test_overwrites_previous_report(self, _results_in_tmp):
+        emit_report("r", "first")
+        path = emit_report("r", "second")
+        assert path.read_text() == "second\n"
+
+    @pytest.mark.parametrize("name", ["", "a/b", "a\\b"])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ValueError, match="invalid report name"):
+            emit_report(name, "text")

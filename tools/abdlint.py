@@ -60,7 +60,7 @@ RULES: dict[str, str] = {
     "DET001": "global-state RNG call; use a seeded np.random.Generator "
     "from repro.utils.seeding",
     "DET002": "wall-clock read in deterministic code; only benchmarks/ "
-    "may read real time",
+    "and repro/obs/profile.py may read real time",
     "DET003": "iteration over an unordered set; wrap in sorted(...) or "
     "use an ordered container",
     "NUM001": "bare ==/!= on a float ndarray; use np.array_equal or "
@@ -113,6 +113,7 @@ class FileKind:
     is_benchmarks: bool
     is_seeding: bool
     is_invariants: bool
+    is_profiling: bool
 
     @classmethod
     def from_path(cls, path: str) -> "FileKind":
@@ -125,6 +126,9 @@ class FileKind:
             is_benchmarks="benchmarks" in parts[:-1] or name.startswith("bench_"),
             is_seeding=posix.endswith("repro/utils/seeding.py"),
             is_invariants=posix.endswith("repro/check/invariants.py"),
+            # The single wall-clock carve-out in src/: benchmark-only
+            # profiling hooks (see its module docstring).
+            is_profiling=posix.endswith("repro/obs/profile.py"),
         )
 
 
@@ -358,7 +362,7 @@ class Linter(ast.NodeVisitor):
             self.report(node, "DET001", f"np.random.{leaf}() {detail}")
 
     def _check_clock(self, node: ast.Call, dotted: str) -> None:
-        if self.kind.is_benchmarks:
+        if self.kind.is_benchmarks or self.kind.is_profiling:
             return
         if dotted in _WALL_CLOCK:
             self.report(
@@ -567,6 +571,22 @@ _FIXTURES: dict[str, tuple[str, str]] = {
 }
 
 
+# Path-based carve-outs: (rule, path, source) triples where the source
+# would fire at a generic src/ path but must stay silent at this one.
+_CARVEOUT_FIXTURES: list[tuple[str, str, str]] = [
+    (
+        "DET002",
+        "src/repro/obs/profile.py",
+        "import time\nstart = time.perf_counter()\n",
+    ),
+    (
+        "DET002",
+        "benchmarks/bench_fixture.py",
+        "import time\nstart = time.perf_counter()\n",
+    ),
+]
+
+
 def self_test() -> list[str]:
     """Run every rule against its fixtures; returns failure messages."""
     failures: list[str] = []
@@ -590,6 +610,20 @@ def self_test() -> list[str]:
         )
         if suppressed:
             failures.append(f"{rule}: pragma failed to suppress the finding")
+    for rule, path, source in _CARVEOUT_FIXTURES:
+        # Sanity: the snippet must fire at a generic src/ path...
+        generic = {f.rule for f in lint_source(source, path="src/fixture_carveout.py")}
+        if rule not in generic:
+            failures.append(
+                f"{rule}: carve-out fixture does not fire at a generic path"
+            )
+        # ...and stay silent at the carved-out path.
+        exempt = [f for f in lint_source(source, path=path) if f.rule == rule]
+        if exempt:
+            failures.append(
+                f"{rule}: carve-out for {path} failed: "
+                + "; ".join(f.render() for f in exempt)
+            )
     return failures
 
 
