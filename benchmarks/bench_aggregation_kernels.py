@@ -37,6 +37,7 @@ import numpy as np
 from repro.aggregation import ParameterMatrix, get_aggregator
 from repro.check import sanitize
 from repro.obs import trace
+from repro.parallel import parallel_map
 
 SIZES: list[tuple[int, int]] = [
     (16, 1_000),
@@ -256,6 +257,75 @@ def check_trace_overhead(n: int, d: int) -> list[str]:
     return failures
 
 
+#: Calls per measurement for the parallel_map dispatch-overhead gate:
+#: enough to expose any per-item cost, few enough to keep --check fast.
+PARALLEL_OVERHEAD_ITEMS = 32
+
+
+def bench_parallel_overhead(rule: str, n: int, d: int, seed: int = 0) -> dict:
+    """Time a batch of warm aggregations raw vs ``parallel_map(workers=1)``.
+
+    Mirrors :func:`bench_sanitizer_overhead` for the ``repro.parallel``
+    gate: ``workers=1`` must be the exact serial code path — a plain
+    list comprehension over the tasks — so dispatching through
+    ``parallel_map`` may cost one workers-resolution test per *batch*
+    but nothing per item (no pickling, no process, no queue).
+    """
+    rng = np.random.default_rng(seed)
+    vectors = _make_updates(n, d, rng)
+    weights = rng.random(n) + 0.5
+    fast = get_aggregator(rule)
+    matrix = ParameterMatrix(list(vectors), weights)
+    fast(matrix)  # prime kernels
+    items = [matrix] * PARALLEL_OVERHEAD_ITEMS
+
+    def run_raw() -> list[np.ndarray]:
+        return [fast(m) for m in items]
+
+    def run_off() -> list[np.ndarray]:
+        return parallel_map(fast, items, workers=1)
+
+    # The dispatcher is a pass-through: routing must not change a bit.
+    for direct, routed in zip(run_raw(), run_off()):
+        if not np.array_equal(direct, routed):
+            raise AssertionError(f"{rule}: parallel_map changed the aggregate")
+
+    reps = max(10, _reps_for(run_raw)[0])
+    raw_s = _best_of(run_raw, reps)
+    off_s = _best_of(run_off, reps)
+    return {
+        "rule": rule,
+        "n": n,
+        "d": d,
+        "items": PARALLEL_OVERHEAD_ITEMS,
+        "raw_s": raw_s,
+        "off_s": off_s,
+        "off_overhead": off_s / max(raw_s, 1e-12),
+    }
+
+
+def check_parallel_overhead(n: int, d: int) -> list[str]:
+    """CI gate: ``parallel_map(..., workers=1)`` must be free."""
+    failures = []
+    for rule in SANITIZE_RULES:
+        row = bench_parallel_overhead(rule, n, d)
+        print(
+            f"parallel {rule:10s} n={n:4d} d={d:6d}  "
+            f"raw={row['raw_s']*1e3:8.3f}ms  "
+            f"off={row['off_s']*1e3:8.3f}ms ({row['off_overhead']:.3f}x)  "
+            f"({row['items']} calls per batch)",
+            flush=True,
+        )
+        if row["off_s"] > row["raw_s"] * SANITIZE_OFF_TOLERANCE + SANITIZE_OFF_EPSILON:
+            failures.append(
+                f"{rule}: workers=1 parallel_map costs "
+                f"{row['off_overhead']:.3f}x over the raw loop at n={n}, "
+                f"d={d} ({row['off_s']:.5f}s vs {row['raw_s']:.5f}s); the "
+                "serial path must stay a plain comprehension"
+            )
+    return failures
+
+
 def check_sanitizer_overhead(n: int, d: int) -> list[str]:
     """CI gate: the disabled-sanitizer path must be free."""
     failures = []
@@ -351,6 +421,12 @@ def main(argv: list[str] | None = None) -> int:
         "and fail if the opt-out path is not free",
     )
     parser.add_argument(
+        "--parallel-overhead",
+        action="store_true",
+        help="only measure repro.parallel dispatch overhead (workers=1 "
+        "vs a raw serial loop) and fail if the serial path is not free",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -378,6 +454,16 @@ def main(argv: list[str] | None = None) -> int:
         print("check passed: disabled tracing adds no measurable overhead")
         return 0
 
+    if args.parallel_overhead:
+        failures = check_parallel_overhead(*CHECK_SIZE)
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: workers=1 parallel_map adds no measurable "
+              "overhead over the raw serial loop")
+        return 0
+
     sizes = [CHECK_SIZE] if args.check else SIZES
     report = run_grid(sizes)
 
@@ -392,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
         failures = check(report)
         failures.extend(check_sanitizer_overhead(*CHECK_SIZE))
         failures.extend(check_trace_overhead(*CHECK_SIZE))
+        failures.extend(check_parallel_overhead(*CHECK_SIZE))
         for message in failures:
             print(f"CHECK FAILED: {message}", file=sys.stderr)
         if failures:
@@ -399,7 +486,8 @@ def main(argv: list[str] | None = None) -> int:
         print("check passed: fast path faster than reference at "
               f"n={CHECK_SIZE[0]}, d={CHECK_SIZE[1]}; "
               f"{' and '.join(SPEEDUP_RULES)} above {SPEEDUP_FLOOR}x; "
-              "disabled sanitizers and tracing add no measurable overhead")
+              "disabled sanitizers, tracing and workers=1 dispatch add "
+              "no measurable overhead")
     return 0
 
 

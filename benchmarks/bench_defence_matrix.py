@@ -16,10 +16,10 @@ from repro.utils.reporting import emit_report
 from repro.utils.tables import format_table
 
 
-def test_defence_matrix(benchmark):
+def test_defence_matrix(benchmark, workers):
     cells = benchmark.pedantic(
         run_defence_matrix,
-        kwargs={"byzantine_fraction": 0.25, "n_trials": 6},
+        kwargs={"byzantine_fraction": 0.25, "n_trials": 6, "workers": workers},
         rounds=1,
         iterations=1,
     )

@@ -23,7 +23,9 @@ from repro.utils.reporting import emit_report
 FRACTIONS = (0.0, 0.30, 0.50, 0.578, 0.65)
 
 
-def _run_quadrant(iid: bool, attack: str, n_rounds: int) -> list:
+def _run_quadrant(
+    iid: bool, attack: str, n_rounds: int, workers: int | None = None
+) -> list:
     base = ExperimentConfig(n_rounds=n_rounds).for_distribution(iid)
     return run_table5(
         base,
@@ -31,6 +33,7 @@ def _run_quadrant(iid: bool, attack: str, n_rounds: int) -> list:
         distributions=(iid,),
         attacks=(attack,),
         n_runs=1,
+        workers=workers,
     )
 
 
@@ -39,9 +42,9 @@ def _run_quadrant(iid: bool, attack: str, n_rounds: int) -> list:
     [(True, "type1"), (True, "type2"), (False, "type1"), (False, "type2")],
     ids=["iid-type1", "iid-type2", "noniid-type1", "noniid-type2"],
 )
-def test_table5_quadrant(benchmark, iid, attack):
+def test_table5_quadrant(benchmark, iid, attack, workers):
     cells = benchmark.pedantic(
-        _run_quadrant, args=(iid, attack, 25), rounds=1, iterations=1
+        _run_quadrant, args=(iid, attack, 25, workers), rounds=1, iterations=1
     )
     emit_report(f"table5_{'iid' if iid else 'noniid'}_{attack}", format_table5(cells))
     # Structural checks: the paper's qualitative claims must hold.

@@ -19,6 +19,26 @@ from repro.experiments import ExperimentConfig
 BENCH_ROUNDS = 25
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep-level benches (table5, "
+        "defence matrix); results are bit-identical for every N "
+        "(default: REPRO_WORKERS or 1)",
+    )
+
+
+@pytest.fixture
+def workers(request: pytest.FixtureRequest) -> int | None:
+    """Worker-process count for benches that shard independent cells."""
+    value = request.config.getoption("--workers")
+    assert value is None or isinstance(value, int)
+    return value
+
+
 @pytest.fixture
 def bench_config() -> ExperimentConfig:
     return ExperimentConfig(n_rounds=BENCH_ROUNDS)

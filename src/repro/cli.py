@@ -48,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record an observability trace (JSONL) of the command to PATH",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallelisable commands (table5, matrix);"
+        " results are bit-identical for every N (default: REPRO_WORKERS or 1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     t5 = sub.add_parser("table5", help="Table V accuracy grid")
@@ -125,6 +133,7 @@ def _cmd_table5(args: argparse.Namespace) -> int:
         distributions=distributions,
         attacks=attacks,
         n_runs=args.repeats,
+        workers=args.workers,
     )
     print(format_table5(cells))
     if args.out:
@@ -262,7 +271,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     )
     from repro.utils.tables import format_table
 
-    cells = run_defence_matrix(byzantine_fraction=args.byzantine_fraction)
+    cells = run_defence_matrix(
+        byzantine_fraction=args.byzantine_fraction, workers=args.workers
+    )
     gap = {(c.defence, c.attack): c.gap for c in cells}
     rows = [
         [d] + [f"{gap[(d, a)]:.2f}" for a in DEFAULT_ATTACKS]

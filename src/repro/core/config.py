@@ -106,6 +106,12 @@ class ABDHFLConfig:
         snapshots for this trainer (off process-wide unless
         ``REPRO_TRACE`` is set).  Tracing is read-only like the
         sanitizers: a traced run is bit-identical to an untraced one.
+    workers:
+        Process count for per-device local training
+        (:mod:`repro.parallel`).  ``None`` defers to ``REPRO_WORKERS``
+        (default 1); 1 is the exact serial code path.  Any count
+        produces bit-identical results — parallelism here is a pure
+        wall-clock knob, never a semantics knob.
     """
 
     training: TrainingConfig = field(default_factory=TrainingConfig)
@@ -122,8 +128,11 @@ class ABDHFLConfig:
     global_arrival_iteration: int = 2
     sanitize: bool = False
     trace: bool = False
+    workers: int | None = None
 
     def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if not (0.0 < self.phi <= 1.0):
             raise ValueError(f"phi must be in (0, 1], got {self.phi}")
         if self.flag_level < 0:

@@ -101,6 +101,26 @@ class LocalTrainer:
         idx = self.rng.choice(n, size=batch, replace=False)
         return self.dataset.X[idx], self.dataset.y[idx]
 
+    def export_state(self) -> dict[str, object]:
+        """Snapshot the state that persists across rounds.
+
+        ``train_round`` overwrites every model parameter via
+        ``set_flat``, so the only cross-round state a device carries is
+        its RNG stream position and its optimiser state (step counter,
+        momentum buffers).  :mod:`repro.parallel` round-trips this
+        snapshot to spawn workers and back so the parent-side trainer
+        stays bit-identical to a serial run.
+        """
+        return {
+            "rng": self.rng.bit_generator.state,
+            "optimizer": self.optimizer.export_state(),
+        }
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`export_state`."""
+        self.rng.bit_generator.state = state["rng"]
+        self.optimizer.import_state(state["optimizer"])  # type: ignore[arg-type]
+
     def train_round(
         self,
         start_vector: np.ndarray,

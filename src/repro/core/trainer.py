@@ -41,6 +41,12 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.obs import trace
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
+from repro.parallel import (
+    DeviceSpec,
+    LocalTrainingPool,
+    TrainJob,
+    resolve_workers,
+)
 from repro.topology.cluster import Cluster
 from repro.topology.tree import Hierarchy
 from repro.utils.seeding import SeedSequenceFactory
@@ -234,6 +240,13 @@ class ABDHFLTrainer:
                     spec.name, dict(spec.options), validator=self.validator
                 )
 
+        # Process-level parallelism for local training (repro.parallel):
+        # the pool is created lazily on the first parallel round and
+        # rebuilt after membership churn.  workers == 1 keeps the serial
+        # code path untouched.
+        self.workers = resolve_workers(config.workers)
+        self._pool: LocalTrainingPool | None = None
+
         # Flag model per bottom cluster (pipeline mode).
         self._flag_models: dict[int, np.ndarray] = {}
         self._total_samples = sum(t.n_samples for t in self.trainers.values())
@@ -352,7 +365,31 @@ class ABDHFLTrainer:
         # Flag models may reference clusters whose membership changed;
         # fall back to the global model for the next round.
         self._flag_models.clear()
+        # Worker replicas hold the old device set; rebuild on next round.
+        self.close()
         return joined, departed
+
+    def close(self) -> None:
+        """Shut down the parallel training pool, if one was created.
+
+        Safe to call at any time; the next parallel round recreates the
+        pool from the current membership.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ABDHFLTrainer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: never raise at GC/shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def evaluate_vector(self, vector: np.ndarray) -> float:
         """Test accuracy of an arbitrary parameter vector."""
@@ -363,7 +400,8 @@ class ABDHFLTrainer:
     # phases
     # ------------------------------------------------------------------
     def _local_training(self) -> tuple[dict[int, np.ndarray], list[float]]:
-        cfg = self.config
+        if self.workers > 1:
+            return self._local_training_parallel()
         local_models: dict[int, np.ndarray] = {}
         losses: list[float] = []
         bottom_level = self.hierarchy.bottom_level
@@ -376,6 +414,54 @@ class ABDHFLTrainer:
                 trainer = self.trainers[device]
                 local_models[device] = trainer.train_round(start, arrival)
                 losses.extend(trainer.last_losses)
+        return local_models, losses
+
+    def _local_training_parallel(self) -> tuple[dict[int, np.ndarray], list[float]]:
+        """Fan the round's local SGD out to the worker pool.
+
+        Jobs are built in exactly the serial iteration order (cluster,
+        then member), each carrying the device's exported round-trip
+        state; results are imported back in that same order, so the
+        parent trainers — RNG streams, optimiser state, model weights,
+        ``last_losses`` — end the round bit-identical to a serial run.
+        """
+        if self._pool is None:
+            specs = [
+                DeviceSpec(
+                    device_id=device,
+                    dataset=trainer.dataset,
+                    config=trainer.config,
+                )
+                for device, trainer in sorted(self.trainers.items())
+            ]
+            self._pool = LocalTrainingPool(self._eval_model, specs, self.workers)
+        jobs: list[TrainJob] = []
+        bottom_level = self.hierarchy.bottom_level
+        for cluster in self.hierarchy.clusters_at(bottom_level):
+            start = self._start_vector_for(cluster)
+            arrival = self._global_arrival_for(cluster)
+            for device in cluster.members:
+                if self._fault is not None and self._fault.is_crashed(device):
+                    continue  # crash-stopped: no compute, no upload
+                jobs.append(
+                    TrainJob(
+                        device_id=device,
+                        start_vector=start,
+                        arrival=arrival,
+                        state=self.trainers[device].export_state(),
+                    )
+                )
+        results = self._pool.train_round(jobs)
+        local_models: dict[int, np.ndarray] = {}
+        losses: list[float] = []
+        for job in jobs:  # fixed reduction order == serial iteration order
+            result = results[job.device_id]
+            trainer = self.trainers[job.device_id]
+            trainer.import_state(result.state)
+            trainer.model.set_flat(result.vector)
+            trainer.last_losses = list(result.losses)
+            local_models[job.device_id] = result.vector
+            losses.extend(result.losses)
         return local_models, losses
 
     def _start_vector_for(self, cluster: Cluster) -> np.ndarray:

@@ -22,6 +22,12 @@ from repro.data.dataset import Dataset
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
+from repro.parallel import (
+    DeviceSpec,
+    LocalTrainingPool,
+    TrainJob,
+    resolve_workers,
+)
 from repro.utils.seeding import SeedSequenceFactory
 
 __all__ = ["VanillaRoundRecord", "VanillaFLTrainer"]
@@ -48,6 +54,10 @@ class VanillaFLTrainer:
     aggregator:
         Rule name (``"fedavg"``, ``"multikrum"``, ``"median"`` ...) or an
         :class:`~repro.aggregation.base.Aggregator` instance.
+    workers:
+        Process count for per-client local training
+        (:mod:`repro.parallel`); ``None`` defers to ``REPRO_WORKERS``.
+        Any count is bit-identical to the serial path.
     """
 
     def __init__(
@@ -61,6 +71,7 @@ class VanillaFLTrainer:
         byzantine: list[int] | None = None,
         model_attack: ModelAttack | None = None,
         seed: int = 0,
+        workers: int | None = None,
     ) -> None:
         if not client_datasets:
             raise ValueError("at least one client dataset is required")
@@ -87,6 +98,8 @@ class VanillaFLTrainer:
             for cid, ds in client_datasets.items()
         }
         self._client_order = sorted(self.trainers)
+        self.workers = resolve_workers(workers)
+        self._pool: LocalTrainingPool | None = None
         self._eval_model = model_template.clone()
         self._eval_loss = SoftmaxCrossEntropy()
         self.global_model = model_template.get_flat()
@@ -101,13 +114,63 @@ class VanillaFLTrainer:
             self.run_round(evaluate=(self.round_index % eval_every == 0))
         return self.history[start:]
 
-    def run_round(self, evaluate: bool = True) -> VanillaRoundRecord:
+    def close(self) -> None:
+        """Shut down the parallel training pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "VanillaFLTrainer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: never raise at GC/shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _local_training(self) -> tuple[dict[int, np.ndarray], list[float]]:
         uploads: dict[int, np.ndarray] = {}
         losses: list[float] = []
+        if self.workers > 1:
+            if self._pool is None:
+                specs = [
+                    DeviceSpec(cid, self.trainers[cid].dataset, self.config)
+                    for cid in self._client_order
+                ]
+                self._pool = LocalTrainingPool(
+                    self._eval_model, specs, self.workers
+                )
+            jobs = [
+                TrainJob(
+                    device_id=cid,
+                    start_vector=self.global_model,
+                    arrival=None,
+                    state=self.trainers[cid].export_state(),
+                )
+                for cid in self._client_order
+            ]
+            results = self._pool.train_round(jobs)
+            for cid in self._client_order:  # fixed reduction order
+                result = results[cid]
+                trainer = self.trainers[cid]
+                trainer.import_state(result.state)
+                trainer.model.set_flat(result.vector)
+                trainer.last_losses = list(result.losses)
+                uploads[cid] = result.vector
+                losses.extend(result.losses)
+            return uploads, losses
         for cid in self._client_order:
             trainer = self.trainers[cid]
             uploads[cid] = trainer.train_round(self.global_model)
             losses.extend(trainer.last_losses)
+        return uploads, losses
+
+    def run_round(self, evaluate: bool = True) -> VanillaRoundRecord:
+        uploads, losses = self._local_training()
 
         if self.model_attack is not None and self.byzantine:
             honest = [c for c in self._client_order if c not in self.byzantine]

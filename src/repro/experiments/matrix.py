@@ -18,9 +18,16 @@ import numpy as np
 
 from repro.aggregation.base import get_aggregator
 from repro.attacks.base import get_attack
+from repro.parallel import parallel_map
 from repro.utils.seeding import seeded_generator
 
-__all__ = ["gradient_gap", "MatrixCell", "run_defence_matrix", "breakdown_curve"]
+__all__ = [
+    "gradient_gap",
+    "MatrixCell",
+    "defence_options_for",
+    "run_defence_matrix",
+    "breakdown_curve",
+]
 
 DEFAULT_DEFENCES = (
     "fedavg",
@@ -35,13 +42,32 @@ DEFAULT_DEFENCES = (
 )
 DEFAULT_ATTACKS = ("sign_flip", "gaussian_noise", "alie", "ipm", "scaling")
 
-# Robustness guarantees are conditional on the rule being parameterised
-# for the operating adversary share; these defaults match the matrix's
-# canonical 25 % Byzantine fraction.
+def defence_options_for(defence: str, byzantine_fraction: float) -> dict | None:
+    """Rule options parameterised for the *operating* adversary share.
+
+    Robustness guarantees are conditional on the rule knowing the
+    Byzantine fraction it faces: trimmed-mean must trim at least that
+    share from each tail, Krum/Multi-Krum size their neighbour sets from
+    it.  Evaluating a 10 % or 40 % adversary with options hard-coded for
+    the canonical 25 % (the old ``DEFENCE_OPTIONS`` table) silently
+    measured a mis-parameterised defence.  Returns ``None`` for rules
+    that take no fraction parameter.
+    """
+    if defence == "trimmed_mean":
+        # beta must stay below 0.5 (both tails are trimmed); past that
+        # the rule has no guarantee regardless of parameterisation.
+        return {"beta": min(byzantine_fraction, 0.49)}
+    if defence in ("krum", "multikrum"):
+        return {"byzantine_fraction": byzantine_fraction}
+    return None
+
+
+# Back-compat view of the derived options at the matrix's canonical 25 %
+# Byzantine fraction.
 DEFENCE_OPTIONS: dict[str, dict] = {
-    "trimmed_mean": {"beta": 0.25},
-    "krum": {"byzantine_fraction": 0.25},
-    "multikrum": {"byzantine_fraction": 0.25},
+    defence: options
+    for defence in ("trimmed_mean", "krum", "multikrum")
+    if (options := defence_options_for(defence, 0.25)) is not None
 }
 
 
@@ -89,11 +115,36 @@ def gradient_gap(
     return float(np.mean(gaps))
 
 
+def _cell_task(task: tuple[str, str, float, int, dict]) -> MatrixCell:
+    """Evaluate one (defence, attack, fraction) cell.
+
+    Module-level (spawn-safe) so :func:`repro.parallel.parallel_map` can
+    ship it to worker processes; each cell derives its own RNG from the
+    seed, so cells are independent and order-insensitive.
+    """
+    defence, attack, fraction, seed, kwargs = task
+    gap = gradient_gap(
+        defence,
+        attack,
+        byzantine_fraction=fraction,
+        seed=seed,
+        defence_options=defence_options_for(defence, fraction),
+        **kwargs,  # type: ignore[arg-type]
+    )
+    return MatrixCell(
+        defence=defence,
+        attack=attack,
+        byzantine_fraction=fraction,
+        gap=gap,
+    )
+
+
 def breakdown_curve(
     defence: str,
     attack: str,
     fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.45),
     seed: int = 0,
+    workers: int | None = None,
     **kwargs: object,
 ) -> list[MatrixCell]:
     """Gap as a function of the Byzantine fraction — the empirical
@@ -102,28 +153,30 @@ def breakdown_curve(
     The fraction where the gap departs from its clean level locates the
     rule's practical breakdown point (Table II discussion: "each type of
     method is particularly effective against some types of attacks").
+    The defence is re-parameterised for each fraction on the axis
+    (:func:`defence_options_for`), so the curve measures the rule at its
+    honest best everywhere.  ``workers`` shards the fractions across
+    processes with identical results.
     """
-    cells = []
     for fraction in fractions:
         if not (0.0 <= fraction < 0.5):
             raise ValueError(f"fractions must be in [0, 0.5), got {fraction}")
-        gap = gradient_gap(
+    tasks = [
+        (
             defence,
             attack if fraction > 0 else "none",
-            byzantine_fraction=fraction,
-            seed=seed,
-            defence_options=DEFENCE_OPTIONS.get(defence),
-            **kwargs,  # type: ignore[arg-type]
+            fraction,
+            seed,
+            dict(kwargs),
         )
-        cells.append(
-            MatrixCell(
-                defence=defence,
-                attack=attack,
-                byzantine_fraction=fraction,
-                gap=gap,
-            )
-        )
-    return cells
+        for fraction in fractions
+    ]
+    cells = parallel_map(_cell_task, tasks, workers=workers)
+    # The "none" attack at fraction 0 keeps the requested attack label so
+    # the curve's cells group together.
+    return [
+        MatrixCell(c.defence, attack, c.byzantine_fraction, c.gap) for c in cells
+    ]
 
 
 def run_defence_matrix(
@@ -131,26 +184,19 @@ def run_defence_matrix(
     attacks: tuple[str, ...] = DEFAULT_ATTACKS,
     byzantine_fraction: float = 0.25,
     seed: int = 0,
+    workers: int | None = None,
     **kwargs: object,
 ) -> list[MatrixCell]:
-    """Every defence against every attack at one Byzantine fraction."""
-    cells: list[MatrixCell] = []
-    for defence in defences:
-        for attack in attacks:
-            gap = gradient_gap(
-                defence,
-                attack,
-                byzantine_fraction=byzantine_fraction,
-                seed=seed,
-                defence_options=DEFENCE_OPTIONS.get(defence),
-                **kwargs,  # type: ignore[arg-type]
-            )
-            cells.append(
-                MatrixCell(
-                    defence=defence,
-                    attack=attack,
-                    byzantine_fraction=byzantine_fraction,
-                    gap=gap,
-                )
-            )
-    return cells
+    """Every defence against every attack at one Byzantine fraction.
+
+    Each defence is parameterised for the *requested* fraction via
+    :func:`defence_options_for`; ``workers`` shards the cells across
+    processes (``REPRO_WORKERS``/serial when ``None``) with bit-identical
+    cells in the same order.
+    """
+    tasks = [
+        (defence, attack, byzantine_fraction, seed, dict(kwargs))
+        for defence in defences
+        for attack in attacks
+    ]
+    return parallel_map(_cell_task, tasks, workers=workers)

@@ -17,6 +17,7 @@ from repro.experiments.setup import (
     build_vanilla_trainer,
     prepare_data,
 )
+from repro.parallel import parallel_map
 from repro.utils.seeding import iter_run_seeds
 from repro.utils.tables import format_percent, format_table
 
@@ -69,16 +70,29 @@ def run_cell(
     )
 
 
+def _cell_task(task: tuple[ExperimentConfig, int]) -> Table5Cell:
+    """One grid cell, module-level so spawn workers can import it."""
+    config, n_runs = task
+    return run_cell(config, n_runs=n_runs)
+
+
 def run_table5(
     base_config: ExperimentConfig | None = None,
     fractions: tuple[float, ...] = PAPER_FRACTIONS,
     distributions: tuple[bool, ...] = (True, False),
     attacks: tuple[str, ...] = ("type1", "type2"),
     n_runs: int = 1,
+    workers: int | None = None,
 ) -> list[Table5Cell]:
-    """Run the full grid; returns cells in paper row order."""
+    """Run the full grid; returns cells in paper row order.
+
+    Cells are seeded independently (every run derives its seed from the
+    cell config alone), so ``workers`` shards them across processes via
+    :func:`repro.parallel.parallel_map` with bit-identical cells in the
+    same paper row order.
+    """
     base_config = base_config or ExperimentConfig()
-    cells: list[Table5Cell] = []
+    tasks: list[tuple[ExperimentConfig, int]] = []
     for iid in distributions:
         dist_cfg = base_config.for_distribution(iid)
         for attack in attacks:
@@ -86,8 +100,8 @@ def run_table5(
                 cfg = replace(
                     dist_cfg, attack=attack, malicious_fraction=fraction
                 )
-                cells.append(run_cell(cfg, n_runs=n_runs))
-    return cells
+                tasks.append((cfg, n_runs))
+    return parallel_map(_cell_task, tasks, workers=workers)
 
 
 def format_table5(cells: list[Table5Cell]) -> str:

@@ -85,6 +85,23 @@ class SGD:
         if self.momentum > 0.0:
             self._velocity = [np.zeros_like(p) for p in model.params]
 
+    def export_state(self) -> dict[str, object]:
+        """Snapshot the cross-round mutable state (schedule step counter
+        and momentum buffers) for shipping across process boundaries."""
+        velocity = None
+        if self._velocity is not None:
+            velocity = [v.copy() for v in self._velocity]
+        return {"step_count": self.step_count, "velocity": velocity}
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`export_state`."""
+        self.step_count = int(state["step_count"])  # type: ignore[arg-type]
+        velocity = state["velocity"]
+        if velocity is None:
+            self._velocity = None
+        else:
+            self._velocity = [np.array(v, copy=True) for v in velocity]
+
     def step(self) -> float:
         """Apply one update; returns the learning rate used."""
         lr = self.schedule.lr(self.step_count)

@@ -119,20 +119,43 @@ def render_report(
     report = build_report(events)
     sections: list[str] = []
 
-    rounds = sorted(r for r in report.by_round if r >= 0)
-    rows = [_breakdown_row(str(r), report.by_round[r]) for r in rounds]
-    unscoped = report.by_round.get(-1)
-    if unscoped is not None and unscoped.total > 0:
-        rows.append(_breakdown_row("(no round)", unscoped))
-    rows.append(_breakdown_row("total", report.overall))
-    sections.append(
-        format_table(
-            ["round", "wait", "compute", "comm", "total",
-             "wait%", "compute%", "comm%"],
-            rows,
-            title="Wait / computation / communication breakdown (sim-time seconds)",
+    if not report.by_round:
+        # Empty, span-free or metrics-only trace: there is no breakdown
+        # to tabulate.  Degrade to an explicit placeholder instead of an
+        # all-zero table that reads like a measured result.
+        detail = (
+            "empty trace"
+            if report.n_events == 0
+            else f"{report.n_events} events, none of them breakdown spans"
         )
-    )
+        sections.append(
+            format_table(
+                ["round", "wait", "compute", "comm"],
+                [[f"no spans recorded ({detail})", "-", "-", "-"]],
+                title=(
+                    "Wait / computation / communication breakdown "
+                    "(sim-time seconds)"
+                ),
+            )
+        )
+    else:
+        rounds = sorted(r for r in report.by_round if r >= 0)
+        rows = [_breakdown_row(str(r), report.by_round[r]) for r in rounds]
+        unscoped = report.by_round.get(-1)
+        if unscoped is not None and unscoped.total > 0:
+            rows.append(_breakdown_row("(no round)", unscoped))
+        rows.append(_breakdown_row("total", report.overall))
+        sections.append(
+            format_table(
+                ["round", "wait", "compute", "comm", "total",
+                 "wait%", "compute%", "comm%"],
+                rows,
+                title=(
+                    "Wait / computation / communication breakdown "
+                    "(sim-time seconds)"
+                ),
+            )
+        )
 
     if report.comm_by_kind:
         comm_rows = [

@@ -1,0 +1,124 @@
+"""Deterministic ordered fan-out over independent work items.
+
+:func:`parallel_map` is the sweep-level surface: experiment drivers hand
+it a list of independent cells (defence-matrix cells, Table-V cells) and
+a module-level task function; it returns exactly what the serial loop
+``[fn(x) for x in items]`` would, for any worker count.
+
+Determinism comes from two rules:
+
+* **ordered reduction** — results are collected with ``Pool.map``, which
+  returns them in *input* order no matter which worker finished first;
+* **per-task trace scoping** — when an ambient tracer is installed, each
+  task (serial or remote) runs under a fresh private tracer whose events
+  are replayed into the ambient tracer in input order.  The merged trace
+  is therefore byte-identical for every worker count, including 1.
+
+With tracing off and ``workers=1`` the call is a plain list
+comprehension: no pool, no pickling, no wrapper frame — the zero-overhead
+contract checked by ``bench_aggregation_kernels.py --parallel-overhead``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing.context import BaseContext
+from typing import Callable, Iterable, TypeVar
+
+from repro.check import sanitize
+from repro.obs import trace
+from repro.parallel.config import ENV_VAR, resolve_workers
+
+__all__ = ["parallel_map", "spawn_context"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def spawn_context() -> BaseContext:
+    """The ``spawn`` multiprocessing context used for every pool.
+
+    Fork is deliberately avoided: forked children inherit ambient tracer
+    and sanitizer state (and, on some platforms, locked BLAS internals),
+    while spawn re-imports modules from scratch so workers see exactly
+    the state the parent ships them.
+    """
+    return multiprocessing.get_context("spawn")
+
+
+def _init_worker() -> None:
+    """Pin every pool worker to serial execution.
+
+    Fan-out is one level deep by design: a sweep task may construct
+    trainers whose worker count defers to ``REPRO_WORKERS``, and a
+    (daemonic) pool worker cannot have children — so the environment
+    gate is forced to 1 for everything the worker runs.
+    """
+    os.environ[ENV_VAR] = "1"
+
+
+def _run_task(
+    payload: tuple[Callable[[_T], _R], _T, bool, bool],
+) -> tuple[_R, list[trace.TraceEvent] | None]:
+    """Execute one task inside a worker process.
+
+    Module-level by spawn-safety rule 1 (DESIGN.md): spawn workers import
+    this function by qualified name, so it must never live in
+    ``__main__``.  The parent's sanitize flag is re-applied and, when the
+    parent traces, the task's events are captured in a private tracer and
+    shipped back for ordered merging.
+    """
+    fn, item, sanitize_on, capture_trace = payload
+    with sanitize.sanitized(sanitize_on):
+        if not capture_trace:
+            return fn(item), None
+        with trace.scoped(trace.Tracer()) as task_tracer:
+            result = fn(item)
+        return result, task_tracer.events
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``items`` with deterministic ordered reduction.
+
+    ``workers`` resolves via :func:`~repro.parallel.config.resolve_workers`
+    (explicit > ``REPRO_WORKERS`` > 1).  The result list equals
+    ``[fn(x) for x in items]`` bit-for-bit regardless of worker count;
+    ``fn`` and every item must be picklable (and ``fn`` module-level)
+    when more than one worker is requested.
+
+    Tasks must be independent: ``fn`` must not rely on process-global
+    state mutated by earlier items, because with N > 1 each task may run
+    in a different process.  All repro sweep cells qualify — they derive
+    their randomness from per-cell seeds (`utils/seeding.py`), never from
+    shared streams.
+    """
+    work = list(items)
+    n_workers = min(resolve_workers(workers), max(1, len(work)))
+    ambient = trace.tracer()
+
+    if n_workers <= 1:
+        if ambient is None:
+            return [fn(item) for item in work]
+        # Traced serial path: scope each task exactly like a worker would
+        # so the merged trace is invariant to the worker count.
+        results: list[_R] = []
+        for item in work:
+            with trace.scoped(trace.Tracer()) as task_tracer:
+                results.append(fn(item))
+            ambient.events.extend(task_tracer.events)
+        return results
+
+    payloads = [(fn, item, sanitize.enabled(), ambient is not None) for item in work]
+    with spawn_context().Pool(processes=n_workers, initializer=_init_worker) as pool:
+        outcomes = pool.map(_run_task, payloads, chunksize=1)
+    results = []
+    for result, shard in outcomes:  # input order == reduction order
+        results.append(result)
+        if ambient is not None and shard:
+            ambient.events.extend(shard)
+    return results

@@ -1,0 +1,186 @@
+"""Round-level fan-out: per-device local SGD in persistent spawn workers.
+
+The parent trainer stays the single source of truth.  Datasets and the
+model architecture ship *once* (in the pool initializer); every round the
+parent sends each live device a :class:`TrainJob` carrying the device's
+start vector, optional global-arrival merge, and the round-trip state
+snapshot from :meth:`repro.core.local.LocalTrainer.export_state` (RNG
+stream position + optimiser state).  Workers replay exactly the serial
+``train_round`` call on their replica and return the trained vector, the
+per-iteration losses, and the advanced state; the parent imports all
+three back into its own ``LocalTrainer`` objects, in fixed device order.
+
+Because the replica starts from the shipped state and ``train_round``
+overwrites every model parameter from the start vector, the device's SGD
+trajectory is a pure function of the job — which worker runs it, and in
+which order, cannot matter.  That is the whole bit-identity argument;
+``tests/test_parallel_determinism.py`` proves it end to end.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import pool
+
+import numpy as np
+
+from repro.check import sanitize
+from repro.core.config import TrainingConfig
+from repro.core.local import GlobalArrival, LocalTrainer
+from repro.data.dataset import Dataset
+from repro.nn.model import Sequential
+from repro.parallel.config import ENV_VAR
+from repro.parallel.pool import spawn_context
+from repro.utils.seeding import seeded_generator
+
+__all__ = ["DeviceSpec", "TrainJob", "TrainResult", "LocalTrainingPool"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Per-device immutables shipped once at pool creation."""
+
+    device_id: int
+    dataset: Dataset
+    config: TrainingConfig
+
+
+@dataclass(frozen=True)
+class TrainJob:
+    """One device's work for one round (everything a replica needs)."""
+
+    device_id: int
+    start_vector: np.ndarray
+    arrival: GlobalArrival | None
+    state: dict[str, object]
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """What a replica sends back: trained vector, losses, advanced state."""
+
+    device_id: int
+    vector: np.ndarray
+    losses: list[float]
+    state: dict[str, object]
+
+
+# Worker-process replica table, populated by the pool initializer.  One
+# entry per device in the hierarchy; each worker holds the full table so
+# any worker can run any job (shard assignment is free to change without
+# affecting results).
+_REPLICAS: dict[int, LocalTrainer] | None = None
+
+
+def _init_replicas(model_template: Sequential, specs: list[DeviceSpec]) -> None:
+    """Pool initializer: build one LocalTrainer replica per device.
+
+    The replica RNG seed is irrelevant — every job imports the parent's
+    exported RNG state before training — it only fixes the generator
+    type (PCG64, matching `utils/seeding.py`).
+    """
+    global _REPLICAS
+    # Same one-level-fan-out pin as parallel_map's workers: nothing a
+    # replica runs may consult REPRO_WORKERS and try to nest a pool.
+    os.environ[ENV_VAR] = "1"
+    _REPLICAS = {
+        spec.device_id: LocalTrainer(
+            device_id=spec.device_id,
+            dataset=spec.dataset,
+            model=model_template.clone(),
+            config=spec.config,
+            rng=seeded_generator(0),
+        )
+        for spec in specs
+    }
+
+
+def _train_shard(payload: tuple[list[TrainJob], bool]) -> list[TrainResult]:
+    """Run a shard of jobs on this worker's replicas (module-level for
+    spawn-safety).  The parent's sanitize flag is re-applied so guarded
+    runs stay guarded inside workers."""
+    jobs, sanitize_on = payload
+    assert _REPLICAS is not None, "pool initializer did not run"
+    results: list[TrainResult] = []
+    with sanitize.sanitized(sanitize_on):
+        for job in jobs:
+            trainer = _REPLICAS[job.device_id]
+            trainer.import_state(job.state)
+            vector = trainer.train_round(job.start_vector, job.arrival)
+            results.append(
+                TrainResult(
+                    device_id=job.device_id,
+                    vector=vector,
+                    losses=list(trainer.last_losses),
+                    state=trainer.export_state(),
+                )
+            )
+    return results
+
+
+class LocalTrainingPool:
+    """A persistent spawn pool of per-device LocalTrainer replicas.
+
+    Created lazily by the trainers when ``workers > 1``; must be
+    re-created (``close()``) after membership churn changes the device
+    set.  Use as a context manager or call :meth:`close` explicitly;
+    trainers do both via their own ``close()``.
+    """
+
+    def __init__(
+        self,
+        model_template: Sequential,
+        specs: list[DeviceSpec],
+        workers: int,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(f"LocalTrainingPool needs workers >= 2, got {workers}")
+        if not specs:
+            raise ValueError("LocalTrainingPool needs at least one device spec")
+        self.workers = min(workers, len(specs))
+        self.device_ids = [spec.device_id for spec in specs]
+        self._pool: pool.Pool | None = spawn_context().Pool(
+            processes=self.workers,
+            initializer=_init_replicas,
+            initargs=(model_template, specs),
+        )
+
+    def train_round(self, jobs: list[TrainJob]) -> dict[int, TrainResult]:
+        """Run every job, return results keyed by device id.
+
+        Jobs are sharded round-robin over the workers in input order;
+        since each job is a pure function of its payload the sharding is
+        invisible in the results.
+        """
+        if self._pool is None:
+            raise RuntimeError("LocalTrainingPool is closed")
+        sanitize_on = sanitize.enabled()
+        shards = [
+            (jobs[i :: self.workers], sanitize_on) for i in range(self.workers)
+        ]
+        shards = [s for s in shards if s[0]]
+        merged: dict[int, TrainResult] = {}
+        for shard_results in self._pool.map(_train_shard, shards):
+            for result in shard_results:
+                merged[result.device_id] = result
+        return merged
+
+    def close(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "LocalTrainingPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: never raise at GC/shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -416,6 +416,11 @@ class EventDrivenRun:
     def _on_upload(
         self, cluster: Cluster, round_index: int, msg: Message
     ) -> None:
+        if not msg.delivered:
+            # The fault transport only fires callbacks for delivered
+            # attempts, but branch on the explicit flag rather than let a
+            # dropped message's NaN delivered_at poison the timings.
+            return
         key = (cluster.level, cluster.index, round_index)
         state = self._leader_state.setdefault(key, _LeaderState())
         if msg.src in state.senders:

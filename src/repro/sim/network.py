@@ -15,6 +15,7 @@ Table-V breakdown.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -48,6 +49,16 @@ class Message:
     delivered_at: float = float("nan")
     dropped: bool = False
 
+    @property
+    def delivered(self) -> bool:
+        """Whether this attempt completed delivery.
+
+        The one sanctioned place that inspects ``delivered_at``'s NaN
+        sentinel — everywhere else branches on this property or on
+        ``dropped`` (abdlint NUM001 flags NaN comparisons).
+        """
+        return not self.dropped and not math.isnan(self.delivered_at)
+
 
 @dataclass
 class NetworkStats:
@@ -78,6 +89,8 @@ class NetworkStats:
 
     def record_delivery(self, message: Message) -> None:
         """Account one delivered message's sim-time latency."""
+        if message.dropped:
+            return  # a lost attempt carries no delivery latency
         kind = message.kind
         latency = message.delivered_at - message.sent_at
         self.delivered += 1

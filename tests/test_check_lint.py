@@ -28,9 +28,10 @@ class TestSelfTest:
         assert abdlint.self_test() == []
 
     def test_builtin_fixtures(self):
-        for rule, (bad, good) in abdlint._FIXTURES.items():
-            assert rule in rules_at(bad), rule
-            assert rules_at(good) == set(), rule
+        for rule, pairs in abdlint._FIXTURES.items():
+            for bad, good in pairs:
+                assert rule in rules_at(bad), rule
+                assert rules_at(good) == set(), rule
 
 
 class TestDET001:
@@ -127,6 +128,45 @@ class TestDET003:
 
     def test_membership_and_len_are_clean(self):
         src = "seen = set(a)\nok = b in seen\nn = len(seen)\n"
+        assert rules_at(src) == set()
+
+
+class TestDET004:
+    POOL_IMPORT = "from multiprocessing import Pool\n"
+
+    def test_import_multiprocessing(self):
+        assert rules_at("import multiprocessing\n") == {"DET004"}
+
+    def test_from_import(self):
+        assert rules_at(self.POOL_IMPORT) == {"DET004"}
+
+    def test_submodule_import(self):
+        assert rules_at("import multiprocessing.pool\n") == {"DET004"}
+
+    def test_concurrent_futures(self):
+        assert rules_at("import concurrent.futures\n") == {"DET004"}
+        assert rules_at("from concurrent.futures import ProcessPoolExecutor\n") == {
+            "DET004"
+        }
+
+    def test_fires_in_tests_and_benchmarks_too(self):
+        # Unlike DET001/DET002 there is no tests/ exemption: ad-hoc pools
+        # are nondeterministic wherever they run.
+        assert rules_at(self.POOL_IMPORT, path="tests/test_x.py") == {"DET004"}
+        assert rules_at(self.POOL_IMPORT, path="benchmarks/bench_x.py") == {
+            "DET004"
+        }
+
+    def test_parallel_package_exempt(self):
+        for module in ("pool.py", "worker.py", "config.py"):
+            path = f"src/repro/parallel/{module}"
+            assert rules_at(self.POOL_IMPORT, path=path) == set(), module
+
+    def test_parallel_map_is_clean(self):
+        src = (
+            "from repro.parallel import parallel_map\n"
+            "out = parallel_map(str, [1, 2], workers=2)\n"
+        )
         assert rules_at(src) == set()
 
 

@@ -92,7 +92,12 @@ print(digest.hexdigest())
 """
 
 
-def _run_child(script: str, sanitize: bool = False, trace: str | None = None) -> str:
+def _run_child(
+    script: str,
+    sanitize: bool = False,
+    trace: str | None = None,
+    workers: int | None = None,
+) -> str:
     env = os.environ.copy()
     existing = env.get("PYTHONPATH", "")
     env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
@@ -101,10 +106,13 @@ def _run_child(script: str, sanitize: bool = False, trace: str | None = None) ->
     env.pop("PYTHONHASHSEED", None)
     env.pop("REPRO_SANITIZE", None)
     env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_WORKERS", None)
     if sanitize:
         env["REPRO_SANITIZE"] = "1"
     if trace is not None:
         env["REPRO_TRACE"] = trace
+    if workers is not None:
+        env["REPRO_WORKERS"] = str(workers)
     proc = subprocess.run(
         [sys.executable, "-c", script],
         env=env,

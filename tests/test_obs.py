@@ -435,6 +435,32 @@ class TestRenderReport:
         text = render_report([])
         assert "0 trace events" in text
 
+    def test_empty_trace_says_no_spans(self):
+        # An empty trace must degrade to an explicit placeholder, not an
+        # all-zero breakdown that reads like a measured result.
+        text = render_report([])
+        assert "no spans recorded (empty trace)" in text
+        assert "Wait / computation / communication breakdown" in text
+
+    def test_span_free_trace_reports_event_count(self):
+        events = [
+            {"name": "transport.drop", "cat": "fault", "ph": "i", "t": 0.0},
+            {"name": "transport.drop", "cat": "fault", "ph": "i", "t": 1.0},
+        ]
+        text = render_report(events)
+        assert "no spans recorded (2 events, none of them breakdown spans)" in text
+        # The non-breakdown sections still render.
+        assert "transport.drop" in text
+        assert "2 trace events" in text
+
+    def test_metrics_only_trace_degrades(self):
+        tr = Tracer()
+        tr.metrics.counter("agg.calls").inc(3)
+        tr.snapshot_metrics(1.0)
+        text = render_report(tr.events)
+        assert "no spans recorded" in text
+        assert "1 trace events" in text
+
 
 # ======================================================================
 # wall-clock profiler (benchmarks only)

@@ -1,0 +1,168 @@
+"""Bit-identity regressions for the parallel backend across worker counts.
+
+The contract of :mod:`repro.parallel` is that the worker count is a pure
+wall-clock knob: ``workers=N`` must reproduce the serial run bit for bit —
+model state, losses, sweep cells, and the merged observability trace.
+These tests pin that contract at both fan-out surfaces:
+
+* **round-level** — the ABD-HFL trainer's per-node local training,
+  dispatched to a persistent spawn pool (``LocalTrainingPool``) with the
+  full RNG/optimizer state round-trip;
+* **sweep-level** — experiment drivers sharding independent cells through
+  :func:`repro.parallel.parallel_map` with ordered reduction and per-task
+  trace scoping.
+
+Marked ``slow``: spawn pools pay a fresh-interpreter import per worker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ABDHFLConfig
+from repro.core.trainer import ABDHFLTrainer
+from repro.experiments.matrix import run_defence_matrix
+from repro.obs import Tracer, trace
+from test_core_trainer import default_config, small_setup
+from test_determinism_subprocess import (
+    TRACE_HASH_SUFFIX,
+    TRAINER_CHILD,
+    _run_child,
+)
+
+# The fault-injected 3-round ABD-HFL child from the cross-process
+# determinism suite leaves ``ABDHFLConfig.workers`` unset, so the
+# ``REPRO_WORKERS`` environment gate selects the backend — the exact
+# production surface a user flips.
+TABLE5_CHILD = """
+import hashlib
+import numpy as np
+from repro.experiments import ExperimentConfig
+from repro.experiments.table5 import run_table5
+
+cfg = ExperimentConfig(
+    n_levels=2, cluster_size=4, n_top=2, image_side=8,
+    samples_per_client=50, n_test=200, n_rounds=2, hidden=(16,),
+)
+cells = run_table5(
+    cfg, fractions=(0.0, 0.5), distributions=(True,), attacks=("type1",),
+    n_runs=1,
+)
+digest = hashlib.sha256()
+for c in cells:
+    digest.update(np.float64(c.malicious_fraction).tobytes())
+    digest.update(np.float64(c.abdhfl_accuracy).tobytes())
+    digest.update(np.float64(c.vanilla_accuracy).tobytes())
+print(digest.hexdigest())
+"""
+
+
+@pytest.mark.slow
+def test_parallel_training_is_bit_identical_to_serial():
+    """``REPRO_WORKERS=4`` must hash the fault-injected 3-round training
+    exactly like the serial baseline: same global model, same per-round
+    accuracy/loss stream."""
+    assert _run_child(TRAINER_CHILD, workers=4) == _run_child(
+        TRAINER_CHILD, workers=1
+    )
+
+
+@pytest.mark.slow
+def test_parallel_trainer_state_matches_serial_in_process():
+    """Beyond the output hash: every per-device RNG state, optimizer step
+    count and parameter vector must round-trip unchanged through the
+    worker pool."""
+
+    def run(workers: int | None) -> ABDHFLTrainer:
+        hierarchy, datasets, model, test = small_setup(seed=3)
+        cfg = default_config(workers=workers)
+        trainer = ABDHFLTrainer(
+            hierarchy, datasets, model.clone(), cfg, test, seed=3
+        )
+        trainer.run(2)
+        return trainer
+
+    serial = run(None)
+    parallel = run(2)
+    try:
+        assert parallel.workers == 2
+        np.testing.assert_array_equal(
+            serial.global_model, parallel.global_model
+        )
+        assert sorted(serial.trainers) == sorted(parallel.trainers)
+        for device in sorted(serial.trainers):
+            ref, par = serial.trainers[device], parallel.trainers[device]
+            np.testing.assert_array_equal(
+                ref.model.get_flat(), par.model.get_flat()
+            )
+            assert ref.last_losses == par.last_losses
+            assert ref.rng.bit_generator.state == par.rng.bit_generator.state
+            ref_opt = ref.export_state()["optimizer"]
+            par_opt = par.export_state()["optimizer"]
+            assert ref_opt["step_count"] == par_opt["step_count"]
+            if ref_opt["velocity"] is None:
+                assert par_opt["velocity"] is None
+            else:
+                for rv, pv in zip(ref_opt["velocity"], par_opt["velocity"]):
+                    np.testing.assert_array_equal(rv, pv)
+        assert [r.test_accuracy for r in serial.history] == [
+            r.test_accuracy for r in parallel.history
+        ]
+    finally:
+        parallel.close()
+        serial.close()
+
+
+@pytest.mark.slow
+def test_config_workers_validated_and_serial_by_default():
+    with pytest.raises(ValueError):
+        ABDHFLConfig(workers=0)
+    hierarchy, datasets, model, test = small_setup()
+    trainer = ABDHFLTrainer(hierarchy, datasets, model, default_config(), test)
+    assert trainer.workers == 1
+    assert trainer._pool is None
+
+
+@pytest.mark.slow
+def test_matrix_cells_identical_across_worker_counts():
+    kwargs = dict(
+        defences=("median", "trimmed_mean", "krum"),
+        attacks=("sign_flip", "scaling"),
+        byzantine_fraction=0.25,
+        n_trials=2,
+    )
+    serial = run_defence_matrix(workers=1, **kwargs)
+    sharded = run_defence_matrix(workers=3, **kwargs)
+    # Dataclass equality is exact: the gap floats must match bit for bit,
+    # in the same (defence, attack) order.
+    assert serial == sharded
+
+
+@pytest.mark.slow
+def test_matrix_trace_is_byte_identical_across_worker_counts():
+    """Per-worker trace shards merged in input order must serialise to
+    exactly the serial trace — the schema-valid JSONL a report consumes."""
+
+    def jsonl(workers: int) -> str:
+        with trace.scoped(Tracer()) as tr:
+            run_defence_matrix(
+                defences=("median", "krum"),
+                attacks=("sign_flip",),
+                n_trials=1,
+                workers=workers,
+            )
+        assert tr.events, "traced sweep recorded nothing"
+        return tr.to_jsonl()
+
+    assert jsonl(1) == jsonl(2)
+
+
+@pytest.mark.slow
+def test_table5_results_and_trace_worker_invariant():
+    """The sweep surface end to end, driven purely by the environment:
+    ``REPRO_WORKERS=4`` under ``REPRO_TRACE`` must reproduce the serial
+    cells *and* the serial trace byte for byte."""
+    serial = _run_child(TABLE5_CHILD + TRACE_HASH_SUFFIX, trace="1", workers=1)
+    sharded = _run_child(TABLE5_CHILD + TRACE_HASH_SUFFIX, trace="1", workers=4)
+    assert serial == sharded  # result digest AND trace hash

@@ -22,11 +22,19 @@ reproduction's guarantees rest on.  Rules:
     statements or comprehensions: hash order is not a schedule.  Wrap
     the set in ``sorted(...)`` or use an ordered container.
 
+``DET004``
+    No ``multiprocessing`` / ``concurrent.futures`` imports outside
+    :mod:`repro.parallel` — process fan-out is only deterministic when
+    it goes through the ordered-reduction backend (``parallel_map`` /
+    ``LocalTrainingPool``); ad-hoc pools reintroduce completion-order
+    nondeterminism.
+
 ``NUM001``
     No bare ``==``/``!=`` on float ndarrays (parameters or variables
     annotated ``np.ndarray``) or against ``np.nan`` outside tests — use
     ``np.array_equal`` for bit-equality contracts or ``np.isclose``
-    for tolerances.
+    for tolerances.  NaN sentinels get explicit flags instead of
+    NaN-tests (e.g. ``Message.dropped``, not ``delivered_at != nan``).
 
 ``INV001``
     No hand-rolled quorum arithmetic (``2*f + 1``, ``n // 3``,
@@ -63,6 +71,8 @@ RULES: dict[str, str] = {
     "and repro/obs/profile.py may read real time",
     "DET003": "iteration over an unordered set; wrap in sorted(...) or "
     "use an ordered container",
+    "DET004": "process fan-out outside repro.parallel; use parallel_map/"
+    "LocalTrainingPool (ordered, deterministic reduction)",
     "NUM001": "bare ==/!= on a float ndarray; use np.array_equal or "
     "np.isclose",
     "INV001": "hand-rolled quorum arithmetic; use repro.check.invariants "
@@ -114,6 +124,7 @@ class FileKind:
     is_seeding: bool
     is_invariants: bool
     is_profiling: bool
+    is_parallel: bool
 
     @classmethod
     def from_path(cls, path: str) -> "FileKind":
@@ -129,6 +140,9 @@ class FileKind:
             # The single wall-clock carve-out in src/: benchmark-only
             # profiling hooks (see its module docstring).
             is_profiling=posix.endswith("repro/obs/profile.py"),
+            # The single process-fan-out carve-out: the deterministic
+            # pool backend itself.
+            is_parallel="repro/parallel" in posix,
         )
 
 
@@ -211,8 +225,24 @@ class Linter(ast.NodeVisitor):
 
     # ------------------------------------------------------------------
     # imports
+    #: Module roots whose import means ad-hoc process fan-out (DET004).
+    _POOL_MODULES = ("multiprocessing", "concurrent")
+
+    def _check_pool_import(self, node: ast.AST, module: str) -> None:
+        if self.kind.is_parallel:
+            return
+        if module.split(".")[0] in self._POOL_MODULES:
+            self.report(
+                node,
+                "DET004",
+                f"import of {module!r} outside repro.parallel; route process "
+                "fan-out through repro.parallel (parallel_map / "
+                "LocalTrainingPool) so reduction order stays deterministic",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
+            self._check_pool_import(node, alias.name)
             if alias.asname:
                 self.aliases[alias.asname] = alias.name
             else:
@@ -222,6 +252,7 @@ class Linter(ast.NodeVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module and node.level == 0:
+            self._check_pool_import(node, node.module)
             for alias in node.names:
                 self.aliases[alias.asname or alias.name] = (
                     f"{node.module}.{alias.name}"
@@ -537,37 +568,76 @@ def lint_paths(
 # self-test fixtures: each rule must fire on its bad snippet and stay
 # silent on the good one.  CI runs --self-test so a regression that
 # silences a rule fails the build even with a violation-free tree.
-_FIXTURES: dict[str, tuple[str, str]] = {
-    "DET001": (
-        "import numpy as np\nx = np.random.rand(4)\n",
-        "from repro.utils.seeding import seeded_generator\n"
-        "x = seeded_generator(0).random(4)\n",
-    ),
-    "DET002": (
-        "import time\nstart = time.perf_counter()\n",
-        "def run(sim):\n    return sim.now\n",
-    ),
-    "DET003": (
-        "pending = {3, 1, 2}\nfor node in pending:\n    print(node)\n",
-        "pending = {3, 1, 2}\nfor node in sorted(pending):\n    print(node)\n",
-    ),
-    "NUM001": (
-        "import numpy as np\n"
-        "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
-        "    return bool((a == b).all())\n",
-        "import numpy as np\n"
-        "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
-        "    return np.array_equal(a, b)\n",
-    ),
-    "INV001": (
-        "def quorum(f: int, n: int) -> int:\n"
-        "    assert 3 * f < n\n"
-        "    return 2 * f + 1\n",
-        "from repro.check.invariants import quorum_size, require_fault_bound\n"
-        "def quorum(f: int, n: int) -> int:\n"
-        "    require_fault_bound(n, f)\n"
-        "    return quorum_size(f)\n",
-    ),
+_FIXTURES: dict[str, list[tuple[str, str]]] = {
+    "DET001": [
+        (
+            "import numpy as np\nx = np.random.rand(4)\n",
+            "from repro.utils.seeding import seeded_generator\n"
+            "x = seeded_generator(0).random(4)\n",
+        ),
+    ],
+    "DET002": [
+        (
+            "import time\nstart = time.perf_counter()\n",
+            "def run(sim):\n    return sim.now\n",
+        ),
+    ],
+    "DET003": [
+        (
+            "pending = {3, 1, 2}\nfor node in pending:\n    print(node)\n",
+            "pending = {3, 1, 2}\nfor node in sorted(pending):\n    print(node)\n",
+        ),
+    ],
+    "DET004": [
+        (
+            "from multiprocessing import Pool\n"
+            "def fan_out(items):\n"
+            "    with Pool(4) as pool:\n"
+            "        return pool.map(str, items)\n",
+            "from repro.parallel import parallel_map\n"
+            "def fan_out(items):\n"
+            "    return parallel_map(str, items, workers=4)\n",
+        ),
+        (
+            "import concurrent.futures\n"
+            "def fan_out(items):\n"
+            "    with concurrent.futures.ProcessPoolExecutor() as ex:\n"
+            "        return list(ex.map(str, items))\n",
+            "from repro.parallel import parallel_map\n"
+            "def fan_out(items):\n"
+            "    return parallel_map(str, items)\n",
+        ),
+    ],
+    "NUM001": [
+        (
+            "import numpy as np\n"
+            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+            "    return bool((a == b).all())\n",
+            "import numpy as np\n"
+            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
+            "    return np.array_equal(a, b)\n",
+        ),
+        # NaN-sentinel testing: branch on the explicit flag, not on a
+        # comparison against the NaN placeholder (Message.dropped vs
+        # delivered_at == nan).
+        (
+            "def lost(delivered_at: float) -> bool:\n"
+            '    return delivered_at == float("nan")\n',
+            "def lost(message) -> bool:\n"
+            "    return message.dropped\n",
+        ),
+    ],
+    "INV001": [
+        (
+            "def quorum(f: int, n: int) -> int:\n"
+            "    assert 3 * f < n\n"
+            "    return 2 * f + 1\n",
+            "from repro.check.invariants import quorum_size, require_fault_bound\n"
+            "def quorum(f: int, n: int) -> int:\n"
+            "    require_fault_bound(n, f)\n"
+            "    return quorum_size(f)\n",
+        ),
+    ],
 }
 
 
@@ -584,32 +654,42 @@ _CARVEOUT_FIXTURES: list[tuple[str, str, str]] = [
         "benchmarks/bench_fixture.py",
         "import time\nstart = time.perf_counter()\n",
     ),
+    (
+        "DET004",
+        "src/repro/parallel/pool.py",
+        "import multiprocessing\n"
+        'ctx = multiprocessing.get_context("spawn")\n',
+    ),
 ]
 
 
 def self_test() -> list[str]:
     """Run every rule against its fixtures; returns failure messages."""
     failures: list[str] = []
-    for rule, (bad, good) in _FIXTURES.items():
-        fired = {f.rule for f in lint_source(bad, path=f"src/fixture_{rule}.py")}
-        if rule not in fired:
-            failures.append(f"{rule}: did not fire on its seeded violation")
-        clean = lint_source(good, path=f"src/fixture_{rule}.py")
-        if clean:
-            failures.append(
-                f"{rule}: clean fixture produced findings: "
-                + "; ".join(f.render() for f in clean)
+    for rule, pairs in _FIXTURES.items():
+        for index, (bad, good) in enumerate(pairs):
+            label = f"{rule}[{index}]" if len(pairs) > 1 else rule
+            fired = {
+                f.rule for f in lint_source(bad, path=f"src/fixture_{rule}.py")
+            }
+            if rule not in fired:
+                failures.append(f"{label}: did not fire on its seeded violation")
+            clean = lint_source(good, path=f"src/fixture_{rule}.py")
+            if clean:
+                failures.append(
+                    f"{label}: clean fixture produced findings: "
+                    + "; ".join(f.render() for f in clean)
+                )
+            pragma_lines = []
+            for line in bad.splitlines():
+                pragma_lines.append(
+                    line + "  # abdlint: ignore" if line.strip() else line
+                )
+            suppressed = lint_source(
+                "\n".join(pragma_lines) + "\n", path=f"src/fixture_{rule}.py"
             )
-        pragma_lines = []
-        for line in bad.splitlines():
-            pragma_lines.append(
-                line + "  # abdlint: ignore" if line.strip() else line
-            )
-        suppressed = lint_source(
-            "\n".join(pragma_lines) + "\n", path=f"src/fixture_{rule}.py"
-        )
-        if suppressed:
-            failures.append(f"{rule}: pragma failed to suppress the finding")
+            if suppressed:
+                failures.append(f"{label}: pragma failed to suppress the finding")
     for rule, path, source in _CARVEOUT_FIXTURES:
         # Sanity: the snippet must fire at a generic src/ path...
         generic = {f.rule for f in lint_source(source, path="src/fixture_carveout.py")}
@@ -657,7 +737,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         for failure in failures:
             print(f"SELF-TEST FAILED: {failure}", file=sys.stderr)
         if not failures:
-            print(f"self-test passed: {len(_FIXTURES)} rules fire and suppress")
+            n_pairs = sum(len(pairs) for pairs in _FIXTURES.values())
+            print(
+                f"self-test passed: {len(_FIXTURES)} rules "
+                f"({n_pairs} fixtures) fire and suppress"
+            )
         return 1 if failures else 0
 
     if not args.paths:
