@@ -28,6 +28,9 @@ __all__ = [
     "InvariantViolation",
     "max_faulty",
     "quorum_size",
+    "echo_quorum",
+    "ready_support",
+    "acs_subset_size",
     "fault_bound_holds",
     "require_fault_bound",
     "check_consensus_result",
@@ -57,6 +60,53 @@ def quorum_size(f: int) -> int:
     if f < 0:
         raise InvariantViolation(f"fault count must be non-negative, got {f}")
     return 2 * f + 1  # abdlint: ignore[INV001]
+
+
+def echo_quorum(n: int, f: int) -> int:
+    """Bracha ECHO threshold ``ceil((n + f + 1) / 2)``.
+
+    Any two ECHO quorums of this size intersect in at least ``f + 1``
+    members — more than the faulty can control — so two honest nodes can
+    never assemble ECHO quorums for *different* values (the lemma behind
+    reliable-broadcast agreement).
+    """
+    if n < 1:
+        raise InvariantViolation(f"group size must be positive, got {n}")
+    if f < 0:
+        raise InvariantViolation(f"fault count must be non-negative, got {f}")
+    if 3 * f >= n:
+        raise InvariantViolation(
+            f"echo quorum needs n > 3f for its intersection lemma; "
+            f"got n={n}, f={f}"
+        )
+    return (n + f + 2) // 2  # abdlint: ignore[INV001]
+
+
+def ready_support(f: int) -> int:
+    """READY amplification threshold ``f + 1``.
+
+    ``f + 1`` matching READYs contain at least one honest sender, so an
+    honest node may safely join the READY wave without having assembled
+    an ECHO quorum itself.  The *delivery* threshold is the honest-
+    majority quorum :func:`quorum_size` (``2f + 1``).
+    """
+    if f < 0:
+        raise InvariantViolation(f"fault count must be non-negative, got {f}")
+    return f + 1
+
+
+def acs_subset_size(n: int, f: int) -> int:
+    """Minimum agreed-subset cardinality ``n - f`` of an ACS.
+
+    Also the count of AUX messages / DONE confirmations an asynchronous
+    protocol may wait for without risking deadlock: at most ``f``
+    members may stay silent forever.
+    """
+    if n < 1:
+        raise InvariantViolation(f"group size must be positive, got {n}")
+    if not (0 <= f < n):
+        raise InvariantViolation(f"fault count must be in [0, {n}), got {f}")
+    return n - f
 
 
 def fault_bound_holds(n: int, f: int) -> bool:

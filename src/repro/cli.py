@@ -90,6 +90,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     mx = sub.add_parser("matrix", help="attack x defence matrix")
     mx.add_argument("--byzantine-fraction", type=float, default=0.25)
+    mx.add_argument(
+        "--consensus",
+        default=None,
+        help="compose a CBA backend in front of every defence "
+        "(e.g. 'acs', 'voting'); the defence aggregates only the "
+        "updates the backend accepted",
+    )
+    mx.add_argument(
+        "--consensus-adversary",
+        default="none",
+        choices=("none", "equivocate", "withhold", "crash_midway"),
+        help="Byzantine behaviour on the consensus traffic itself "
+        "('acs' backend only)",
+    )
+    mx.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of honest members crash-silent per cell",
+    )
+    mx.add_argument(
+        "--drop-messages",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="per-message loss probability on consensus traffic "
+        "('acs' backend only; retransmission applies)",
+    )
+    mx.add_argument("--n-total", type=int, default=20, help="members per cell")
+    mx.add_argument("--dim", type=int, default=64, help="update dimension")
+    mx.add_argument("--trials", type=int, default=8, help="trials per cell")
 
     rp = sub.add_parser("report", help="render a run report from a trace file")
     rp.add_argument("trace_file", type=Path, help="JSONL trace to render")
@@ -271,14 +303,36 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     )
     from repro.utils.tables import format_table
 
+    fault_plan = None
+    if args.drop_messages > 0:
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.uniform(
+            drop_probability=args.drop_messages, seed=args.seed
+        )
     cells = run_defence_matrix(
-        byzantine_fraction=args.byzantine_fraction, workers=args.workers
+        byzantine_fraction=args.byzantine_fraction,
+        workers=args.workers,
+        seed=args.seed,
+        consensus=args.consensus,
+        consensus_adversary=args.consensus_adversary,
+        fault_plan=fault_plan,
+        drop_fraction=args.drop,
+        n_total=args.n_total,
+        dim=args.dim,
+        n_trials=args.trials,
     )
     gap = {(c.defence, c.attack): c.gap for c in cells}
     rows = [
         [d] + [f"{gap[(d, a)]:.2f}" for a in DEFAULT_ATTACKS]
         for d in DEFAULT_DEFENCES
     ]
+    if args.consensus:
+        print(
+            f"consensus backend: {args.consensus} "
+            f"(adversary: {args.consensus_adversary}, "
+            f"drop: {args.drop:.0%}, msg loss: {args.drop_messages:.0%})"
+        )
     print(format_table(["defence \\ attack", *DEFAULT_ATTACKS], rows))
     return 0
 

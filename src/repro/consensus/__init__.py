@@ -20,10 +20,24 @@ Implemented protocols:
 * :class:`ApproximateAgreement` — multidimensional approximate
   ε-agreement via iterated coordinate-trimmed means (Mendes–Herlihy
   style), with per-round message accounting.
+* :class:`ACSConsensus` — a genuinely asynchronous, message-driven
+  backend (:mod:`repro.consensus.async_bft`): Bracha reliable broadcast
+  feeding Mostéfaoui-style binary agreement composed into an agreed
+  common subset, executed on the event simulator so fault plans apply
+  to consensus traffic and the cost bill counts messages actually sent.
+  Supports consensus-level adversaries (equivocation, selective
+  delivery, mid-broadcast crash).
 
-Every protocol returns a :class:`ConsensusResult` carrying the agreed
-vector, which proposals were excluded, and the communication bill — the
-quantity the scheme-comparison experiments (Table IV) consume.
+The closed-form protocols accept only live members by default; every
+protocol honours the ``silent_mask`` keyword of
+:meth:`ConsensusProtocol.agree` (crash-silent members contribute no
+proposal), either natively (``handles_silent = True``) or through the
+base class's live-member reduction.
+
+Construction by name goes through :func:`get_consensus`; every protocol
+returns a :class:`ConsensusResult` carrying the agreed vector, which
+proposals were excluded, and the communication bill — the quantity the
+scheme-comparison experiments (Table IV) consume.
 """
 
 from repro.consensus.base import ConsensusProtocol, ConsensusResult, CostModel
@@ -33,6 +47,8 @@ from repro.consensus.committee import CommitteeConsensus
 from repro.consensus.pbft import PBFTConsensus
 from repro.consensus.pos import PoSValidation
 from repro.consensus.approx_agreement import ApproximateAgreement
+from repro.consensus.async_bft import ACSConsensus
+from repro.consensus.registry import CONSENSUS_NAMES, get_consensus
 
 __all__ = [
     "ConsensusProtocol",
@@ -45,4 +61,7 @@ __all__ = [
     "PBFTConsensus",
     "PoSValidation",
     "ApproximateAgreement",
+    "ACSConsensus",
+    "CONSENSUS_NAMES",
+    "get_consensus",
 ]

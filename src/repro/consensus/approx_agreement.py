@@ -72,6 +72,7 @@ class ApproximateAgreement(ConsensusProtocol):
         proposals: np.ndarray,
         weights: np.ndarray,
         byzantine_mask: np.ndarray,
+        silent: np.ndarray,
         rng: np.random.Generator,
     ) -> ConsensusResult:
         n, d = proposals.shape

@@ -1,0 +1,55 @@
+"""Asynchronous BFT consensus: Bracha RBC, Mo14 ABA and their ACS composition.
+
+Unlike the closed-form protocols in :mod:`repro.consensus`, everything
+here is *message-driven*: per-member state machines exchange
+:class:`~repro.consensus.async_bft.runtime.Packet` messages over a
+:class:`~repro.consensus.async_bft.runtime.Router` that transmits
+through the simulator's :class:`~repro.sim.network.Channel` (or a
+:class:`~repro.faults.transport.FaultyChannel`), so latency models,
+fault plans and the cost bill all reflect messages actually sent.
+
+Layers, bottom-up:
+
+* :mod:`~repro.consensus.async_bft.runtime` — packets, routing,
+  billing, adversary hook.
+* :mod:`~repro.consensus.async_bft.adversary` — consensus-level
+  Byzantine behaviours (equivocation, selective delivery, mid-broadcast
+  crash).
+* :mod:`~repro.consensus.async_bft.bracha` — Bracha reliable broadcast.
+* :mod:`~repro.consensus.async_bft.aba` — Mostéfaoui et al. (2014)
+  signature-free binary agreement with a seeded common coin.
+* :mod:`~repro.consensus.async_bft.acs` — HoneyBadger-style agreement
+  on a common subset (n parallel RBCs gated by n parallel ABAs).
+* :mod:`~repro.consensus.async_bft.protocol` — the ``"acs"``
+  :class:`~repro.consensus.base.ConsensusProtocol` adapter.
+"""
+
+from repro.consensus.async_bft.aba import Mo14ABA, make_common_coin
+from repro.consensus.async_bft.acs import ACSNode
+from repro.consensus.async_bft.adversary import (
+    ADVERSARIES,
+    ConsensusAdversary,
+    CrashMidBroadcast,
+    Equivocator,
+    SelectiveSender,
+    make_adversary,
+)
+from repro.consensus.async_bft.bracha import BrachaRBC
+from repro.consensus.async_bft.protocol import ACSConsensus
+from repro.consensus.async_bft.runtime import Packet, Router
+
+__all__ = [
+    "ACSConsensus",
+    "ACSNode",
+    "ADVERSARIES",
+    "BrachaRBC",
+    "ConsensusAdversary",
+    "CrashMidBroadcast",
+    "Equivocator",
+    "Mo14ABA",
+    "Packet",
+    "Router",
+    "SelectiveSender",
+    "make_adversary",
+    "make_common_coin",
+]

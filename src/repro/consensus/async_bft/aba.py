@@ -1,0 +1,252 @@
+"""Mo14 asynchronous binary Byzantine agreement with a seeded coin.
+
+The Mostéfaoui–Moumen–Raynal (PODC 2014) round structure, per round
+``r``:
+
+* broadcast ``BVAL(r, est)``; relay any value with
+  :func:`~repro.check.invariants.ready_support` distinct supporters;
+  admit a value into ``bin_values[r]`` at
+  :func:`~repro.check.invariants.quorum_size` supporters (so every
+  admitted value was broadcast by at least one honest node);
+* once ``bin_values[r]`` is non-empty, broadcast ``AUX(r, w)`` for one
+  admitted ``w``; wait for
+  :func:`~repro.check.invariants.acs_subset_size` AUX messages whose
+  values are all admitted;
+* flip the common coin ``s = coin(instance, r)``.  If the collected AUX
+  values are a single ``{b}``: set ``est = b`` and *decide* ``b`` when
+  ``b == s``.  Otherwise set ``est = s``.  Either way, enter round
+  ``r + 1``.
+
+**Common coin.**  A production protocol obtains the coin from threshold
+cryptography; this reproduction models the same abstraction — a value
+unpredictable before the round but identical at every node — as a seeded
+PRF of ``(instance, round)``.  Determinism contract: the coin seed is
+derived from the consensus rng stream once per execution, so runs replay
+bit-for-bit, the coin never depends on wall clock, worker count, or
+message arrival order, and distinct instances/rounds draw independent
+values.
+
+**Termination.**  Deciding nodes keep participating (a decided node's
+silence would strand laggards below their AUX threshold), bounded by the
+HoneyBadger-style DONE gadget: on deciding, broadcast ``DONE(b)`` once;
+``ready_support`` matching DONEs let an undecided node decide directly
+(at least one is honest, and honest DONEs all carry the agreed value);
+``acs_subset_size`` DONEs from distinct senders let a decided node halt.
+Every honest node eventually decides and DONEs, so every honest node
+halts and the instance stops generating events — the simulation drains
+instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.check.invariants import acs_subset_size, quorum_size, ready_support
+from repro.consensus.async_bft.runtime import Packet, Router
+from repro.utils.seeding import derive_seed, seeded_generator
+
+__all__ = ["Mo14ABA", "make_common_coin"]
+
+
+def make_common_coin(seed: int) -> Callable[[int, int], int]:
+    """A deterministic common coin: ``(instance, round) -> {0, 1}``.
+
+    Every node of one execution shares the seed, so all nodes see the
+    same coin value — the "trusted dealer" idealisation of a threshold
+    coin.  Each (instance, round) pair derives an independent child seed,
+    so coin values are uncorrelated across instances and rounds.
+    """
+
+    def coin(instance: int, round_index: int) -> int:
+        child = derive_seed(seed, "coin", instance, round_index)
+        return int(seeded_generator(child).integers(2))
+
+    return coin
+
+
+class Mo14ABA:
+    """One binary-agreement instance executed at one node.
+
+    Parameters
+    ----------
+    owner:
+        The member running this state machine.
+    n, f:
+        Membership size and tolerated fault count.
+    router:
+        Message fabric.
+    instance:
+        The proposer slot this instance decides inclusion for.
+    coin:
+        Shared common coin (see :func:`make_common_coin`).
+    on_decide:
+        Callback ``(instance, bit)`` fired exactly once, at decision.
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        n: int,
+        f: int,
+        router: Router,
+        instance: int,
+        coin: Callable[[int, int], int],
+        on_decide: Callable[[int, int], None],
+    ) -> None:
+        self.owner = owner
+        self.n = n
+        self.f = f
+        self.router = router
+        self.instance = instance
+        self.coin = coin
+        self.on_decide = on_decide
+        self._support = ready_support(f)
+        self._quorum = quorum_size(f)
+        self._aux_wait = acs_subset_size(n, f)
+        self.round = 0  # 0 = input not yet provided
+        self.est: int | None = None
+        self.decided: int | None = None
+        self.decided_time: float | None = None
+        self.halted = False
+        # Per-round message state.  Messages for future rounds are
+        # buffered here and take effect when the node reaches the round.
+        self._bval_sent: dict[int, list[int]] = {}
+        self._bval_recv: dict[tuple[int, int], set[int]] = {}
+        self._bin_values: dict[int, list[int]] = {}
+        self._aux_sent: dict[int, int] = {}
+        self._aux_recv: dict[int, dict[int, int]] = {}
+        self._completed: dict[int, bool] = {}
+        self._done_sent = False
+        self._done_recv: dict[int, set[int]] = {0: set(), 1: set()}
+        self._done_senders: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def propose(self, value: int) -> None:
+        """Provide this node's input bit (idempotent after the first)."""
+        if value not in (0, 1):
+            raise ValueError(f"ABA input must be a bit, got {value!r}")
+        if self.halted or self.round > 0:
+            return
+        if self.est is None:  # a DONE-shortcut decision already fixed est
+            self.est = value
+        self._enter_round(1)
+
+    # ------------------------------------------------------------------
+    def receive(self, src: int, packet: Packet) -> None:
+        if self.halted:
+            return
+        value = packet.value
+        if not isinstance(value, int) or isinstance(value, bool) or value not in (0, 1):
+            return  # Byzantine junk: not a bit, no bucket can reach quorum
+        if packet.mtype == "bval":
+            self._on_bval(src, packet.round, value)
+        elif packet.mtype == "aux":
+            self._on_aux(src, packet.round, value)
+        elif packet.mtype == "done":
+            self._on_done(src, value)
+
+    def _on_bval(self, src: int, r: int, b: int) -> None:
+        if r < 1:
+            return
+        senders = self._bval_recv.setdefault((r, b), set())
+        if src in senders:
+            return
+        senders.add(src)
+        # Relay at f+1 distinct supporters (so an honest-backed value
+        # spreads even if its original broadcaster was partial).
+        if len(senders) >= self._support and b not in self._bval_sent.get(r, []):
+            self._broadcast_bval(r, b)
+        # Admit at 2f+1: at least f+1 honest supporters.
+        if len(senders) >= self._quorum:
+            bin_values = self._bin_values.setdefault(r, [])
+            if b not in bin_values:
+                bin_values.append(b)
+                self._on_bin_value(r, b)
+
+    def _on_aux(self, src: int, r: int, b: int) -> None:
+        if r < 1:
+            return
+        received = self._aux_recv.setdefault(r, {})
+        if src not in received:
+            received[src] = b
+            self._try_complete(r)
+
+    def _on_done(self, src: int, b: int) -> None:
+        if src in self._done_recv[b]:
+            return
+        self._done_recv[b].add(src)
+        self._done_senders.add(src)
+        # f+1 DONE(b): at least one honest node decided b, so b is safe.
+        if self.decided is None and len(self._done_recv[b]) >= self._support:
+            self._decide(b)
+        # n-f DONEs: every honest node can reach a decision without us.
+        if self.decided is not None and len(self._done_senders) >= self._aux_wait:
+            self.halted = True
+
+    # ------------------------------------------------------------------
+    def _broadcast_bval(self, r: int, b: int) -> None:
+        self._bval_sent.setdefault(r, []).append(b)
+        self.router.broadcast(
+            self.owner,
+            Packet(instance=self.instance, mtype="bval", value=b, round=r),
+        )
+
+    def _enter_round(self, r: int) -> None:
+        self.round = r
+        assert self.est is not None
+        if self.est not in self._bval_sent.get(r, []):
+            self._broadcast_bval(r, self.est)
+        bin_values = self._bin_values.get(r, [])
+        if bin_values:
+            self._send_aux(r, bin_values[0])
+        self._try_complete(r)
+
+    def _on_bin_value(self, r: int, b: int) -> None:
+        if r != self.round:
+            return
+        self._send_aux(r, b)
+        self._try_complete(r)
+
+    def _send_aux(self, r: int, b: int) -> None:
+        if r in self._aux_sent:
+            return
+        self._aux_sent[r] = b
+        self.router.broadcast(
+            self.owner,
+            Packet(instance=self.instance, mtype="aux", value=b, round=r),
+        )
+
+    def _try_complete(self, r: int) -> None:
+        if r != self.round or r in self._completed or r not in self._aux_sent:
+            return
+        bin_values = self._bin_values.get(r, [])
+        if not bin_values:
+            return
+        received = self._aux_recv.get(r, {})
+        valid = [b for b in received.values() if b in bin_values]
+        if len(valid) < self._aux_wait:
+            return
+        self._completed[r] = True
+        vals = sorted({b for b in valid})
+        s = self.coin(self.instance, r)
+        if len(vals) == 1:
+            b = vals[0]
+            self.est = b
+            if b == s and self.decided is None:
+                self._decide(b)
+        else:
+            self.est = s
+        # Deciders keep participating; only the DONE gadget halts them.
+        self._enter_round(r + 1)
+
+    def _decide(self, b: int) -> None:
+        self.decided = b
+        self.est = b
+        self.decided_time = self.router.sim.now
+        self.on_decide(self.instance, b)
+        if not self._done_sent:
+            self._done_sent = True
+            self.router.broadcast(
+                self.owner,
+                Packet(instance=self.instance, mtype="done", value=b),
+            )

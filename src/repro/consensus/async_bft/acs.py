@@ -1,0 +1,149 @@
+"""Asynchronous common subset: n reliable broadcasts + n binary ABAs.
+
+The HoneyBadger/checo composition (see SNIPPETS.md for the checo
+original this structure follows): member ``i`` reliably broadcasts its
+proposal over Bracha instance ``i``; delivering slot ``j``'s broadcast
+makes a node input 1 to binary-agreement instance ``j``; once
+:func:`~repro.check.invariants.acs_subset_size` ABAs have decided 1, the
+node inputs 0 to every ABA it has not provided input to yet.  The agreed
+subset is ``S = {j : ABA_j decided 1}``; the node's output is the map
+``{j -> delivered value}`` over ``S``, which Bracha totality guarantees
+is eventually complete (an ABA can only decide 1 if some honest node
+input 1, i.e. delivered slot ``j``).
+
+Guarantees under ``f < n/3``: every honest node outputs the same subset
+``S`` with ``|S| >= n - f``, containing every slot whose broadcast all
+honest nodes delivered in time — in particular at least ``n - 2f``
+honest proposals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.check.invariants import acs_subset_size
+from repro.consensus.async_bft.aba import Mo14ABA
+from repro.consensus.async_bft.bracha import BrachaRBC
+from repro.consensus.async_bft.runtime import Packet, Router
+
+__all__ = ["ACSNode"]
+
+_RBC_TYPES = ("init", "echo", "ready")
+
+
+class ACSNode:
+    """One member's complete ACS state: n Bracha + n Mo14 instances.
+
+    Parameters
+    ----------
+    node_id:
+        The member this state machine belongs to.
+    n, f:
+        Membership size (proposer slots) and tolerated fault count.
+    router:
+        Shared message fabric; the node registers itself on construction.
+    coin:
+        Common coin shared by every member's ABA instances.
+    on_output:
+        Callback ``(node_id)`` fired exactly once, when :attr:`output`
+        becomes available.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        f: int,
+        router: Router,
+        coin: Callable[[int, int], int],
+        on_output: Callable[[int], None],
+    ) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.f = f
+        self.router = router
+        self.on_output = on_output
+        self._subset_threshold = acs_subset_size(n, f)
+        self.brachas = {
+            j: BrachaRBC(
+                owner=node_id,
+                sender=j,
+                n=n,
+                f=f,
+                router=router,
+                instance=j,
+                on_deliver=self._on_rbc_deliver,
+            )
+            for j in range(n)
+        }
+        self.abas = {
+            j: Mo14ABA(
+                owner=node_id,
+                n=n,
+                f=f,
+                router=router,
+                instance=j,
+                coin=coin,
+                on_decide=self._on_aba_decide,
+            )
+            for j in range(n)
+        }
+        self.rbc_values: dict[int, Hashable] = {}
+        self.aba_inputs: dict[int, int] = {}
+        self.decisions: dict[int, int] = {}
+        self.subset: list[int] | None = None
+        self.output: dict[int, Hashable] | None = None
+        self.output_time: float | None = None
+        router.register(node_id, self.receive)
+
+    # ------------------------------------------------------------------
+    def propose(self, value: Hashable) -> None:
+        """Reliably broadcast this member's proposal (slot ``node_id``)."""
+        self.brachas[self.node_id].start(value)
+
+    def receive(self, src: int, packet: Packet) -> None:
+        instance = packet.instance
+        if not (isinstance(instance, int) and 0 <= instance < self.n):
+            return  # Byzantine slot claim outside the membership
+        if packet.mtype in _RBC_TYPES:
+            self.brachas[instance].receive(src, packet)
+        else:
+            self.abas[instance].receive(src, packet)
+
+    # ------------------------------------------------------------------
+    def _provide_input(self, j: int, bit: int) -> None:
+        if j in self.aba_inputs:
+            return
+        self.aba_inputs[j] = bit
+        self.abas[j].propose(bit)
+
+    def _on_rbc_deliver(self, j: int, value: Hashable) -> None:
+        self.rbc_values[j] = value
+        self._provide_input(j, 1)
+        self._check_output()
+
+    def _on_aba_decide(self, j: int, bit: int) -> None:
+        self.decisions[j] = bit
+        if bit == 1:
+            ones = sum(1 for b in self.decisions.values() if b == 1)
+            if ones >= self._subset_threshold:
+                # Enough slots are in: vote the stragglers out so every
+                # ABA has full honest participation and terminates.
+                for k in range(self.n):
+                    self._provide_input(k, 0)
+        self._check_output()
+
+    def _check_output(self) -> None:
+        if self.output is not None:
+            return
+        if self.subset is None:
+            if len(self.decisions) < self.n:
+                return
+            self.subset = sorted(
+                j for j, bit in self.decisions.items() if bit == 1
+            )
+        # Totality: every subset slot's broadcast will reach us; wait.
+        if all(j in self.rbc_values for j in self.subset):
+            self.output = {j: self.rbc_values[j] for j in self.subset}
+            self.output_time = self.router.sim.now
+            self.on_output(self.node_id)

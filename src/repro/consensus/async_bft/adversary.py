@@ -1,0 +1,180 @@
+"""Consensus-level adversaries: Byzantine *protocol* behaviour.
+
+The aggregation-level attack suite (:mod:`repro.attacks`) poisons the
+*content* of proposals while the proposer follows the protocol honestly.
+The adversaries here are the complementary threat: a Byzantine member
+whose proposal may be perfectly benign but whose *protocol messages*
+misbehave — it tells different members different things (equivocation),
+starves a subset of members of its messages (selective delivery), or
+dies halfway through a broadcast so only part of the membership ever
+hears it.  These are exactly the behaviours Bracha's thresholds and the
+ACS composition are designed to survive, which the happy-path
+closed-form protocols could not even express.
+
+An adversary is a pure transform on one outgoing broadcast: given the
+honest packet and the recipient list, it returns the ``(recipient,
+packet)`` pairs actually transmitted.  It never forges the *sender* —
+the transport authenticates message origin (standard authenticated-
+channel assumption) — and it is deterministic given its construction
+arguments, so seeded runs replay bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Sequence
+
+from repro.consensus.async_bft.runtime import Packet
+
+__all__ = [
+    "ConsensusAdversary",
+    "Equivocator",
+    "SelectiveSender",
+    "CrashMidBroadcast",
+    "make_adversary",
+    "ADVERSARIES",
+]
+
+
+class ConsensusAdversary(ABC):
+    """Transforms one Byzantine member's outgoing broadcast."""
+
+    name: str = ""
+
+    @abstractmethod
+    def sends(
+        self, src: int, packet: Packet, dsts: Sequence[int]
+    ) -> list[tuple[int, Packet]]:
+        """The transmissions replacing the honest broadcast of ``packet``."""
+
+
+class Equivocator(ConsensusAdversary):
+    """Tell different recipients different things.
+
+    Recipients are split into ``n_variants`` groups by index; group 0
+    receives the honest payload, other groups receive a per-group
+    variant.  Binary values (ABA traffic) are flipped; model-slot values
+    are replaced by a tagged surrogate — the *tag* is what matters, two
+    honest nodes comparing notes must see differing payloads.
+
+    This is the canonical attack on naive broadcast (accept the first
+    INIT you see): without echo/ready thresholds, half the members would
+    deliver one value and half the other.
+    """
+
+    name = "equivocate"
+
+    def __init__(self, n_variants: int = 2) -> None:
+        if n_variants < 2:
+            raise ValueError(f"n_variants must be >= 2, got {n_variants}")
+        self.n_variants = int(n_variants)
+
+    def _variant(self, value: Hashable, src: int, group: int) -> Hashable:
+        if group == 0:
+            return value
+        if isinstance(value, int) and not isinstance(value, bool) and value in (0, 1):
+            return value ^ (group & 1)
+        return ("equivocation", src, group)
+
+    def sends(
+        self, src: int, packet: Packet, dsts: Sequence[int]
+    ) -> list[tuple[int, Packet]]:
+        if packet.mtype == "done":
+            # DONE certifies a decision; an equivocated DONE is just an
+            # invalid vote, modelled as honest to keep the attack focused.
+            return [(dst, packet) for dst in dsts]
+        return [
+            (
+                dst,
+                packet._replace(
+                    value=self._variant(packet.value, src, dst % self.n_variants)
+                ),
+            )
+            for dst in dsts
+        ]
+
+
+class SelectiveSender(ConsensusAdversary):
+    """Withhold all protocol traffic from a victim subset.
+
+    The victims experience the Byzantine member as crashed while the rest
+    of the membership sees it participating — the split-view attack that
+    breaks protocols whose thresholds assume "silent to one, silent to
+    all".  Totality (if one honest node delivers, all do) is the property
+    under test.
+    """
+
+    name = "withhold"
+
+    def __init__(self, victims: Sequence[int]) -> None:
+        self.victims = frozenset(int(v) for v in victims)
+
+    def sends(
+        self, src: int, packet: Packet, dsts: Sequence[int]
+    ) -> list[tuple[int, Packet]]:
+        return [(dst, packet) for dst in dsts if dst not in self.victims]
+
+
+class CrashMidBroadcast(ConsensusAdversary):
+    """Crash after a fixed number of transmissions.
+
+    The member behaves honestly for its first ``after_sends``
+    transmissions — possibly dying *inside* a broadcast, so only a prefix
+    of the membership receives it — then is silent forever.  Unlike a
+    :class:`~repro.faults.plan.CrashEvent` (which cuts at a sim-time
+    instant), this cuts at a message count, deterministically producing
+    the partial-broadcast states that make reliable broadcast non-trivial.
+    """
+
+    name = "crash_midway"
+
+    def __init__(self, after_sends: int = 2) -> None:
+        if after_sends < 0:
+            raise ValueError(f"after_sends must be non-negative, got {after_sends}")
+        self.after_sends = int(after_sends)
+        self._sent = 0
+
+    def sends(
+        self, src: int, packet: Packet, dsts: Sequence[int]
+    ) -> list[tuple[int, Packet]]:
+        if self._sent >= self.after_sends:
+            return []
+        budget = self.after_sends - self._sent
+        out = [(dst, packet) for dst in dsts[:budget]]
+        self._sent += len(out)
+        return out
+
+
+ADVERSARIES = ("none", "equivocate", "withhold", "crash_midway")
+
+
+def make_adversary(
+    name: str,
+    n: int,
+    *,
+    n_variants: int = 2,
+    victims: Iterable[int] | None = None,
+    after_sends: int | None = None,
+) -> ConsensusAdversary | None:
+    """Instantiate a consensus adversary by name (``"none"`` -> None).
+
+    Defaults are chosen to stress the matching safety property at any
+    group size: the equivocator splits the membership in two, the
+    selective sender withholds from every even-indexed member (about
+    half, below the delivery quorum it would need to silence), and the
+    mid-broadcast crasher dies after reaching half the membership.
+    """
+    key = name.lower()
+    if key == "none":
+        return None
+    if key == "equivocate":
+        return Equivocator(n_variants=n_variants)
+    if key == "withhold":
+        chosen = list(victims) if victims is not None else list(range(0, n, 2))
+        return SelectiveSender(victims=chosen)
+    if key == "crash_midway":
+        budget = after_sends if after_sends is not None else max(1, n // 2)
+        return CrashMidBroadcast(after_sends=budget)
+    raise ValueError(
+        f"unknown consensus adversary {name!r}; available: {ADVERSARIES}"
+    )

@@ -1,0 +1,148 @@
+"""Bracha reliable broadcast, one instance per proposer slot.
+
+The classic three-threshold protocol (Bracha 1987):
+
+* the designated sender broadcasts ``INIT(v)``;
+* on the sender's first ``INIT(v)``, a node broadcasts ``ECHO(v)`` (once
+  per instance);
+* on :func:`~repro.check.invariants.echo_quorum` matching ECHOs — or
+  :func:`~repro.check.invariants.ready_support` matching READYs — a node
+  broadcasts ``READY(v)`` (once per instance);
+* on :func:`~repro.check.invariants.quorum_size` matching READYs, the
+  node *delivers* ``v``.
+
+Guarantees under ``f < n/3`` with authenticated channels and eventual
+delivery: **validity** (an honest sender's value is delivered by every
+honest node), **agreement** (no two honest nodes deliver different
+values), **totality** (if one honest node delivers, every honest node
+eventually delivers).  An equivocating sender can at worst get a single
+one of its variants delivered, or none at all — the ECHO quorum
+intersection makes two variants unreachable.
+
+The implementation is a pure state machine: it performs no scheduling of
+its own, reacting only to :meth:`BrachaRBC.receive` calls from the
+router's delivery callbacks.  Duplicate messages (fault-layer
+duplication or Byzantine re-sends) are idempotent because every
+threshold counts distinct senders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.check.invariants import echo_quorum, quorum_size, ready_support
+from repro.consensus.async_bft.runtime import Packet, Router
+
+__all__ = ["BrachaRBC"]
+
+
+class BrachaRBC:
+    """One reliable-broadcast instance executed at one node.
+
+    Parameters
+    ----------
+    owner:
+        The member running this state machine.
+    sender:
+        The designated broadcaster whose value is being agreed on.
+    n, f:
+        Membership size and tolerated fault count (thresholds derive
+        from these via :mod:`repro.check.invariants`).
+    router:
+        Message fabric; outgoing messages carry ``instance`` so the
+        receiving node routes them back to its peer instance.
+    instance:
+        The proposer slot (conventionally equal to ``sender``).
+    on_deliver:
+        Callback ``(instance, value)`` fired exactly once, at delivery.
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        sender: int,
+        n: int,
+        f: int,
+        router: Router,
+        instance: int,
+        on_deliver: Callable[[int, Hashable], None],
+    ) -> None:
+        self.owner = owner
+        self.sender = sender
+        self.n = n
+        self.f = f
+        self.router = router
+        self.instance = instance
+        self.on_deliver = on_deliver
+        self._echo_quorum = echo_quorum(n, f)
+        self._ready_support = ready_support(f)
+        self._ready_quorum = quorum_size(f)
+        self._echoed = False
+        self._readied = False
+        self.delivered = False
+        self.value: Hashable = None
+        self.delivered_time: float | None = None
+        # value -> distinct senders observed (dicts keep insertion order;
+        # only membership and len() are consulted, never iteration order)
+        self._echoes: dict[Hashable, set[int]] = {}
+        self._readies: dict[Hashable, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self, value: Hashable) -> None:
+        """Act as the designated sender: broadcast ``INIT(value)``."""
+        if self.owner != self.sender:
+            raise ValueError(
+                f"node {self.owner} cannot start broadcast of slot {self.sender}"
+            )
+        self.router.broadcast(
+            self.owner, Packet(instance=self.instance, mtype="init", value=value)
+        )
+
+    # ------------------------------------------------------------------
+    def receive(self, src: int, packet: Packet) -> None:
+        if packet.mtype == "init":
+            self._on_init(src, packet.value)
+        elif packet.mtype == "echo":
+            self._on_echo(src, packet.value)
+        elif packet.mtype == "ready":
+            self._on_ready(src, packet.value)
+
+    def _on_init(self, src: int, value: Hashable) -> None:
+        # Only the designated sender's INIT counts; a forged slot claim
+        # is impossible on authenticated channels, a Byzantine sender's
+        # second INIT is ignored by the echo-once guard.
+        if src != self.sender or self._echoed:
+            return
+        self._echoed = True
+        self.router.broadcast(
+            self.owner, Packet(instance=self.instance, mtype="echo", value=value)
+        )
+
+    def _on_echo(self, src: int, value: Hashable) -> None:
+        senders = self._echoes.setdefault(value, set())
+        if src in senders:
+            return
+        senders.add(src)
+        if len(senders) >= self._echo_quorum:
+            self._send_ready(value)
+
+    def _on_ready(self, src: int, value: Hashable) -> None:
+        senders = self._readies.setdefault(value, set())
+        if src in senders:
+            return
+        senders.add(src)
+        if len(senders) >= self._ready_support:
+            self._send_ready(value)
+        if len(senders) >= self._ready_quorum and not self.delivered:
+            self.delivered = True
+            self.value = value
+            self.delivered_time = self.router.sim.now
+            self.on_deliver(self.instance, value)
+
+    def _send_ready(self, value: Hashable) -> None:
+        if self._readied:
+            return
+        self._readied = True
+        self.router.broadcast(
+            self.owner, Packet(instance=self.instance, mtype="ready", value=value)
+        )

@@ -1,0 +1,175 @@
+"""Message runtime shared by the asynchronous BFT state machines.
+
+The protocols in this package are *driven*, not computed: every node is a
+state machine that only acts inside delivery callbacks scheduled by
+:class:`~repro.sim.engine.Simulator`, and every message crosses a
+:class:`~repro.sim.network.Channel` (or a fault-injecting
+:class:`~repro.faults.transport.FaultyChannel`), so link drops,
+duplication, reordering, partitions and crash schedules apply to
+consensus traffic exactly as they do to training traffic.
+
+:class:`Router` is the thin glue: it owns the membership list, maps each
+:class:`Packet` type to a wire ``kind`` and a billed size (INIT/ECHO
+carry the proposal payload, everything else is digest-sized), interposes
+a :class:`~repro.consensus.async_bft.adversary.ConsensusAdversary` on the
+broadcasts of Byzantine senders, and dispatches deliveries to the
+registered per-node handlers.  A node's message *to itself* is delivered
+through the event queue at zero delay (deterministically ordered by the
+queue's sequence numbers) but never billed — a node pays no network cost
+to consult its own state.
+
+Messages addressed to unregistered members (crash-stopped from the
+start) are transmitted and billed — the sender cannot know the receiver
+is gone — and silently discarded at delivery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable, NamedTuple
+
+from repro.faults.transport import FaultyChannel
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel, Message
+
+if TYPE_CHECKING:  # adversary imports Packet from here
+    from repro.consensus.async_bft.adversary import ConsensusAdversary
+
+__all__ = ["Packet", "Router", "MODEL_SIZED_TYPES"]
+
+
+class Packet(NamedTuple):
+    """One protocol message, addressed to a per-slot protocol instance.
+
+    ``instance`` is the proposer slot the message belongs to (one Bracha
+    broadcast and one binary-agreement instance exist per slot).
+    ``value`` must be hashable — threshold counting buckets messages by
+    value equality.  ``round`` is only meaningful for binary-agreement
+    traffic.
+    """
+
+    instance: int
+    mtype: str
+    value: Hashable
+    round: int = 0
+
+
+#: Message types whose payload is the (model-sized) proposal; everything
+#: else moves a digest/vote and is billed at the scalar size.
+MODEL_SIZED_TYPES = ("init", "echo")
+
+
+class Router:
+    """Broadcast fabric between the per-member protocol state machines.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator (shared with ``channel``).
+    channel:
+        Transport for node-to-node traffic.  When it exposes
+        ``send_with_retry`` (a fault-injecting channel), that is used so
+        transient losses behave like delayed delivery — the eventual-
+        delivery assumption the protocols' liveness rests on.
+    members:
+        All member slots, *including* crash-stopped ones (a sender cannot
+        distinguish a slow member from a dead one).
+    value_bytes:
+        Billed size of a model-sized message (``d * 8``).
+    scalar_bytes:
+        Billed size of votes/digests.
+    adversaries:
+        ``member -> ConsensusAdversary`` for Byzantine senders whose
+        outgoing broadcasts are transformed (equivocation, withholding,
+        mid-broadcast crash).  Members absent from the map broadcast
+        honestly.
+    kind_prefix:
+        Namespace for wire kinds (``"acs"`` yields ``"acs.echo"``, …) so
+        :class:`~repro.sim.network.NetworkStats` separates consensus
+        traffic from any co-hosted training traffic.
+    retries:
+        Retransmission budget per message on a fault-injecting channel
+        (``None`` uses the plan's ``max_retries``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        members: list[int],
+        value_bytes: int,
+        scalar_bytes: int = 64,
+        adversaries: dict[int, "ConsensusAdversary"] | None = None,
+        kind_prefix: str = "acs",
+        retries: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.members = list(members)
+        self.value_bytes = int(value_bytes)
+        self.scalar_bytes = int(scalar_bytes)
+        self.adversaries = dict(adversaries or {})
+        self.kind_prefix = kind_prefix
+        self.retries = retries
+        self._handlers: dict[int, Callable[[int, Packet], None]] = {}
+        self.self_deliveries = 0
+
+    # ------------------------------------------------------------------
+    def register(self, member: int, handler: Callable[[int, Packet], None]) -> None:
+        """Attach ``member``'s state machine; silent members never call this."""
+        if member in self._handlers:
+            raise ValueError(f"member {member} already registered")
+        self._handlers[member] = handler
+
+    def kind_of(self, packet: Packet) -> str:
+        return f"{self.kind_prefix}.{packet.mtype}"
+
+    def size_of(self, packet: Packet) -> int:
+        if packet.mtype in MODEL_SIZED_TYPES:
+            return self.value_bytes
+        return self.scalar_bytes
+
+    # ------------------------------------------------------------------
+    def broadcast(self, src: int, packet: Packet) -> None:
+        """Send ``packet`` from ``src`` to every member (including itself).
+
+        A Byzantine sender's broadcast first passes through its adversary,
+        which may rewrite per-recipient payloads or drop recipients
+        entirely — the transport never equivocates on its own.
+        """
+        adversary = self.adversaries.get(src)
+        if adversary is None:
+            sends = [(dst, packet) for dst in self.members]
+        else:
+            sends = adversary.sends(src, packet, self.members)
+        for dst, pkt in sends:
+            if dst == src:
+                self._deliver_local(src, pkt)
+            else:
+                self._transmit(src, dst, pkt)
+
+    def _deliver_local(self, member: int, packet: Packet) -> None:
+        """Self-delivery: through the event queue, off the wire."""
+        self.self_deliveries += 1
+
+        def deliver() -> None:
+            handler = self._handlers.get(member)
+            if handler is not None:
+                handler(member, packet)
+
+        self.sim.schedule(0.0, deliver)
+
+    def _transmit(self, src: int, dst: int, packet: Packet) -> None:
+        kind = self.kind_of(packet)
+        size = self.size_of(packet)
+        if isinstance(self.channel, FaultyChannel):
+            self.channel.send_with_retry(
+                src, dst, kind, packet, size, self._dispatch,
+                max_retries=self.retries,
+            )
+        else:
+            self.channel.send(src, dst, kind, packet, size, self._dispatch)
+
+    def _dispatch(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is not None:
+            handler(message.src, message.payload)

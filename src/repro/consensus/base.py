@@ -64,9 +64,26 @@ class ConsensusProtocol(ABC):
     from data poisoning: in the paper's Appendix D threat model a
     data-poisoning node follows the protocol honestly, so its mask entry
     is False even though its proposal was trained on poisoned data.
+
+    ``silent_mask[i]`` marks crash-stopped members: they propose nothing
+    and vote nothing.  Every protocol honours it — by default the base
+    class strips silent rows before calling :meth:`_agree` and re-expands
+    the acceptance mask afterwards, so a crashed member can never be
+    accepted nor influence the vote.  Protocols that model crashes
+    natively (a silent PBFT primary must *time out*, an unreachable ACS
+    member must still be addressed on the wire) set ``handles_silent``
+    and receive the full-width mask instead.
     """
 
     name: str = ""
+    #: Subclasses that reason about silent members themselves (timeouts,
+    #: wasted transmissions) receive the mask in ``_agree``; for the rest
+    #: the base class reduces the problem to the live members.
+    handles_silent: bool = False
+    #: Legacy attribute channel: setting this before ``agree()`` is
+    #: equivalent to passing ``silent_mask=``.  One-shot — cleared at the
+    #: start of every execution.
+    silent_mask: np.ndarray | None = None
 
     def agree(
         self,
@@ -74,6 +91,7 @@ class ConsensusProtocol(ABC):
         weights: np.ndarray | None = None,
         byzantine_mask: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        silent_mask: np.ndarray | None = None,
     ) -> ConsensusResult:
         if isinstance(proposals, ParameterMatrix):
             # Round-stacked matrix from the trainer: reuse its validated
@@ -104,13 +122,25 @@ class ConsensusProtocol(ABC):
                 raise ValueError(
                     f"byzantine_mask shape {byzantine_mask.shape} != ({n},)"
                 )
+        if silent_mask is None:
+            silent_mask = self.silent_mask
+        self.silent_mask = None
+        if silent_mask is None:
+            silent = np.zeros(n, dtype=bool)
+        else:
+            silent = np.asarray(silent_mask, dtype=bool)
+            if silent.shape != (n,):
+                raise ValueError(f"silent_mask shape {silent.shape} != ({n},)")
         rng = rng if rng is not None else seeded_generator(0)
         checking = sanitize.enabled()
         if checking:
             sanitize.assert_finite(
                 proposals, "consensus proposals", rule=self.name or None
             )
-        result = self._agree(proposals, weights, byzantine_mask, rng)
+        if silent.any() and not self.handles_silent:
+            result = self._agree_live(proposals, weights, byzantine_mask, silent, rng)
+        else:
+            result = self._agree(proposals, weights, byzantine_mask, silent, rng)
         tr = trace.tracer()
         if tr is not None:
             self._trace_instance(tr, result, n=n, d=proposals.shape[1])
@@ -121,6 +151,44 @@ class ConsensusProtocol(ABC):
             sanitize.assert_finite(
                 result.value, "consensus output", rule=self.name or None
             )
+        return result
+
+    def _agree_live(
+        self,
+        proposals: np.ndarray,
+        weights: np.ndarray,
+        byzantine_mask: np.ndarray,
+        silent: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ConsensusResult:
+        """Run :meth:`_agree` over live members only, then re-expand.
+
+        Silent (crash-stopped) members never delivered a proposal, so
+        protocols without native crash handling simply never see them:
+        their rows are stripped before agreement and their acceptance
+        entries are False by construction.  Index-bearing info fields
+        (the committee) are mapped back to full-membership indices.
+        """
+        n = proposals.shape[0]
+        live = np.flatnonzero(~silent)
+        if live.size == 0:
+            raise ValueError("all members silent: no proposal was delivered")
+        live_weights = weights[live]
+        live_weights = live_weights / live_weights.sum()
+        result = self._agree(
+            proposals[live],
+            live_weights,
+            byzantine_mask[live],
+            np.zeros(live.size, dtype=bool),
+            rng,
+        )
+        accepted = np.zeros(n, dtype=bool)
+        accepted[live] = result.accepted
+        result.accepted = accepted
+        committee = result.info.get("committee")
+        if committee is not None:
+            result.info["committee"] = live[np.asarray(committee)]
+        result.info["silent"] = int(silent.sum())
         return result
 
     def _trace_instance(
@@ -168,6 +236,12 @@ class ConsensusProtocol(ABC):
         proposals: np.ndarray,
         weights: np.ndarray,
         byzantine_mask: np.ndarray,
+        silent: np.ndarray,
         rng: np.random.Generator,
     ) -> ConsensusResult:
-        ...
+        """Protocol body.
+
+        ``silent`` is all-False unless the subclass sets
+        ``handles_silent`` (the base class resolves crashes by reduction
+        otherwise), so most implementations may ignore it.
+        """

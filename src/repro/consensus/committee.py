@@ -56,6 +56,7 @@ class CommitteeConsensus(ConsensusProtocol):
         proposals: np.ndarray,
         weights: np.ndarray,
         byzantine_mask: np.ndarray,
+        silent: np.ndarray,
         rng: np.random.Generator,
     ) -> ConsensusResult:
         n = proposals.shape[0]

@@ -38,6 +38,9 @@ class PBFTConsensus(ConsensusProtocol):
     """
 
     name = "pbft"
+    # Silent members are modelled natively: a crashed primary *times out*
+    # into a view change rather than simply vanishing from the membership.
+    handles_silent = True
 
     def __init__(
         self,
@@ -50,27 +53,16 @@ class PBFTConsensus(ConsensusProtocol):
             )
         self.validator = validator
         self.exclusion_quantile = float(exclusion_quantile)
-        # Crash-fault mask set by a fault-injecting caller before agree():
-        # silent (crash-stopped) members propose nothing and, as primary,
-        # time out instead of equivocating.  Cleared after each execution.
-        self.silent_mask: np.ndarray | None = None
 
     def _agree(
         self,
         proposals: np.ndarray,
         weights: np.ndarray,
         byzantine_mask: np.ndarray,
+        silent: np.ndarray,
         rng: np.random.Generator,
     ) -> ConsensusResult:
         n = proposals.shape[0]
-        silent = self.silent_mask
-        self.silent_mask = None
-        if silent is None:
-            silent = np.zeros(n, dtype=bool)
-        else:
-            silent = np.asarray(silent, dtype=bool)
-            if silent.shape != (n,):
-                raise ValueError(f"silent_mask shape {silent.shape} != ({n},)")
         faulty = byzantine_mask | silent
         f = int(faulty.sum())
         require_fault_bound(n, f, protocol="PBFT (Byzantine + silent)")
@@ -110,19 +102,27 @@ class PBFTConsensus(ConsensusProtocol):
         w = weights[accepted]
         value = (w / w.sum()) @ proposals[accepted]
 
-        # Message bill per view: pre-prepare (n-1 model msgs from primary)
-        # + prepare (n(n-1) scalar) + commit (n(n-1) scalar); plus the
-        # initial proposal collection (n-1 model msgs to the primary) and
-        # view-change broadcasts (n(n-1) scalar each).
+        # Message bill per view: pre-prepare (n_live-1 model msgs from a
+        # live primary) + prepare/commit (n_live(n_live-1) scalar each);
+        # plus the initial proposal collection (n_live-1 model msgs to
+        # the primary) and view-change broadcasts (n_live(n_live-1)
+        # scalar each).  Only live members transmit: a crash-stopped
+        # member sends no proposal, no votes — and a silent primary's
+        # view produces no pre-prepare at all, only the timeout's
+        # view-change traffic.
         views = view_changes + 1
+        n_live = int((~silent).sum())
         tr = trace.tracer()
         if tr is not None:
             self._trace_views(
-                tr, n=n, view_changes=view_changes, view_timeouts=view_timeouts
+                tr, n=n_live, view_changes=view_changes, view_timeouts=view_timeouts
             )
         cost = CostModel(
-            model_messages=(n - 1) + views * (n - 1),
-            scalar_messages=views * 2 * n * (n - 1) + view_changes * n * (n - 1),
+            model_messages=(n_live - 1) + (views - view_timeouts) * (n_live - 1),
+            scalar_messages=(
+                views * 2 * n_live * (n_live - 1)
+                + view_changes * n_live * (n_live - 1)
+            ),
             rounds=3 * views,
         )
         return ConsensusResult(
@@ -134,6 +134,7 @@ class PBFTConsensus(ConsensusProtocol):
                 "view_timeouts": view_timeouts,
                 "scores": scores,
                 "quorum": quorum_size(f),
+                "silent": int(silent.sum()),
             },
         )
 

@@ -1,0 +1,61 @@
+"""Name-based construction of consensus protocols.
+
+The registry is the single place that knows every CBA backend; the
+trainer, the defence matrix and the CLI all instantiate through
+:func:`get_consensus` so a new backend becomes available everywhere by
+adding one entry here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.approx_agreement import ApproximateAgreement
+from repro.consensus.async_bft.protocol import ACSConsensus
+from repro.consensus.base import ConsensusProtocol
+from repro.consensus.committee import CommitteeConsensus
+from repro.consensus.pbft import PBFTConsensus
+from repro.consensus.pos import PoSValidation
+from repro.consensus.validation import ModelValidator
+from repro.consensus.voting import VotingConsensus
+
+__all__ = ["CONSENSUS_NAMES", "get_consensus"]
+
+_FACTORIES: dict[str, Callable[..., ConsensusProtocol]] = {
+    "voting": VotingConsensus,
+    "committee": CommitteeConsensus,
+    "pbft": PBFTConsensus,
+    "pos": PoSValidation,
+    "approx_agreement": ApproximateAgreement,
+    "acs": ACSConsensus,
+}
+
+#: Backends that score proposals on validation data and therefore accept
+#: an injected :class:`~repro.consensus.validation.ModelValidator`.
+#: ``approx_agreement`` converges on the numeric vectors themselves and
+#: ``acs`` agrees on *which* proposals were delivered, so neither takes
+#: a validator.
+_VALIDATOR_CAPABLE = ("voting", "committee", "pbft", "pos")
+
+CONSENSUS_NAMES: tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+
+def get_consensus(
+    name: str,
+    options: dict | None = None,
+    validator: ModelValidator | None = None,
+) -> ConsensusProtocol:
+    """Instantiate a consensus protocol by registry name.
+
+    ``validator`` is injected into validation-capable protocols unless
+    the options already provide one.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown consensus {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    kwargs = dict(options or {})
+    if validator is not None and key in _VALIDATOR_CAPABLE:
+        kwargs.setdefault("validator", validator)
+    return _FACTORIES[key](**kwargs)

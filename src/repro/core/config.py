@@ -28,7 +28,7 @@ class LevelAggregation:
     name:
         Registry name of the rule, or the protocol class name key
         (``"voting"``, ``"committee"``, ``"pbft"``, ``"pos"``,
-        ``"approx_agreement"``).
+        ``"approx_agreement"``, ``"acs"``).
     options:
         Keyword arguments for the rule/protocol constructor.
     """

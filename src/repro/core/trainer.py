@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
@@ -22,13 +21,9 @@ from repro.aggregation.matrix import ParameterMatrix
 from repro.attacks.base import ModelAttack
 from repro.check import sanitize
 from repro.consensus import (
-    ApproximateAgreement,
-    CommitteeConsensus,
     ConsensusProtocol,
     ModelValidator,
-    PBFTConsensus,
-    PoSValidation,
-    VotingConsensus,
+    get_consensus,
 )
 from repro.consensus.base import CostModel
 from repro.core.config import ABDHFLConfig
@@ -53,15 +48,6 @@ from repro.utils.seeding import SeedSequenceFactory
 
 __all__ = ["RoundRecord", "ABDHFLTrainer", "make_consensus"]
 
-_CONSENSUS_FACTORIES: dict[str, Callable[..., ConsensusProtocol]] = {
-    "voting": VotingConsensus,
-    "committee": CommitteeConsensus,
-    "pbft": PBFTConsensus,
-    "pos": PoSValidation,
-    "approx_agreement": ApproximateAgreement,
-}
-
-
 def make_consensus(
     name: str,
     options: dict | None = None,
@@ -69,18 +55,10 @@ def make_consensus(
 ) -> ConsensusProtocol:
     """Instantiate a consensus protocol by registry name.
 
-    ``validator`` is injected into validation-capable protocols unless the
-    options already provide one.
+    Back-compat alias for :func:`repro.consensus.get_consensus`, which is
+    the canonical registry.
     """
-    key = name.lower()
-    if key not in _CONSENSUS_FACTORIES:
-        raise KeyError(
-            f"unknown consensus {name!r}; available: {sorted(_CONSENSUS_FACTORIES)}"
-        )
-    kwargs = dict(options or {})
-    if validator is not None and key != "approx_agreement":
-        kwargs.setdefault("validator", validator)
-    return _CONSENSUS_FACTORIES[key](**kwargs)
+    return get_consensus(name, options, validator)
 
 
 @dataclass
@@ -662,9 +640,10 @@ class ABDHFLTrainer:
             test_loss=float("nan"),
             mean_local_loss=float("nan"),
         )
-        # Crash-stopped top members are silent: PBFT handles them through
-        # its view-timeout path; every other rule simply never receives
-        # their proposal.
+        # Crash-stopped top members are silent.  Every CBA protocol
+        # honours ``silent_mask`` (natively or via the base-class
+        # live-member reduction); BRA rules simply never receive the
+        # proposal.
         silent = None
         if self._fault is not None:
             mask = np.array([self._fault.is_crashed(m) for m in top.members])
@@ -682,16 +661,10 @@ class ABDHFLTrainer:
             record.model_messages += 2 * (n - 1)  # collect + broadcast
         else:
             protocol = self._level_cba[0]
-            if silent is not None:
-                if hasattr(protocol, "silent_mask"):
-                    protocol.silent_mask = silent
-                else:
-                    stack = stack[~silent]
-                    w_arr = w_arr[~silent]
-                    byz_arr = byz_arr[~silent]
             result = protocol.agree(
                 ParameterMatrix(stack, w_arr),
                 byzantine_mask=byz_arr,
+                silent_mask=silent,
                 rng=self._consensus_rng,
             )
             self.global_model = result.value

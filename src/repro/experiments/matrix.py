@@ -18,6 +18,9 @@ import numpy as np
 
 from repro.aggregation.base import get_aggregator
 from repro.attacks.base import get_attack
+from repro.consensus import get_consensus
+from repro.consensus.base import ConsensusProtocol
+from repro.faults.plan import FaultPlan
 from repro.parallel import parallel_map
 from repro.utils.seeding import seeded_generator
 
@@ -77,6 +80,41 @@ class MatrixCell:
     attack: str
     byzantine_fraction: float
     gap: float  # ||aggregate - true_mean|| / honest noise scale
+    consensus: str | None = None
+    consensus_adversary: str = "none"
+
+
+def _make_cell_consensus(
+    consensus: str | None,
+    consensus_adversary: str,
+    consensus_options: dict | None,
+    fault_plan: FaultPlan | None,
+) -> ConsensusProtocol | None:
+    """Build the per-cell consensus backend (or ``None``)."""
+    if consensus is None:
+        if consensus_adversary != "none":
+            raise ValueError(
+                "consensus_adversary requires a consensus backend"
+            )
+        if fault_plan is not None:
+            raise ValueError("fault_plan requires a consensus backend")
+        return None
+    options = dict(consensus_options or {})
+    if consensus == "acs":
+        options.setdefault("adversary", consensus_adversary)
+        if fault_plan is not None:
+            options.setdefault("fault_plan", fault_plan)
+    elif consensus_adversary != "none":
+        raise ValueError(
+            "consensus-level adversaries are only simulated by the "
+            f"'acs' backend, not {consensus!r}"
+        )
+    elif fault_plan is not None:
+        raise ValueError(
+            "fault plans only apply to the message-driven 'acs' backend, "
+            f"not {consensus!r}"
+        )
+    return get_consensus(consensus, options)
 
 
 def gradient_gap(
@@ -90,17 +128,42 @@ def gradient_gap(
     seed: int = 0,
     defence_options: dict | None = None,
     attack_options: dict | None = None,
+    consensus: str | None = None,
+    consensus_adversary: str = "none",
+    consensus_options: dict | None = None,
+    fault_plan: FaultPlan | None = None,
+    drop_fraction: float = 0.0,
 ) -> float:
-    """Mean normalised distance of the aggregate from the true gradient."""
+    """Mean normalised distance of the aggregate from the true gradient.
+
+    With ``consensus`` set, each trial first runs the named CBA backend
+    over the update stack (Byzantine rows flagged, crash-silent rows
+    masked) and the defence aggregates only the updates the backend
+    *accepted* — measuring the composed pipeline the paper's top cluster
+    runs, where consensus decides whose proposal counts and the BRA rule
+    robustifies what remains.  ``consensus_adversary`` and ``fault_plan``
+    additionally subject the consensus traffic itself to equivocation /
+    withholding / partial-broadcast adversaries and to link faults (the
+    message-driven ``"acs"`` backend only).  ``drop_fraction`` makes that
+    share of the honest members crash-silent for the whole cell.
+    """
     if not (0.0 <= byzantine_fraction < 1.0):
         raise ValueError(f"byzantine_fraction out of range: {byzantine_fraction}")
+    if not (0.0 <= drop_fraction < 1.0):
+        raise ValueError(f"drop_fraction out of range: {drop_fraction}")
     rng = seeded_generator(seed)
     aggregator = get_aggregator(defence, **(defence_options or {}))
     attacker = get_attack(attack, **(attack_options or {})) if attack != "none" else None
+    protocol = _make_cell_consensus(
+        consensus, consensus_adversary, consensus_options, fault_plan
+    )
     n_byz = int(byzantine_fraction * n_total)
     n_honest = n_total - n_byz
     if n_honest < 1:
         raise ValueError("at least one honest update is required")
+    n_drop = int(drop_fraction * n_honest)
+    if n_drop >= n_honest:
+        raise ValueError("drop_fraction leaves no live honest member")
     gaps = []
     for _ in range(n_trials):
         true_mean = rng.standard_normal(dim)
@@ -110,25 +173,47 @@ def gradient_gap(
             updates = np.concatenate([honest, byz], axis=0)
         else:
             updates = honest
-        agg = aggregator(updates)
+        n = updates.shape[0]
+        byz_mask = np.zeros(n, dtype=bool)
+        byz_mask[n_honest:] = True
+        silent = np.zeros(n, dtype=bool)
+        if n_drop:
+            # The highest-index honest members crash (deterministic
+            # choice; which members crash is not what the cell measures).
+            silent[n_honest - n_drop : n_honest] = True
+        if protocol is not None:
+            result = protocol.agree(
+                updates,
+                byzantine_mask=byz_mask,
+                silent_mask=silent if silent.any() else None,
+                rng=rng,
+            )
+            survivors = updates[result.accepted]
+        else:
+            survivors = updates[~silent]
+        agg = aggregator(survivors)
         gaps.append(float(np.linalg.norm(agg - true_mean)) / noise)
     return float(np.mean(gaps))
 
 
-def _cell_task(task: tuple[str, str, float, int, dict]) -> MatrixCell:
-    """Evaluate one (defence, attack, fraction) cell.
+def _cell_task(
+    task: tuple[str, str, float, int, str | None, str, dict]
+) -> MatrixCell:
+    """Evaluate one (defence, attack, fraction, consensus) cell.
 
     Module-level (spawn-safe) so :func:`repro.parallel.parallel_map` can
     ship it to worker processes; each cell derives its own RNG from the
     seed, so cells are independent and order-insensitive.
     """
-    defence, attack, fraction, seed, kwargs = task
+    defence, attack, fraction, seed, consensus, consensus_adversary, kwargs = task
     gap = gradient_gap(
         defence,
         attack,
         byzantine_fraction=fraction,
         seed=seed,
         defence_options=defence_options_for(defence, fraction),
+        consensus=consensus,
+        consensus_adversary=consensus_adversary,
         **kwargs,  # type: ignore[arg-type]
     )
     return MatrixCell(
@@ -136,6 +221,8 @@ def _cell_task(task: tuple[str, str, float, int, dict]) -> MatrixCell:
         attack=attack,
         byzantine_fraction=fraction,
         gap=gap,
+        consensus=consensus,
+        consensus_adversary=consensus_adversary,
     )
 
 
@@ -167,6 +254,8 @@ def breakdown_curve(
             attack if fraction > 0 else "none",
             fraction,
             seed,
+            None,
+            "none",
             dict(kwargs),
         )
         for fraction in fractions
@@ -185,6 +274,8 @@ def run_defence_matrix(
     byzantine_fraction: float = 0.25,
     seed: int = 0,
     workers: int | None = None,
+    consensus: str | None = None,
+    consensus_adversary: str = "none",
     **kwargs: object,
 ) -> list[MatrixCell]:
     """Every defence against every attack at one Byzantine fraction.
@@ -192,10 +283,21 @@ def run_defence_matrix(
     Each defence is parameterised for the *requested* fraction via
     :func:`defence_options_for`; ``workers`` shards the cells across
     processes (``REPRO_WORKERS``/serial when ``None``) with bit-identical
-    cells in the same order.
+    cells in the same order.  ``consensus`` composes a CBA backend in
+    front of every defence (see :func:`gradient_gap`); with ``"acs"``,
+    ``consensus_adversary`` and a ``fault_plan`` keyword subject the
+    consensus traffic itself to Byzantine behaviour and link faults.
     """
     tasks = [
-        (defence, attack, byzantine_fraction, seed, dict(kwargs))
+        (
+            defence,
+            attack,
+            byzantine_fraction,
+            seed,
+            consensus,
+            consensus_adversary,
+            dict(kwargs),
+        )
         for defence in defences
         for attack in attacks
     ]

@@ -482,6 +482,13 @@ class Linter(ast.NodeVisitor):
                     "hand-rolled //3 fault bound; use "
                     "repro.check.invariants.max_faulty",
                 )
+            elif self._is_echo_threshold(node):
+                self.report(
+                    node,
+                    "INV001",
+                    "hand-rolled (n+f+1)//2 echo threshold; use "
+                    "repro.check.invariants.echo_quorum",
+                )
         self.generic_visit(node)
 
     @staticmethod
@@ -514,6 +521,36 @@ class Linter(ast.NodeVisitor):
 
     def _is_triple_product(self, node: ast.expr) -> bool:
         return self._is_scaled_name(node, 3)
+
+    def _is_echo_threshold(self, node: ast.BinOp) -> bool:
+        """``(n + f + 1) // 2``-shaped Bracha echo thresholds.
+
+        Matches a floor-division by 2 whose dividend is a sum mixing at
+        least two variables with at least one constant — the rounding
+        off-by-ones there are exactly what
+        :func:`repro.check.invariants.echo_quorum` centralises.  A plain
+        two-variable midpoint ``(lo + hi) // 2`` carries no constant and
+        stays legal.
+        """
+        if not (
+            isinstance(node.op, ast.FloorDiv)
+            and self._is_constant(node.right, 2)
+            and isinstance(node.left, ast.BinOp)
+            and isinstance(node.left.op, ast.Add)
+        ):
+            return False
+        leaves: list[ast.expr] = []
+
+        def flatten(expr: ast.expr) -> None:
+            if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+                flatten(expr.left)
+                flatten(expr.right)
+            else:
+                leaves.append(expr)
+
+        flatten(node.left)
+        n_const = sum(isinstance(leaf, ast.Constant) for leaf in leaves)
+        return n_const >= 1 and len(leaves) - n_const >= 2
 
 
 def lint_source(
@@ -636,6 +673,17 @@ _FIXTURES: dict[str, list[tuple[str, str]]] = {
             "def quorum(f: int, n: int) -> int:\n"
             "    require_fault_bound(n, f)\n"
             "    return quorum_size(f)\n",
+        ),
+        (
+            "def echo_threshold(n: int, f: int) -> int:\n"
+            "    return (n + f + 1) // 2\n",
+            # A constant-free midpoint is ordinary arithmetic, not a
+            # quorum bound.
+            "from repro.check.invariants import echo_quorum\n"
+            "def echo_threshold(n: int, f: int) -> int:\n"
+            "    return echo_quorum(n, f)\n"
+            "def midpoint(lo: int, hi: int) -> int:\n"
+            "    return (lo + hi) // 2\n",
         ),
     ],
 }
