@@ -8,6 +8,7 @@ Commands map one-to-one onto the experiment runners:
 ``pipeline``  — event-driven Fig. 2 timing run + overall efficiency
 ``tolerance`` — Theorem 2 closed form + optional empirical sweep
 ``matrix``    — attack x defence robustness matrix
+``scenario``  — run / list / validate declarative scenario specs
 ``report``    — render a trace file into the Table-V-style breakdown
 
 Every command accepts ``--rounds``, ``--seed`` and an optional ``--out``
@@ -122,6 +123,36 @@ def build_parser() -> argparse.ArgumentParser:
     mx.add_argument("--n-total", type=int, default=20, help="members per cell")
     mx.add_argument("--dim", type=int, default=64, help="update dimension")
     mx.add_argument("--trials", type=int, default=8, help="trials per cell")
+
+    sn = sub.add_parser(
+        "scenario", help="declarative scenario specs (repro.scenario)"
+    )
+    sn_sub = sn.add_subparsers(dest="scenario_command", required=True)
+    sn_run = sn_sub.add_parser(
+        "run", help="execute a spec (TOML path or shipped name)"
+    )
+    sn_run.add_argument(
+        "spec",
+        help="path to a scenario TOML, or a shipped name (see 'scenario list')",
+    )
+    # SUPPRESS so this alias never clobbers the root-level --workers value
+    sn_run.add_argument(
+        "--workers",
+        type=int,
+        dest="workers",
+        default=argparse.SUPPRESS,
+        metavar="N",
+        help="worker processes (bit-identical results for every N)",
+    )
+    sn_sub.add_parser("list", help="list the shipped canonical specs")
+    sn_validate = sn_sub.add_parser(
+        "validate", help="validate specs without running them"
+    )
+    sn_validate.add_argument(
+        "specs",
+        nargs="*",
+        help="spec paths or shipped names (default: every shipped spec)",
+    )
 
     rp = sub.add_parser("report", help="render a run report from a trace file")
     rp.add_argument("trace_file", type=Path, help="JSONL trace to render")
@@ -296,44 +327,65 @@ def _cmd_tolerance(args: argparse.Namespace) -> int:
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    from repro.experiments.matrix import (
-        DEFAULT_ATTACKS,
-        DEFAULT_DEFENCES,
-        run_defence_matrix,
-    )
-    from repro.utils.tables import format_table
+    from repro.experiments.matrix import DEFAULT_ATTACKS, DEFAULT_DEFENCES
+    from repro.scenario import FaultSpec, ScenarioRunner, matrix_spec
 
-    fault_plan = None
+    faults = None
     if args.drop_messages > 0:
-        from repro.faults.plan import FaultPlan
-
-        fault_plan = FaultPlan.uniform(
-            drop_probability=args.drop_messages, seed=args.seed
-        )
-    cells = run_defence_matrix(
-        byzantine_fraction=args.byzantine_fraction,
-        workers=args.workers,
+        faults = FaultSpec(seed=args.seed, drop_probability=args.drop_messages)
+    spec = matrix_spec(
+        name="matrix-cli",
+        defences=DEFAULT_DEFENCES,
+        attacks=DEFAULT_ATTACKS,
+        fractions=(args.byzantine_fraction,),
         seed=args.seed,
         consensus=args.consensus,
         consensus_adversary=args.consensus_adversary,
-        fault_plan=fault_plan,
+        faults=faults,
         drop_fraction=args.drop,
         n_total=args.n_total,
         dim=args.dim,
         n_trials=args.trials,
     )
-    gap = {(c.defence, c.attack): c.gap for c in cells}
-    rows = [
-        [d] + [f"{gap[(d, a)]:.2f}" for a in DEFAULT_ATTACKS]
-        for d in DEFAULT_DEFENCES
-    ]
-    if args.consensus:
-        print(
-            f"consensus backend: {args.consensus} "
-            f"(adversary: {args.consensus_adversary}, "
-            f"drop: {args.drop:.0%}, msg loss: {args.drop_messages:.0%})"
-        )
-    print(format_table(["defence \\ attack", *DEFAULT_ATTACKS], rows))
+    result = ScenarioRunner(workers=args.workers).run(spec)
+    print(result.table)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import (
+        ScenarioRunner,
+        load_shipped_spec,
+        resolve_spec,
+        shipped_spec_names,
+    )
+
+    if args.scenario_command == "list":
+        for name in shipped_spec_names():
+            spec = load_shipped_spec(name)
+            summary = spec.description or spec.kind
+            print(f"{name:24s} {spec.kind:16s} {summary}")
+        return 0
+    if args.scenario_command == "validate":
+        refs = args.specs or shipped_spec_names()
+        failures = 0
+        for ref in refs:
+            try:
+                spec = resolve_spec(ref)
+            except ValueError as exc:
+                print(f"{ref}: INVALID - {exc}")
+                failures += 1
+            else:
+                print(f"{ref}: ok ({spec.kind}, {len(spec.fractions)} fractions)")
+        return 1 if failures else 0
+    spec = resolve_spec(args.spec)
+    result = ScenarioRunner(workers=getattr(args, "workers", None)).run(spec)
+    print(result.table)
+    if args.out:
+        path = args.out / f"{spec.name}.txt"
+        args.out.mkdir(parents=True, exist_ok=True)
+        path.write_text(result.table + "\n", encoding="utf-8")
+        print(f"saved {path}")
     return 0
 
 
@@ -355,6 +407,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "tolerance": _cmd_tolerance,
     "matrix": _cmd_matrix,
+    "scenario": _cmd_scenario,
     "report": _cmd_report,
 }
 

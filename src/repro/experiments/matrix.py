@@ -8,6 +8,12 @@ fabricates Byzantine updates (omnisciently); the defence aggregates; the
 metric is the Euclidean gap between the aggregate and the true mean,
 normalised by the honest noise level.  A gap near 1 means "as good as an
 honest average"; gaps growing with the attack mean the defence broke.
+
+:func:`gradient_gap` — the single-cell primitive — lives here; the sweep
+entrypoints (:func:`run_defence_matrix`, :func:`breakdown_curve`) are
+thin shims over :mod:`repro.scenario` specs, kept for callers and pinned
+bit-identical to the spec-driven path by
+``tests/test_scenario_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -21,7 +27,9 @@ from repro.attacks.base import get_attack
 from repro.consensus import get_consensus
 from repro.consensus.base import ConsensusProtocol
 from repro.faults.plan import FaultPlan
-from repro.parallel import parallel_map
+from repro.scenario.options import defence_options_for
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import matrix_spec
 from repro.utils.seeding import seeded_generator
 
 __all__ = [
@@ -44,26 +52,6 @@ DEFAULT_DEFENCES = (
     "clustering",
 )
 DEFAULT_ATTACKS = ("sign_flip", "gaussian_noise", "alie", "ipm", "scaling")
-
-def defence_options_for(defence: str, byzantine_fraction: float) -> dict | None:
-    """Rule options parameterised for the *operating* adversary share.
-
-    Robustness guarantees are conditional on the rule knowing the
-    Byzantine fraction it faces: trimmed-mean must trim at least that
-    share from each tail, Krum/Multi-Krum size their neighbour sets from
-    it.  Evaluating a 10 % or 40 % adversary with options hard-coded for
-    the canonical 25 % (the old ``DEFENCE_OPTIONS`` table) silently
-    measured a mis-parameterised defence.  Returns ``None`` for rules
-    that take no fraction parameter.
-    """
-    if defence == "trimmed_mean":
-        # beta must stay below 0.5 (both tails are trimmed); past that
-        # the rule has no guarantee regardless of parameterisation.
-        return {"beta": min(byzantine_fraction, 0.49)}
-    if defence in ("krum", "multikrum"):
-        return {"byzantine_fraction": byzantine_fraction}
-    return None
-
 
 # Back-compat view of the derived options at the matrix's canonical 25 %
 # Byzantine fraction.
@@ -196,36 +184,6 @@ def gradient_gap(
     return float(np.mean(gaps))
 
 
-def _cell_task(
-    task: tuple[str, str, float, int, str | None, str, dict]
-) -> MatrixCell:
-    """Evaluate one (defence, attack, fraction, consensus) cell.
-
-    Module-level (spawn-safe) so :func:`repro.parallel.parallel_map` can
-    ship it to worker processes; each cell derives its own RNG from the
-    seed, so cells are independent and order-insensitive.
-    """
-    defence, attack, fraction, seed, consensus, consensus_adversary, kwargs = task
-    gap = gradient_gap(
-        defence,
-        attack,
-        byzantine_fraction=fraction,
-        seed=seed,
-        defence_options=defence_options_for(defence, fraction),
-        consensus=consensus,
-        consensus_adversary=consensus_adversary,
-        **kwargs,  # type: ignore[arg-type]
-    )
-    return MatrixCell(
-        defence=defence,
-        attack=attack,
-        byzantine_fraction=fraction,
-        gap=gap,
-        consensus=consensus,
-        consensus_adversary=consensus_adversary,
-    )
-
-
 def breakdown_curve(
     defence: str,
     attack: str,
@@ -244,28 +202,20 @@ def breakdown_curve(
     (:func:`defence_options_for`), so the curve measures the rule at its
     honest best everywhere.  ``workers`` shards the fractions across
     processes with identical results.
+
+    Thin shim over a ``breakdown_curve`` scenario spec
+    (:mod:`repro.scenario`).
     """
-    for fraction in fractions:
-        if not (0.0 <= fraction < 0.5):
-            raise ValueError(f"fractions must be in [0, 0.5), got {fraction}")
-    tasks = [
-        (
-            defence,
-            attack if fraction > 0 else "none",
-            fraction,
-            seed,
-            None,
-            "none",
-            dict(kwargs),
-        )
-        for fraction in fractions
-    ]
-    cells = parallel_map(_cell_task, tasks, workers=workers)
-    # The "none" attack at fraction 0 keeps the requested attack label so
-    # the curve's cells group together.
-    return [
-        MatrixCell(c.defence, attack, c.byzantine_fraction, c.gap) for c in cells
-    ]
+    spec = matrix_spec(
+        name="breakdown-curve",
+        kind="breakdown_curve",
+        defences=(defence,),
+        attacks=(attack,),
+        fractions=tuple(fractions),
+        seed=seed,
+        **_estimation_kwargs(kwargs),  # type: ignore[arg-type]
+    )
+    return ScenarioRunner(workers=workers).run(spec).cells
 
 
 def run_defence_matrix(
@@ -287,18 +237,43 @@ def run_defence_matrix(
     front of every defence (see :func:`gradient_gap`); with ``"acs"``,
     ``consensus_adversary`` and a ``fault_plan`` keyword subject the
     consensus traffic itself to Byzantine behaviour and link faults.
+
+    Thin shim over a ``defence_matrix`` scenario spec
+    (:mod:`repro.scenario`).
     """
-    tasks = [
-        (
-            defence,
-            attack,
-            byzantine_fraction,
-            seed,
-            consensus,
-            consensus_adversary,
-            dict(kwargs),
+    spec = matrix_spec(
+        name="defence-matrix",
+        kind="defence_matrix",
+        defences=tuple(defences),
+        attacks=tuple(attacks),
+        fractions=(byzantine_fraction,),
+        seed=seed,
+        consensus=consensus,
+        consensus_adversary=consensus_adversary,
+        **_estimation_kwargs(kwargs),  # type: ignore[arg-type]
+    )
+    return ScenarioRunner(workers=workers).run(spec).cells
+
+
+_ESTIMATION_KWARGS = (
+    "n_total",
+    "dim",
+    "noise",
+    "n_trials",
+    "attack_options",
+    "consensus_options",
+    "fault_plan",
+    "drop_fraction",
+)
+
+
+def _estimation_kwargs(kwargs: dict) -> dict:
+    """Validate the legacy ``**kwargs`` pass-through against the spec
+    builder's vocabulary (the keys :func:`gradient_gap` accepted)."""
+    unknown = sorted(set(kwargs) - set(_ESTIMATION_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"unexpected keyword argument{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(map(repr, unknown))}"
         )
-        for defence in defences
-        for attack in attacks
-    ]
-    return parallel_map(_cell_task, tasks, workers=workers)
+    return {k: v for k, v in kwargs.items() if v is not None}

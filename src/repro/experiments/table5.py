@@ -3,6 +3,11 @@
 The grid is (data distribution) x (attack type) x (malicious proportion),
 each cell averaging the final-round accuracy over repeated runs — the
 paper uses five repeats; the reduced default uses fewer.
+
+:func:`run_cell` — the single-cell primitive — lives here;
+:func:`run_table5` is a thin shim over an ``accuracy_grid`` scenario spec
+(:mod:`repro.scenario`), pinned bit-identical to the spec-driven path by
+``tests/test_scenario_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ from repro.experiments.setup import (
     build_vanilla_trainer,
     prepare_data,
 )
-from repro.parallel import parallel_map
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import accuracy_spec
 from repro.utils.seeding import iter_run_seeds
 from repro.utils.tables import format_percent, format_table
 
@@ -70,12 +76,6 @@ def run_cell(
     )
 
 
-def _cell_task(task: tuple[ExperimentConfig, int]) -> Table5Cell:
-    """One grid cell, module-level so spawn workers can import it."""
-    config, n_runs = task
-    return run_cell(config, n_runs=n_runs)
-
-
 def run_table5(
     base_config: ExperimentConfig | None = None,
     fractions: tuple[float, ...] = PAPER_FRACTIONS,
@@ -90,18 +90,21 @@ def run_table5(
     cell config alone), so ``workers`` shards them across processes via
     :func:`repro.parallel.parallel_map` with bit-identical cells in the
     same paper row order.
+
+    Thin shim over an ``accuracy_grid`` scenario spec
+    (:mod:`repro.scenario`).
     """
-    base_config = base_config or ExperimentConfig()
-    tasks: list[tuple[ExperimentConfig, int]] = []
-    for iid in distributions:
-        dist_cfg = base_config.for_distribution(iid)
-        for attack in attacks:
-            for fraction in fractions:
-                cfg = replace(
-                    dist_cfg, attack=attack, malicious_fraction=fraction
-                )
-                tasks.append((cfg, n_runs))
-    return parallel_map(_cell_task, tasks, workers=workers)
+    spec = accuracy_spec(
+        base_config,
+        name="table5",
+        fractions=tuple(fractions),
+        distributions=tuple(
+            "iid" if iid else "noniid" for iid in distributions
+        ),
+        attacks=tuple(attacks),
+        n_runs=n_runs,
+    )
+    return ScenarioRunner(workers=workers).run(spec).cells
 
 
 def format_table5(cells: list[Table5Cell]) -> str:

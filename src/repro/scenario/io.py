@@ -1,0 +1,112 @@
+"""TOML load/dump for scenario specs.
+
+Reading uses the stdlib :mod:`tomllib`.  Writing needs a small emitter
+(the stdlib has no TOML writer and the container bakes in no third-party
+one); it covers exactly the value shapes :meth:`ScenarioSpec.to_dict`
+produces — strings, bools, ints, floats, flat lists, and one level of
+nested tables — and guarantees the round trip
+``loads_scenario(dumps_toml(spec.to_dict())) == spec`` is the identity.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "load_scenario",
+    "loads_scenario",
+    "dump_scenario",
+    "dumps_toml",
+]
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Parse and validate the spec at ``path``."""
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    try:
+        return ScenarioSpec.from_dict(data)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def loads_scenario(text: str) -> ScenarioSpec:
+    """Parse and validate a spec from TOML source."""
+    return ScenarioSpec.from_dict(tomllib.loads(text))
+
+
+def dump_scenario(spec: ScenarioSpec, path: str | Path) -> None:
+    """Write ``spec`` to ``path`` as TOML."""
+    Path(path).write_text(dumps_toml(spec.to_dict()), encoding="utf-8")
+
+
+def dumps_toml(data: Mapping[str, Any]) -> str:
+    """Serialise a spec dict as TOML.
+
+    Scalar and list-valued keys come first, nested tables last (TOML
+    requires it: a ``[table]`` header would otherwise swallow following
+    top-level keys).
+    """
+    lines: list[str] = []
+    tables: list[tuple[str, Mapping[str, Any]]] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        else:
+            lines.append(f"{_key(key)} = {_value(value, key)}")
+    for name, table in tables:
+        lines.append("")
+        lines.append(f"[{_key(name)}]")
+        for key, value in table.items():
+            if isinstance(value, Mapping):
+                raise ValueError(
+                    f"{name}.{key}: nested tables beyond one level are not "
+                    "supported in scenario TOML"
+                )
+            lines.append(f"{_key(key)} = {_value(value, f'{name}.{key}')}")
+    return "\n".join(lines) + "\n"
+
+
+_BARE_KEY = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _key(key: str) -> str:
+    if key and set(key) <= _BARE_KEY:
+        return key
+    return json.dumps(key)
+
+
+def _value(value: Any, path: str) -> str:
+    # bool is an int subclass: check it first.
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return _float(value, path)
+    if isinstance(value, str):
+        # json string escaping is a subset of TOML basic-string escaping
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        items = ", ".join(_value(v, f"{path}[{i}]") for i, v in enumerate(value))
+        return f"[{items}]"
+    raise ValueError(f"{path}: cannot serialise {type(value).__name__} to TOML")
+
+
+def _float(value: float, path: str) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{path}: non-finite floats are not valid scenario TOML")
+    text = repr(value)
+    # repr of a float may be integer-like ("1e-05" is fine, "3.0" is fine,
+    # but repr(float(3)) == "3.0" always carries the point in CPython; be
+    # defensive anyway so tomllib reads the value back as a float).
+    if "." not in text and "e" not in text and "E" not in text:
+        text += ".0"
+    return text

@@ -1,0 +1,114 @@
+"""The single orchestrator executing any :class:`ScenarioSpec`.
+
+:class:`ScenarioRunner` validates the spec, expands its grid
+(:func:`repro.scenario.grid.expand_cells`), fans the cells out through
+:func:`repro.parallel.parallel_map` (worker count is a pure wall-clock
+knob — results and merged traces are bit-identical for any value), and
+renders the uniform report.  The runner adds *no* trace events of its
+own: everything in a trace comes from the underlying trainer/consensus
+machinery, so a spec-driven run's trace is byte-identical to the legacy
+entrypoint it replaces.
+
+Canonical specs ship inside the package (``repro/scenario/specs/*.toml``)
+and are addressable by bare name from the CLI (``scenario run table5``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import resources
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.parallel import parallel_map
+from repro.scenario.grid import ScenarioCell, cell_task, expand_cells
+from repro.scenario.io import load_scenario, loads_scenario
+from repro.scenario.report import render_result
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+    "shipped_spec_names",
+    "load_shipped_spec",
+    "resolve_spec",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    grid: tuple[ScenarioCell, ...]
+    cells: list = field(default_factory=list)
+
+    @property
+    def table(self) -> str:
+        """The rendered report (lazy: rendering is pure over the cells)."""
+        return render_result(self.spec, self.cells)
+
+
+@dataclass(frozen=True)
+class ScenarioRunner:
+    """Expand-and-execute orchestrator; ``workers`` as in
+    :func:`repro.parallel.parallel_map` (``None`` = ``REPRO_WORKERS`` or
+    serial)."""
+
+    workers: int | None = None
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        spec.validate()
+        grid = expand_cells(spec)
+        task = cell_task(spec)
+        cells = parallel_map(
+            task, [(spec, cell) for cell in grid], workers=self.workers
+        )
+        return ScenarioResult(spec=spec, grid=tuple(grid), cells=cells)
+
+
+def run_scenario(
+    spec: ScenarioSpec, workers: int | None = None
+) -> ScenarioResult:
+    """Convenience wrapper: ``ScenarioRunner(workers).run(spec)``."""
+    return ScenarioRunner(workers=workers).run(spec)
+
+
+# ----------------------------------------------------------------------
+# shipped canonical specs
+# ----------------------------------------------------------------------
+def _specs_root(package: str = "repro.scenario") -> Any:
+    return resources.files(package) / "specs"
+
+
+def shipped_spec_names() -> list[str]:
+    """Bare names of the canonical specs shipped with the package."""
+    root = _specs_root()
+    return sorted(
+        entry.name[: -len(".toml")]
+        for entry in root.iterdir()
+        if entry.name.endswith(".toml")
+    )
+
+
+def load_shipped_spec(name: str) -> ScenarioSpec:
+    """Load a shipped spec by bare name (``"table5"``)."""
+    entry = _specs_root() / f"{name}.toml"
+    if not entry.is_file():
+        raise ValueError(
+            f"unknown shipped scenario {name!r}; available: "
+            f"{shipped_spec_names()}"
+        )
+    try:
+        return loads_scenario(entry.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"{name}.toml: {exc}") from None
+
+
+def resolve_spec(ref: str) -> ScenarioSpec:
+    """A spec from a filesystem path or a shipped bare name."""
+    path = Path(ref)
+    if path.suffix == ".toml" or path.exists():
+        return load_scenario(path)
+    return load_shipped_spec(ref)

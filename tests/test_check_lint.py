@@ -235,6 +235,63 @@ class TestINV001:
         assert rules_at(src) == set()
 
 
+class TestSCN001:
+    NESTED_SWEEP = (
+        "def sweep(defences, attacks):\n"
+        "    out = []\n"
+        "    for defence in defences:\n"
+        "        for attack in attacks:\n"
+        "            out.append(run(defence, attack))\n"
+        "    return out\n"
+    )
+
+    def test_nested_axis_loops(self):
+        assert rules_at(self.NESTED_SWEEP) == {"SCN001"}
+
+    def test_axis_constants_resolved(self):
+        src = (
+            "from repro.experiments.matrix import DEFAULT_ATTACKS, DEFAULT_DEFENCES\n"
+            "cells = [run(d, a) for d in DEFAULT_DEFENCES for a in DEFAULT_ATTACKS]\n"
+        )
+        assert rules_at(src) == {"SCN001"}
+
+    def test_loop_wrapping_calls_unwrapped(self):
+        src = (
+            "def sweep(fractions, attacks):\n"
+            "    for fraction in sorted(fractions):\n"
+            "        for attack in list(attacks):\n"
+            "            run(attack, fraction)\n"
+        )
+        assert rules_at(src) == {"SCN001"}
+
+    def test_single_axis_loop_is_clean(self):
+        src = "for attack in attacks:\n    run(attack)\n"
+        assert rules_at(src) == set()
+
+    def test_unrelated_inner_loop_is_clean(self):
+        src = (
+            "for defence in defences:\n"
+            "    for round_idx in range(30):\n"
+            "        step(defence, round_idx)\n"
+        )
+        assert rules_at(src) == set()
+
+    def test_scenario_package_exempt(self):
+        assert rules_at(self.NESTED_SWEEP, path="src/repro/scenario/grid.py") == set()
+
+    def test_tests_and_benchmarks_exempt(self):
+        assert rules_at(self.NESTED_SWEEP, path="tests/test_x.py") == set()
+        assert rules_at(self.NESTED_SWEEP, path="benchmarks/bench_x.py") == set()
+
+    def test_pragma_suppresses(self):
+        src = (
+            "for defence in defences:\n"
+            "    for attack in attacks:  # abdlint: ignore[SCN001]\n"
+            "        run(defence, attack)\n"
+        )
+        assert rules_at(src) == set()
+
+
 class TestPragmasAndCLI:
     def test_bare_pragma_suppresses_all(self):
         src = "import time\nt = time.time()  # abdlint: ignore\n"

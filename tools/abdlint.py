@@ -43,6 +43,15 @@ reproduction's guarantees rest on.  Rules:
     :func:`repro.check.invariants.max_faulty` and
     :func:`repro.check.invariants.require_fault_bound`.
 
+``SCN001``
+    No hand-rolled experiment sweeps outside ``repro/scenario/``:
+    nested loops (or multi-generator comprehensions) iterating two or
+    more distinct experiment axes (``attacks``, ``defences``,
+    ``fractions``, ``distributions``) re-implement grid expansion.
+    Describe the sweep as a :class:`repro.scenario.ScenarioSpec` and run
+    it through :class:`repro.scenario.ScenarioRunner` instead — one
+    orchestrator owns ordering, seeding, fan-out, and reporting.
+
 Suppression: append ``# abdlint: ignore[RULE]`` (or a comma-separated
 rule list, or a bare ``# abdlint: ignore``) to the offending line.
 
@@ -77,6 +86,9 @@ RULES: dict[str, str] = {
     "np.isclose",
     "INV001": "hand-rolled quorum arithmetic; use repro.check.invariants "
     "(quorum_size/max_faulty/require_fault_bound)",
+    "SCN001": "hand-rolled experiment sweep outside repro/scenario; "
+    "describe the grid as a ScenarioSpec and run it through "
+    "ScenarioRunner",
 }
 
 _PRAGMA = re.compile(r"#\s*abdlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
@@ -125,6 +137,7 @@ class FileKind:
     is_invariants: bool
     is_profiling: bool
     is_parallel: bool
+    is_scenario: bool
 
     @classmethod
     def from_path(cls, path: str) -> "FileKind":
@@ -143,6 +156,9 @@ class FileKind:
             # The single process-fan-out carve-out: the deterministic
             # pool backend itself.
             is_parallel="repro/parallel" in posix,
+            # The single sweep-loop carve-out: the scenario layer owns
+            # grid expansion (SCN001).
+            is_scenario="repro/scenario" in posix,
         )
 
 
@@ -181,6 +197,7 @@ class Linter(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self.aliases: dict[str, str] = {}
         self.scopes: list[_Scope] = [_Scope()]
+        self.axis_stack: list[str] = []
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -404,19 +421,26 @@ class Linter(ast.NodeVisitor):
             )
 
     # ------------------------------------------------------------------
-    # DET003
-    def visit_For(self, node: ast.For) -> None:
+    # DET003 / SCN001
+    def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
         self._check_iteration(node.iter)
+        axis = self._check_sweep(node, node.iter)
         self.generic_visit(node)
+        if axis is not None:
+            self.axis_stack.pop()
 
-    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
-        self._check_iteration(node.iter)
-        self.generic_visit(node)
+    visit_For = _visit_for
+    visit_AsyncFor = _visit_for
 
     def _visit_comprehension(self, node: ast.AST) -> None:
+        axes: list[str] = []
         for comp in getattr(node, "generators", []):
             self._check_iteration(comp.iter)
+            axis = self._check_sweep(comp.iter, comp.iter)
+            if axis is not None:
+                axes.append(axis)
         self.generic_visit(node)
+        del self.axis_stack[len(self.axis_stack) - len(axes) :]
 
     visit_ListComp = _visit_comprehension
     visit_SetComp = _visit_comprehension
@@ -432,6 +456,59 @@ class Linter(ast.NodeVisitor):
                 "hash-order-dependent; wrap in sorted(...) or keep an "
                 "ordered container",
             )
+
+    #: Iterable names that mark an experiment-grid axis (SCN001); a
+    #: leading ``default_`` / ``paper_`` style prefix also matches
+    #: (``DEFAULT_ATTACKS``, ``PAPER_FRACTIONS``).
+    _SWEEP_AXES = {
+        "attacks": "attacks",
+        "defences": "defences",
+        "defenses": "defences",
+        "fractions": "fractions",
+        "distributions": "distributions",
+    }
+
+    def _sweep_axis(self, node: ast.expr) -> str | None:
+        """The canonical axis an iteration target names, if any."""
+        while (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("sorted", "list", "tuple", "reversed", "enumerate")
+            and node.args
+        ):
+            node = node.args[0]
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        stem = name.lower().strip("_")
+        for suffix, axis in self._SWEEP_AXES.items():
+            if stem == suffix or stem.endswith(f"_{suffix}"):
+                return axis
+        return None
+
+    def _check_sweep(self, node: ast.AST, iter_node: ast.expr) -> str | None:
+        """SCN001: push the axis this loop sweeps; report on nesting a
+        second, distinct axis.  Returns the pushed axis (for popping)."""
+        axis = self._sweep_axis(iter_node)
+        if axis is None:
+            return None
+        if (
+            not (self.kind.is_tests or self.kind.is_benchmarks or self.kind.is_scenario)
+            and any(outer != axis for outer in self.axis_stack)
+        ):
+            outer = next(o for o in self.axis_stack if o != axis)
+            self.report(
+                node,
+                "SCN001",
+                f"hand-rolled {outer} x {axis} sweep outside repro/scenario; "
+                "describe the grid as a ScenarioSpec and run it through "
+                "repro.scenario.ScenarioRunner",
+            )
+        self.axis_stack.append(axis)
+        return axis
 
     # ------------------------------------------------------------------
     # NUM001 / INV001
@@ -664,6 +741,34 @@ _FIXTURES: dict[str, list[tuple[str, str]]] = {
             "    return message.dropped\n",
         ),
     ],
+    "SCN001": [
+        (
+            "def sweep(defences, attacks, run):\n"
+            "    results = []\n"
+            "    for defence in defences:\n"
+            "        for attack in attacks:\n"
+            "            results.append(run(defence, attack))\n"
+            "    return results\n",
+            "from repro.scenario import ScenarioRunner, matrix_spec\n"
+            "def sweep(defences, attacks):\n"
+            "    spec = matrix_spec(\n"
+            "        defences=defences, attacks=attacks, fractions=(0.25,)\n"
+            "    )\n"
+            "    return ScenarioRunner().run(spec).cells\n",
+        ),
+        (
+            "def sweep(run):\n"
+            "    return [\n"
+            "        run(d, a)\n"
+            "        for d in DEFAULT_DEFENCES\n"
+            "        for a in DEFAULT_ATTACKS\n"
+            "    ]\n",
+            # A single-axis loop is ordinary iteration, not grid
+            # expansion.
+            "def sweep(attacks, run):\n"
+            "    return [run(a) for a in attacks]\n",
+        ),
+    ],
     "INV001": [
         (
             "def quorum(f: int, n: int) -> int:\n"
@@ -707,6 +812,18 @@ _CARVEOUT_FIXTURES: list[tuple[str, str, str]] = [
         "src/repro/parallel/pool.py",
         "import multiprocessing\n"
         'ctx = multiprocessing.get_context("spawn")\n',
+    ),
+    # Grid expansion is the scenario layer's job — only there may sweep
+    # loops cross experiment axes.
+    (
+        "SCN001",
+        "src/repro/scenario/grid.py",
+        "def expand(spec):\n"
+        "    cells = []\n"
+        "    for defence in spec.defences:\n"
+        "        for attack in spec.attacks:\n"
+        "            cells.append((defence, attack))\n"
+        "    return cells\n",
     ),
 ]
 
