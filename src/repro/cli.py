@@ -9,6 +9,7 @@ Commands map one-to-one onto the experiment runners:
 ``tolerance`` — Theorem 2 closed form + optional empirical sweep
 ``matrix``    — attack x defence robustness matrix
 ``scenario``  — run / list / validate declarative scenario specs
+``lint``      — run the abdlint static-analysis engine over the tree
 ``report``    — render a trace file into the Table-V-style breakdown
 
 Every command accepts ``--rounds``, ``--seed`` and an optional ``--out``
@@ -152,6 +153,35 @@ def build_parser() -> argparse.ArgumentParser:
         "specs",
         nargs="*",
         help="spec paths or shipped names (default: every shipped spec)",
+    )
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the abdlint static-analysis engine (tools/abdlint)",
+    )
+    ln.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests benchmarks tools)",
+    )
+    ln.add_argument(
+        "--select", default=None, help="comma-separated rule subset"
+    )
+    ln.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write findings as SARIF 2.1.0 to PATH",
+    )
+    ln.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the .abdlint_cache incremental cache",
+    )
+    ln.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the engine's fixture self-test instead of linting",
     )
 
     rp = sub.add_parser("report", help="render a run report from a trace file")
@@ -389,6 +419,39 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # The engine lives in tools/abdlint (it lints the repo, it is not
+    # part of the library); locate it from the source checkout layout.
+    root = Path(__file__).resolve().parents[2]
+    tools_dir = root / "tools"
+    if not (tools_dir / "abdlint" / "__init__.py").is_file():
+        print(
+            "repro lint: tools/abdlint not found (requires a source "
+            f"checkout; looked in {tools_dir})",
+            file=sys.stderr,
+        )
+        return 2
+    sys.path.insert(0, str(tools_dir))
+    from abdlint.cli import main as abdlint_main
+
+    argv: list[str] = list(args.paths)
+    if not argv and not args.self_test:
+        argv = [
+            str(root / name)
+            for name in ("src", "tests", "benchmarks", "tools")
+            if (root / name).is_dir()
+        ]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.self_test:
+        argv += ["--self-test"]
+    return abdlint_main(argv)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import load_trace, render_report, write_chrome_trace
 
@@ -408,6 +471,7 @@ _COMMANDS = {
     "tolerance": _cmd_tolerance,
     "matrix": _cmd_matrix,
     "scenario": _cmd_scenario,
+    "lint": _cmd_lint,
     "report": _cmd_report,
 }
 

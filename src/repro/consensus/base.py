@@ -10,7 +10,6 @@ import numpy as np
 from repro.aggregation.matrix import ParameterMatrix
 from repro.check import invariants, sanitize
 from repro.obs import trace
-from repro.utils.seeding import seeded_generator
 
 __all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
 
@@ -131,7 +130,11 @@ class ConsensusProtocol(ABC):
             silent = np.asarray(silent_mask, dtype=bool)
             if silent.shape != (n,):
                 raise ValueError(f"silent_mask shape {silent.shape} != ({n},)")
-        rng = rng if rng is not None else seeded_generator(0)
+        if rng is None:
+            raise ValueError(
+                "agree() requires an explicit rng: pass a generator derived "
+                "from the experiment seed tree (seeded_generator/derive_seed)"
+            )
         checking = sanitize.enabled()
         if checking:
             sanitize.assert_finite(

@@ -36,12 +36,8 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.obs import trace
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
-from repro.parallel import (
-    DeviceSpec,
-    LocalTrainingPool,
-    TrainJob,
-    resolve_workers,
-)
+from repro.core.pool import DeviceSpec, LocalTrainingPool, TrainJob
+from repro.parallel import resolve_workers
 from repro.topology.cluster import Cluster
 from repro.topology.tree import Hierarchy
 from repro.utils.seeding import SeedSequenceFactory

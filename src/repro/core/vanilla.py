@@ -22,12 +22,8 @@ from repro.data.dataset import Dataset
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
-from repro.parallel import (
-    DeviceSpec,
-    LocalTrainingPool,
-    TrainJob,
-    resolve_workers,
-)
+from repro.core.pool import DeviceSpec, LocalTrainingPool, TrainJob
+from repro.parallel import resolve_workers
 from repro.utils.seeding import SeedSequenceFactory
 
 __all__ = ["VanillaRoundRecord", "VanillaFLTrainer"]

@@ -12,16 +12,16 @@ provides two fan-out surfaces, both with a hard bit-identity contract:
   per-task tracer and merged back in input order, yielding a
   byte-identical JSONL trace for every worker count;
 
-* **round-level** — :class:`LocalTrainingPool` runs per-device local
-  SGD steps in persistent spawn workers.  Device datasets and model
-  replicas ship once at pool creation; every round the parent sends each
-  device's *round-trip state* (RNG bit-generator state, optimiser state,
-  start vector, global-arrival merge) and receives the trained vector,
-  per-iteration losses and the advanced state back.  The parent-side
-  :class:`~repro.core.local.LocalTrainer` objects therefore remain the
-  single source of truth, byte-for-byte equal to a serial run after
-  every round — churn, flag models and evaluation never notice which
-  backend executed the SGD.
+* **round-level** — :class:`repro.core.pool.LocalTrainingPool` (in
+  :mod:`repro.core`, because it replays :class:`~repro.core.local.LocalTrainer`
+  rounds) runs per-device local SGD steps in persistent spawn workers
+  built on this module's :func:`spawn_context`.  Device datasets and
+  model replicas ship once at pool creation; every round the parent
+  sends each device's *round-trip state* (RNG bit-generator state,
+  optimiser state, start vector, global-arrival merge) and receives the
+  trained vector, per-iteration losses and the advanced state back, so
+  the parent-side trainers remain the single source of truth,
+  byte-for-byte equal to a serial run after every round.
 
 Gating follows the sanitize/trace pattern: ``workers=1`` (the default)
 *is* the serial code path — a plain comprehension, no pool, no pickling
@@ -48,12 +48,6 @@ from repro.parallel.config import (
     resolve_workers,
 )
 from repro.parallel.pool import parallel_map, spawn_context
-from repro.parallel.worker import (
-    DeviceSpec,
-    LocalTrainingPool,
-    TrainJob,
-    TrainResult,
-)
 
 __all__ = [
     "ENV_VAR",
@@ -62,8 +56,4 @@ __all__ = [
     "resolve_workers",
     "parallel_map",
     "spawn_context",
-    "DeviceSpec",
-    "LocalTrainingPool",
-    "TrainJob",
-    "TrainResult",
 ]

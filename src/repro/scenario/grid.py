@@ -30,10 +30,15 @@ that monkeypatch ``matrix.get_aggregator`` effective.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.scenario.options import defence_options_for
 from repro.scenario.spec import ScenarioSpec
 from repro.utils.seeding import derive_seed
+
+if TYPE_CHECKING:
+    from repro.experiments.matrix import MatrixCell
+    from repro.experiments.table5 import Table5Cell
 
 __all__ = ["ScenarioCell", "cell_seed", "expand_cells", "cell_task"]
 
@@ -92,12 +97,14 @@ def expand_cells(spec: ScenarioSpec) -> list[ScenarioCell]:
     ]
 
 
-def cell_task(spec: ScenarioSpec):
+def cell_task(
+    spec: ScenarioSpec,
+) -> Callable[[tuple[ScenarioSpec, ScenarioCell]], "Table5Cell | MatrixCell"]:
     """The spawn-safe task function evaluating one of ``spec``'s cells."""
     return _run_cell_task if spec.kind == "accuracy_grid" else _gap_cell_task
 
 
-def _run_cell_task(task: tuple[ScenarioSpec, ScenarioCell]):
+def _run_cell_task(task: tuple[ScenarioSpec, ScenarioCell]) -> "Table5Cell":
     """One trainer-based accuracy cell -> :class:`Table5Cell`."""
     from dataclasses import replace
 
@@ -115,7 +122,7 @@ def _run_cell_task(task: tuple[ScenarioSpec, ScenarioCell]):
     return table5.run_cell(config, n_runs=spec.n_runs)
 
 
-def _gap_cell_task(task: tuple[ScenarioSpec, ScenarioCell]):
+def _gap_cell_task(task: tuple[ScenarioSpec, ScenarioCell]) -> "MatrixCell":
     """One gradient-estimation cell -> :class:`MatrixCell`."""
     from repro.experiments import matrix
 

@@ -36,7 +36,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields as dataclass_fields
 from math import isfinite
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.experiments.setup import ExperimentConfig
 
 from repro.aggregation.base import available_aggregators
 from repro.attacks.base import available_attacks
@@ -477,7 +480,7 @@ class ScenarioSpec:
         """The metrics the runner reports (kind default when unset)."""
         return self.metrics or KIND_METRICS[self.kind]
 
-    def base_experiment_config(self):  # -> ExperimentConfig
+    def base_experiment_config(self) -> "ExperimentConfig":
         """The :class:`ExperimentConfig` every accuracy-grid cell derives
         from (per-cell attack/fraction/distribution applied on top)."""
         from repro.experiments.setup import ExperimentConfig
@@ -706,7 +709,7 @@ def _as_list(value: Any, path: str) -> list:
 # spec builders (the legacy entrypoints construct specs through these)
 # ----------------------------------------------------------------------
 def accuracy_spec(
-    config=None,  # ExperimentConfig | None
+    config: "ExperimentConfig | None" = None,
     *,
     name: str = "accuracy-grid",
     description: str = "",

@@ -60,7 +60,11 @@ def test_permutation_invariance(rule_name, updates, perm_seed):
     perm = np.random.default_rng(perm_seed).permutation(updates.shape[0])
     out1 = rule(updates)
     out2 = rule(updates[perm])
-    np.testing.assert_allclose(out1, out2, atol=1e-6, rtol=1e-6)
+    # 1e-5, not 1e-6: iterative rules (geomed's Weiszfeld loop) stop on
+    # the last *step* size, so runs over permuted rows can land ~1e-6
+    # apart even though both satisfied tol — same bound as the
+    # translation-equivariance test below.
+    np.testing.assert_allclose(out1, out2, atol=1e-5, rtol=1e-5)
 
 
 @pytest.mark.parametrize("rule_name", sorted(RULES))

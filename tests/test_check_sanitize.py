@@ -160,7 +160,7 @@ class TestWiredGuards:
         proposals = np.ones((4, 3))
         proposals[1, 2] = np.inf
         with pytest.raises(SanitizerError, match="consensus proposals"):
-            VotingConsensus().agree(proposals)
+            VotingConsensus().agree(proposals, rng=np.random.default_rng(0))
 
     def test_attack_output_guard(self):
         attack = get_attack("scaling", factor=1e200)

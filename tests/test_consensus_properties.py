@@ -7,10 +7,12 @@ from hypothesis import strategies as st
 
 from repro.consensus import (
     ApproximateAgreement,
+    CommitteeConsensus,
     PBFTConsensus,
     PoSValidation,
     VotingConsensus,
 )
+from repro.consensus.async_bft import ACSConsensus
 
 
 def proposals_from(seed: int, n: int, d: int, spread: float) -> np.ndarray:
@@ -91,6 +93,44 @@ def test_voting_deterministic_given_rng(seed):
     r2 = VotingConsensus().agree(proposals, rng=np.random.default_rng(seed))
     np.testing.assert_array_equal(r1.value, r2.value)
     np.testing.assert_array_equal(r1.accepted, r2.accepted)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(3, 9),
+    committee_size=st.integers(1, 5),
+)
+def test_committee_output_in_hull(seed, n, committee_size):
+    """The committee's agreed value is a convex combination of accepted
+    proposals, whatever committee the rng samples."""
+    proposals = proposals_from(seed, n, 4, 1.0)
+    result = CommitteeConsensus(committee_size=committee_size).agree(
+        proposals, rng=np.random.default_rng(seed)
+    )
+    lo = proposals.min(axis=0) - 1e-9
+    hi = proposals.max(axis=0) + 1e-9
+    assert np.all(result.value >= lo) and np.all(result.value <= hi)
+    assert result.accepted.any()
+    committee = result.info["committee"]
+    assert len(committee) == min(committee_size, n)
+    assert np.all((committee >= 0) & (committee < n))
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(4, 6))
+def test_acs_deterministic_and_in_hull(seed, n):
+    """ACS over the async simulator: same seed => byte-identical result,
+    and the decided value stays inside the proposals' hull."""
+    proposals = proposals_from(seed, n, 3, 1.0)
+    r1 = ACSConsensus().agree(proposals, rng=np.random.default_rng(seed))
+    r2 = ACSConsensus().agree(proposals, rng=np.random.default_rng(seed))
+    np.testing.assert_array_equal(r1.value, r2.value)
+    np.testing.assert_array_equal(r1.accepted, r2.accepted)
+    lo = proposals.min(axis=0) - 1e-9
+    hi = proposals.max(axis=0) + 1e-9
+    assert np.all(r1.value >= lo) and np.all(r1.value <= hi)
+    assert r1.accepted.any()
 
 
 @settings(max_examples=20, deadline=None)

@@ -1,929 +1,18 @@
 #!/usr/bin/env python3
-"""abdlint — ABD-HFL-specific determinism and invariant linter.
+"""Thin CLI shim for the abdlint engine (see the ``abdlint`` package).
 
-A small AST linter (stdlib only) enforcing the repo conventions that the
-reproduction's guarantees rest on.  Rules:
-
-``DET001``
-    No global-state RNG: every call into ``np.random.*`` / ``random.*``
-    must instead route through a seeded ``np.random.Generator`` obtained
-    from :mod:`repro.utils.seeding` (the only exempt module).  In test
-    and benchmark files, building ad-hoc *seeded* generators via
-    ``np.random.default_rng(seed)`` is tolerated.
-
-``DET002``
-    No wall-clock reads (``time.time``, ``time.perf_counter``,
-    ``datetime.now``, …) outside ``benchmarks/`` — simulation time is
-    the only clock.
-
-``DET003``
-    No iteration over ``set``/``frozenset`` values (literals, ``set()``
-    calls, set operators, or variables assigned from them) in ``for``
-    statements or comprehensions: hash order is not a schedule.  Wrap
-    the set in ``sorted(...)`` or use an ordered container.
-
-``DET004``
-    No ``multiprocessing`` / ``concurrent.futures`` imports outside
-    :mod:`repro.parallel` — process fan-out is only deterministic when
-    it goes through the ordered-reduction backend (``parallel_map`` /
-    ``LocalTrainingPool``); ad-hoc pools reintroduce completion-order
-    nondeterminism.
-
-``NUM001``
-    No bare ``==``/``!=`` on float ndarrays (parameters or variables
-    annotated ``np.ndarray``) or against ``np.nan`` outside tests — use
-    ``np.array_equal`` for bit-equality contracts or ``np.isclose``
-    for tolerances.  NaN sentinels get explicit flags instead of
-    NaN-tests (e.g. ``Message.dropped``, not ``delivered_at != nan``).
-
-``INV001``
-    No hand-rolled quorum arithmetic (``2*f + 1``, ``n // 3``,
-    ``3*f >= n`` comparisons): use
-    :func:`repro.check.invariants.quorum_size`,
-    :func:`repro.check.invariants.max_faulty` and
-    :func:`repro.check.invariants.require_fault_bound`.
-
-``SCN001``
-    No hand-rolled experiment sweeps outside ``repro/scenario/``:
-    nested loops (or multi-generator comprehensions) iterating two or
-    more distinct experiment axes (``attacks``, ``defences``,
-    ``fractions``, ``distributions``) re-implement grid expansion.
-    Describe the sweep as a :class:`repro.scenario.ScenarioSpec` and run
-    it through :class:`repro.scenario.ScenarioRunner` instead — one
-    orchestrator owns ordering, seeding, fan-out, and reporting.
-
-Suppression: append ``# abdlint: ignore[RULE]`` (or a comma-separated
-rule list, or a bare ``# abdlint: ignore``) to the offending line.
-
-Usage::
-
-    python tools/abdlint.py src tests            # lint trees/files
-    python tools/abdlint.py --self-test          # rules must fire on
-                                                 # their seeded fixtures
-    python tools/abdlint.py --list-rules
+Kept so the long-standing entry point — ``python tools/abdlint.py`` —
+keeps working from any working directory.  All engine code lives in
+``tools/abdlint/``; when ``tools`` is on ``sys.path`` the package
+shadows this module, so ``import abdlint`` gets the real thing.
 """
 
-from __future__ import annotations
-
-import argparse
-import ast
-import re
+import os
 import sys
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Sequence
 
-RULES: dict[str, str] = {
-    "DET001": "global-state RNG call; use a seeded np.random.Generator "
-    "from repro.utils.seeding",
-    "DET002": "wall-clock read in deterministic code; only benchmarks/ "
-    "and repro/obs/profile.py may read real time",
-    "DET003": "iteration over an unordered set; wrap in sorted(...) or "
-    "use an ordered container",
-    "DET004": "process fan-out outside repro.parallel; use parallel_map/"
-    "LocalTrainingPool (ordered, deterministic reduction)",
-    "NUM001": "bare ==/!= on a float ndarray; use np.array_equal or "
-    "np.isclose",
-    "INV001": "hand-rolled quorum arithmetic; use repro.check.invariants "
-    "(quorum_size/max_faulty/require_fault_bound)",
-    "SCN001": "hand-rolled experiment sweep outside repro/scenario; "
-    "describe the grid as a ScenarioSpec and run it through "
-    "ScenarioRunner",
-}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-_PRAGMA = re.compile(r"#\s*abdlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
-
-_WALL_CLOCK = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-}
-
-_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
-_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-_ARRAY_ANNOTATION = re.compile(r"\bndarray\b|\bParameterMatrix\b")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation."""
-
-    path: str
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
-
-
-@dataclass(frozen=True)
-class FileKind:
-    """Path-derived exemption context."""
-
-    is_tests: bool
-    is_benchmarks: bool
-    is_seeding: bool
-    is_invariants: bool
-    is_profiling: bool
-    is_parallel: bool
-    is_scenario: bool
-
-    @classmethod
-    def from_path(cls, path: str) -> "FileKind":
-        posix = Path(path).as_posix()
-        parts = posix.split("/")
-        name = parts[-1]
-        return cls(
-            is_tests="tests" in parts[:-1] or name.startswith("test_")
-            or name == "conftest.py",
-            is_benchmarks="benchmarks" in parts[:-1] or name.startswith("bench_"),
-            is_seeding=posix.endswith("repro/utils/seeding.py"),
-            is_invariants=posix.endswith("repro/check/invariants.py"),
-            # The single wall-clock carve-out in src/: benchmark-only
-            # profiling hooks (see its module docstring).
-            is_profiling=posix.endswith("repro/obs/profile.py"),
-            # The single process-fan-out carve-out: the deterministic
-            # pool backend itself.
-            is_parallel="repro/parallel" in posix,
-            # The single sweep-loop carve-out: the scenario layer owns
-            # grid expansion (SCN001).
-            is_scenario="repro/scenario" in posix,
-        )
-
-
-def _suppressed_rules(source: str) -> dict[int, set[str] | None]:
-    """Map line number -> suppressed rule set (None = all rules)."""
-    out: dict[int, set[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(line)
-        if not match:
-            continue
-        if match.group(1) is None:
-            out[lineno] = None
-        else:
-            out[lineno] = {
-                rule.strip().upper() for rule in match.group(1).split(",") if rule.strip()
-            }
-    return out
-
-
-class _Scope:
-    """Names known to be sets / ndarrays in one lexical scope."""
-
-    __slots__ = ("sets", "arrays")
-
-    def __init__(self) -> None:
-        self.sets: set[str] = set()
-        self.arrays: set[str] = set()
-
-
-class Linter(ast.NodeVisitor):
-    def __init__(self, path: str, source: str, select: set[str]) -> None:
-        self.path = path
-        self.kind = FileKind.from_path(path)
-        self.select = select
-        self.suppressed = _suppressed_rules(source)
-        self.findings: list[Finding] = []
-        self.aliases: dict[str, str] = {}
-        self.scopes: list[_Scope] = [_Scope()]
-        self.axis_stack: list[str] = []
-
-    # ------------------------------------------------------------------
-    # bookkeeping
-    def report(self, node: ast.AST, rule: str, message: str | None = None) -> None:
-        if rule not in self.select:
-            return
-        lineno = getattr(node, "lineno", 0)
-        rules_off = self.suppressed.get(lineno, set())
-        if rules_off is None or rule in rules_off:
-            return
-        self.findings.append(
-            Finding(
-                path=self.path,
-                line=lineno,
-                col=getattr(node, "col_offset", 0),
-                rule=rule,
-                message=message or RULES[rule],
-            )
-        )
-
-    def _lookup(self, name: str, table: str) -> bool:
-        for scope in reversed(self.scopes):
-            attrs: set[str] = getattr(scope, table)
-            if name in attrs:
-                return True
-        return False
-
-    def resolve_call(self, func: ast.expr) -> str | None:
-        """Dotted path of a called name through the import table."""
-        parts: list[str] = []
-        node = func
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        base = self.aliases.get(node.id)
-        if base is None:
-            return None
-        parts.append(base)
-        return ".".join(reversed(parts))
-
-    # ------------------------------------------------------------------
-    # imports
-    #: Module roots whose import means ad-hoc process fan-out (DET004).
-    _POOL_MODULES = ("multiprocessing", "concurrent")
-
-    def _check_pool_import(self, node: ast.AST, module: str) -> None:
-        if self.kind.is_parallel:
-            return
-        if module.split(".")[0] in self._POOL_MODULES:
-            self.report(
-                node,
-                "DET004",
-                f"import of {module!r} outside repro.parallel; route process "
-                "fan-out through repro.parallel (parallel_map / "
-                "LocalTrainingPool) so reduction order stays deterministic",
-            )
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._check_pool_import(node, alias.name)
-            if alias.asname:
-                self.aliases[alias.asname] = alias.name
-            else:
-                root = alias.name.split(".")[0]
-                self.aliases[root] = root
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.level == 0:
-            self._check_pool_import(node, node.module)
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = (
-                    f"{node.module}.{alias.name}"
-                )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    # scopes and type facts
-    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        scope = _Scope()
-        args = node.args
-        for arg in [
-            *args.posonlyargs,
-            *args.args,
-            *args.kwonlyargs,
-            args.vararg,
-            args.kwarg,
-        ]:
-            if arg is None or arg.annotation is None:
-                continue
-            try:
-                annotation = ast.unparse(arg.annotation)
-            except Exception:
-                continue
-            if _ARRAY_ANNOTATION.search(annotation):
-                scope.arrays.add(arg.arg)
-        self.scopes.append(scope)
-        self.generic_visit(node)
-        self.scopes.pop()
-
-    visit_FunctionDef = _visit_function
-    visit_AsyncFunctionDef = _visit_function
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        self._record_assignment(node.targets, node.value)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if isinstance(node.target, ast.Name):
-            try:
-                annotation = ast.unparse(node.annotation)
-            except Exception:
-                annotation = ""
-            scope = self.scopes[-1]
-            if re.search(r"\b(set|frozenset)\b", annotation):
-                scope.sets.add(node.target.id)
-            elif _ARRAY_ANNOTATION.search(annotation):
-                scope.arrays.add(node.target.id)
-            elif node.value is not None:
-                self._record_assignment([node.target], node.value)
-        self.generic_visit(node)
-
-    def _record_assignment(
-        self, targets: Sequence[ast.expr], value: ast.expr
-    ) -> None:
-        scope = self.scopes[-1]
-        is_set = self.is_set_expr(value)
-        for target in targets:
-            if not isinstance(target, ast.Name):
-                continue
-            if is_set:
-                scope.sets.add(target.id)
-            else:
-                scope.sets.discard(target.id)
-
-    def is_set_expr(self, node: ast.expr) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-                return True
-            if (
-                isinstance(func, ast.Attribute)
-                and func.attr in _SET_METHODS
-                and self.is_set_expr(func.value)
-            ):
-                return True
-            return False
-        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
-            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
-        if isinstance(node, ast.Name):
-            return self._lookup(node.id, "sets")
-        return False
-
-    def _is_array_expr(self, node: ast.expr) -> bool:
-        return isinstance(node, ast.Name) and self._lookup(node.id, "arrays")
-
-    def _is_nan_expr(self, node: ast.expr) -> bool:
-        if isinstance(node, ast.Attribute) and node.attr in ("nan", "NaN", "NAN"):
-            base = node.value
-            return isinstance(base, ast.Name) and self.aliases.get(base.id) in (
-                "numpy",
-                "math",
-            )
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-            if node.func.id == "float" and node.args:
-                arg = node.args[0]
-                return (
-                    isinstance(arg, ast.Constant)
-                    and isinstance(arg.value, str)
-                    and arg.value.lower() == "nan"
-                )
-        return False
-
-    # ------------------------------------------------------------------
-    # DET001 / DET002
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = self.resolve_call(node.func)
-        if dotted is not None:
-            self._check_rng(node, dotted)
-            self._check_clock(node, dotted)
-        self.generic_visit(node)
-
-    def _check_rng(self, node: ast.Call, dotted: str) -> None:
-        if self.kind.is_seeding:
-            return
-        if dotted == "random" or dotted.startswith("random."):
-            self.report(
-                node,
-                "DET001",
-                f"stdlib RNG call {dotted}() uses global state; draw from a "
-                "seeded np.random.Generator (repro.utils.seeding)",
-            )
-            return
-        if dotted.startswith("numpy.random."):
-            leaf = dotted.removeprefix("numpy.random.")
-            if leaf == "default_rng" and (
-                self.kind.is_tests or self.kind.is_benchmarks
-            ):
-                return  # ad-hoc seeded generators are fine in tests/benchmarks
-            detail = (
-                "bypasses the seed tree; use repro.utils.seeding "
-                "(SeedSequenceFactory or seeded_generator)"
-                if leaf in ("default_rng", "Generator", "SeedSequence", "PCG64")
-                else "uses the global numpy RNG state"
-            )
-            self.report(node, "DET001", f"np.random.{leaf}() {detail}")
-
-    def _check_clock(self, node: ast.Call, dotted: str) -> None:
-        if self.kind.is_benchmarks or self.kind.is_profiling:
-            return
-        if dotted in _WALL_CLOCK:
-            self.report(
-                node,
-                "DET002",
-                f"{dotted}() reads the wall clock; deterministic code must "
-                "use simulation time (Simulator.now)",
-            )
-
-    # ------------------------------------------------------------------
-    # DET003 / SCN001
-    def _visit_for(self, node: ast.For | ast.AsyncFor) -> None:
-        self._check_iteration(node.iter)
-        axis = self._check_sweep(node, node.iter)
-        self.generic_visit(node)
-        if axis is not None:
-            self.axis_stack.pop()
-
-    visit_For = _visit_for
-    visit_AsyncFor = _visit_for
-
-    def _visit_comprehension(self, node: ast.AST) -> None:
-        axes: list[str] = []
-        for comp in getattr(node, "generators", []):
-            self._check_iteration(comp.iter)
-            axis = self._check_sweep(comp.iter, comp.iter)
-            if axis is not None:
-                axes.append(axis)
-        self.generic_visit(node)
-        del self.axis_stack[len(self.axis_stack) - len(axes) :]
-
-    visit_ListComp = _visit_comprehension
-    visit_SetComp = _visit_comprehension
-    visit_DictComp = _visit_comprehension
-    visit_GeneratorExp = _visit_comprehension
-
-    def _check_iteration(self, iter_node: ast.expr) -> None:
-        if self.is_set_expr(iter_node):
-            self.report(
-                iter_node,
-                "DET003",
-                "iterating a set in scheduling/fan-out code is "
-                "hash-order-dependent; wrap in sorted(...) or keep an "
-                "ordered container",
-            )
-
-    #: Iterable names that mark an experiment-grid axis (SCN001); a
-    #: leading ``default_`` / ``paper_`` style prefix also matches
-    #: (``DEFAULT_ATTACKS``, ``PAPER_FRACTIONS``).
-    _SWEEP_AXES = {
-        "attacks": "attacks",
-        "defences": "defences",
-        "defenses": "defences",
-        "fractions": "fractions",
-        "distributions": "distributions",
-    }
-
-    def _sweep_axis(self, node: ast.expr) -> str | None:
-        """The canonical axis an iteration target names, if any."""
-        while (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in ("sorted", "list", "tuple", "reversed", "enumerate")
-            and node.args
-        ):
-            node = node.args[0]
-        if isinstance(node, ast.Attribute):
-            name = node.attr
-        elif isinstance(node, ast.Name):
-            name = node.id
-        else:
-            return None
-        stem = name.lower().strip("_")
-        for suffix, axis in self._SWEEP_AXES.items():
-            if stem == suffix or stem.endswith(f"_{suffix}"):
-                return axis
-        return None
-
-    def _check_sweep(self, node: ast.AST, iter_node: ast.expr) -> str | None:
-        """SCN001: push the axis this loop sweeps; report on nesting a
-        second, distinct axis.  Returns the pushed axis (for popping)."""
-        axis = self._sweep_axis(iter_node)
-        if axis is None:
-            return None
-        if (
-            not (self.kind.is_tests or self.kind.is_benchmarks or self.kind.is_scenario)
-            and any(outer != axis for outer in self.axis_stack)
-        ):
-            outer = next(o for o in self.axis_stack if o != axis)
-            self.report(
-                node,
-                "SCN001",
-                f"hand-rolled {outer} x {axis} sweep outside repro/scenario; "
-                "describe the grid as a ScenarioSpec and run it through "
-                "repro.scenario.ScenarioRunner",
-            )
-        self.axis_stack.append(axis)
-        return axis
-
-    # ------------------------------------------------------------------
-    # NUM001 / INV001
-    def visit_Compare(self, node: ast.Compare) -> None:
-        comparators = [node.left, *node.comparators]
-        if not self.kind.is_tests and any(
-            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
-        ):
-            if any(self._is_nan_expr(c) for c in comparators):
-                self.report(
-                    node,
-                    "NUM001",
-                    "comparison against NaN is always False; use np.isnan",
-                )
-            elif any(self._is_array_expr(c) for c in comparators):
-                self.report(
-                    node,
-                    "NUM001",
-                    "bare ==/!= on a float ndarray; use np.array_equal for "
-                    "bit-equality or np.isclose for tolerances",
-                )
-        if not (self.kind.is_invariants or self.kind.is_tests or self.kind.is_benchmarks):
-            for side in comparators:
-                if self._is_triple_product(side):
-                    self.report(
-                        node,
-                        "INV001",
-                        "hand-rolled 3f-vs-n bound; use "
-                        "repro.check.invariants.require_fault_bound / "
-                        "fault_bound_holds",
-                    )
-                    break
-        self.generic_visit(node)
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if not (self.kind.is_invariants or self.kind.is_tests or self.kind.is_benchmarks):
-            if self._is_two_f_plus_one(node):
-                self.report(
-                    node,
-                    "INV001",
-                    "hand-rolled quorum size 2f+1; use "
-                    "repro.check.invariants.quorum_size",
-                )
-            elif self._is_floor_div_three(node):
-                self.report(
-                    node,
-                    "INV001",
-                    "hand-rolled //3 fault bound; use "
-                    "repro.check.invariants.max_faulty",
-                )
-            elif self._is_echo_threshold(node):
-                self.report(
-                    node,
-                    "INV001",
-                    "hand-rolled (n+f+1)//2 echo threshold; use "
-                    "repro.check.invariants.echo_quorum",
-                )
-        self.generic_visit(node)
-
-    @staticmethod
-    def _is_constant(node: ast.expr, value: int) -> bool:
-        return isinstance(node, ast.Constant) and node.value == value
-
-    def _is_scaled_name(self, node: ast.expr, factor: int) -> bool:
-        """``factor * x`` or ``x * factor`` with a non-constant ``x``."""
-        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
-            return False
-        left, right = node.left, node.right
-        if self._is_constant(left, factor) and not isinstance(right, ast.Constant):
-            return True
-        return self._is_constant(right, factor) and not isinstance(left, ast.Constant)
-
-    def _is_two_f_plus_one(self, node: ast.BinOp) -> bool:
-        if not isinstance(node.op, ast.Add):
-            return False
-        left, right = node.left, node.right
-        return (
-            self._is_constant(right, 1) and self._is_scaled_name(left, 2)
-        ) or (self._is_constant(left, 1) and self._is_scaled_name(right, 2))
-
-    def _is_floor_div_three(self, node: ast.BinOp) -> bool:
-        return (
-            isinstance(node.op, ast.FloorDiv)
-            and self._is_constant(node.right, 3)
-            and not isinstance(node.left, ast.Constant)
-        )
-
-    def _is_triple_product(self, node: ast.expr) -> bool:
-        return self._is_scaled_name(node, 3)
-
-    def _is_echo_threshold(self, node: ast.BinOp) -> bool:
-        """``(n + f + 1) // 2``-shaped Bracha echo thresholds.
-
-        Matches a floor-division by 2 whose dividend is a sum mixing at
-        least two variables with at least one constant — the rounding
-        off-by-ones there are exactly what
-        :func:`repro.check.invariants.echo_quorum` centralises.  A plain
-        two-variable midpoint ``(lo + hi) // 2`` carries no constant and
-        stays legal.
-        """
-        if not (
-            isinstance(node.op, ast.FloorDiv)
-            and self._is_constant(node.right, 2)
-            and isinstance(node.left, ast.BinOp)
-            and isinstance(node.left.op, ast.Add)
-        ):
-            return False
-        leaves: list[ast.expr] = []
-
-        def flatten(expr: ast.expr) -> None:
-            if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
-                flatten(expr.left)
-                flatten(expr.right)
-            else:
-                leaves.append(expr)
-
-        flatten(node.left)
-        n_const = sum(isinstance(leaf, ast.Constant) for leaf in leaves)
-        return n_const >= 1 and len(leaves) - n_const >= 2
-
-
-def lint_source(
-    source: str, path: str = "<string>", select: Iterable[str] | None = None
-) -> list[Finding]:
-    """Lint python ``source``; ``path`` drives the per-tree exemptions."""
-    chosen = set(select) if select is not None else set(RULES)
-    unknown = chosen - set(RULES)
-    if unknown:
-        raise ValueError(f"unknown rules: {sorted(unknown)}")
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 1) - 1,
-                rule="E999",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    linter = Linter(path, source, chosen)
-    linter.visit(tree)
-    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col, f.rule))
-
-
-def lint_paths(
-    paths: Sequence[str], select: Iterable[str] | None = None
-) -> list[Finding]:
-    findings: list[Finding] = []
-    for raw in paths:
-        root = Path(raw)
-        if root.is_dir():
-            files = sorted(root.rglob("*.py"))
-        elif root.suffix == ".py":
-            files = [root]
-        else:
-            raise FileNotFoundError(f"not a python file or directory: {raw}")
-        for file in files:
-            findings.extend(
-                lint_source(
-                    file.read_text(encoding="utf-8"),
-                    path=file.as_posix(),
-                    select=select,
-                )
-            )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# self-test fixtures: each rule must fire on its bad snippet and stay
-# silent on the good one.  CI runs --self-test so a regression that
-# silences a rule fails the build even with a violation-free tree.
-_FIXTURES: dict[str, list[tuple[str, str]]] = {
-    "DET001": [
-        (
-            "import numpy as np\nx = np.random.rand(4)\n",
-            "from repro.utils.seeding import seeded_generator\n"
-            "x = seeded_generator(0).random(4)\n",
-        ),
-    ],
-    "DET002": [
-        (
-            "import time\nstart = time.perf_counter()\n",
-            "def run(sim):\n    return sim.now\n",
-        ),
-    ],
-    "DET003": [
-        (
-            "pending = {3, 1, 2}\nfor node in pending:\n    print(node)\n",
-            "pending = {3, 1, 2}\nfor node in sorted(pending):\n    print(node)\n",
-        ),
-    ],
-    "DET004": [
-        (
-            "from multiprocessing import Pool\n"
-            "def fan_out(items):\n"
-            "    with Pool(4) as pool:\n"
-            "        return pool.map(str, items)\n",
-            "from repro.parallel import parallel_map\n"
-            "def fan_out(items):\n"
-            "    return parallel_map(str, items, workers=4)\n",
-        ),
-        (
-            "import concurrent.futures\n"
-            "def fan_out(items):\n"
-            "    with concurrent.futures.ProcessPoolExecutor() as ex:\n"
-            "        return list(ex.map(str, items))\n",
-            "from repro.parallel import parallel_map\n"
-            "def fan_out(items):\n"
-            "    return parallel_map(str, items)\n",
-        ),
-    ],
-    "NUM001": [
-        (
-            "import numpy as np\n"
-            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
-            "    return bool((a == b).all())\n",
-            "import numpy as np\n"
-            "def same(a: np.ndarray, b: np.ndarray) -> bool:\n"
-            "    return np.array_equal(a, b)\n",
-        ),
-        # NaN-sentinel testing: branch on the explicit flag, not on a
-        # comparison against the NaN placeholder (Message.dropped vs
-        # delivered_at == nan).
-        (
-            "def lost(delivered_at: float) -> bool:\n"
-            '    return delivered_at == float("nan")\n',
-            "def lost(message) -> bool:\n"
-            "    return message.dropped\n",
-        ),
-    ],
-    "SCN001": [
-        (
-            "def sweep(defences, attacks, run):\n"
-            "    results = []\n"
-            "    for defence in defences:\n"
-            "        for attack in attacks:\n"
-            "            results.append(run(defence, attack))\n"
-            "    return results\n",
-            "from repro.scenario import ScenarioRunner, matrix_spec\n"
-            "def sweep(defences, attacks):\n"
-            "    spec = matrix_spec(\n"
-            "        defences=defences, attacks=attacks, fractions=(0.25,)\n"
-            "    )\n"
-            "    return ScenarioRunner().run(spec).cells\n",
-        ),
-        (
-            "def sweep(run):\n"
-            "    return [\n"
-            "        run(d, a)\n"
-            "        for d in DEFAULT_DEFENCES\n"
-            "        for a in DEFAULT_ATTACKS\n"
-            "    ]\n",
-            # A single-axis loop is ordinary iteration, not grid
-            # expansion.
-            "def sweep(attacks, run):\n"
-            "    return [run(a) for a in attacks]\n",
-        ),
-    ],
-    "INV001": [
-        (
-            "def quorum(f: int, n: int) -> int:\n"
-            "    assert 3 * f < n\n"
-            "    return 2 * f + 1\n",
-            "from repro.check.invariants import quorum_size, require_fault_bound\n"
-            "def quorum(f: int, n: int) -> int:\n"
-            "    require_fault_bound(n, f)\n"
-            "    return quorum_size(f)\n",
-        ),
-        (
-            "def echo_threshold(n: int, f: int) -> int:\n"
-            "    return (n + f + 1) // 2\n",
-            # A constant-free midpoint is ordinary arithmetic, not a
-            # quorum bound.
-            "from repro.check.invariants import echo_quorum\n"
-            "def echo_threshold(n: int, f: int) -> int:\n"
-            "    return echo_quorum(n, f)\n"
-            "def midpoint(lo: int, hi: int) -> int:\n"
-            "    return (lo + hi) // 2\n",
-        ),
-    ],
-}
-
-
-# Path-based carve-outs: (rule, path, source) triples where the source
-# would fire at a generic src/ path but must stay silent at this one.
-_CARVEOUT_FIXTURES: list[tuple[str, str, str]] = [
-    (
-        "DET002",
-        "src/repro/obs/profile.py",
-        "import time\nstart = time.perf_counter()\n",
-    ),
-    (
-        "DET002",
-        "benchmarks/bench_fixture.py",
-        "import time\nstart = time.perf_counter()\n",
-    ),
-    (
-        "DET004",
-        "src/repro/parallel/pool.py",
-        "import multiprocessing\n"
-        'ctx = multiprocessing.get_context("spawn")\n',
-    ),
-    # Grid expansion is the scenario layer's job — only there may sweep
-    # loops cross experiment axes.
-    (
-        "SCN001",
-        "src/repro/scenario/grid.py",
-        "def expand(spec):\n"
-        "    cells = []\n"
-        "    for defence in spec.defences:\n"
-        "        for attack in spec.attacks:\n"
-        "            cells.append((defence, attack))\n"
-        "    return cells\n",
-    ),
-]
-
-
-def self_test() -> list[str]:
-    """Run every rule against its fixtures; returns failure messages."""
-    failures: list[str] = []
-    for rule, pairs in _FIXTURES.items():
-        for index, (bad, good) in enumerate(pairs):
-            label = f"{rule}[{index}]" if len(pairs) > 1 else rule
-            fired = {
-                f.rule for f in lint_source(bad, path=f"src/fixture_{rule}.py")
-            }
-            if rule not in fired:
-                failures.append(f"{label}: did not fire on its seeded violation")
-            clean = lint_source(good, path=f"src/fixture_{rule}.py")
-            if clean:
-                failures.append(
-                    f"{label}: clean fixture produced findings: "
-                    + "; ".join(f.render() for f in clean)
-                )
-            pragma_lines = []
-            for line in bad.splitlines():
-                pragma_lines.append(
-                    line + "  # abdlint: ignore" if line.strip() else line
-                )
-            suppressed = lint_source(
-                "\n".join(pragma_lines) + "\n", path=f"src/fixture_{rule}.py"
-            )
-            if suppressed:
-                failures.append(f"{label}: pragma failed to suppress the finding")
-    for rule, path, source in _CARVEOUT_FIXTURES:
-        # Sanity: the snippet must fire at a generic src/ path...
-        generic = {f.rule for f in lint_source(source, path="src/fixture_carveout.py")}
-        if rule not in generic:
-            failures.append(
-                f"{rule}: carve-out fixture does not fire at a generic path"
-            )
-        # ...and stay silent at the carved-out path.
-        exempt = [f for f in lint_source(source, path=path) if f.rule == rule]
-        if exempt:
-            failures.append(
-                f"{rule}: carve-out for {path} failed: "
-                + "; ".join(f.render() for f in exempt)
-            )
-    return failures
-
-
-def main(argv: Sequence[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="abdlint", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
-    )
-    parser.add_argument("paths", nargs="*", help="files or directories to lint")
-    parser.add_argument(
-        "--select",
-        default=None,
-        help="comma-separated rule subset (default: all rules)",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule table and exit"
-    )
-    parser.add_argument(
-        "--self-test",
-        action="store_true",
-        help="verify every rule fires on its seeded fixture (CI gate)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule, description in RULES.items():
-            print(f"{rule}: {description}")
-        return 0
-
-    if args.self_test:
-        failures = self_test()
-        for failure in failures:
-            print(f"SELF-TEST FAILED: {failure}", file=sys.stderr)
-        if not failures:
-            n_pairs = sum(len(pairs) for pairs in _FIXTURES.values())
-            print(
-                f"self-test passed: {len(_FIXTURES)} rules "
-                f"({n_pairs} fixtures) fire and suppress"
-            )
-        return 1 if failures else 0
-
-    if not args.paths:
-        parser.error("no paths given (or use --self-test / --list-rules)")
-    select = (
-        {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
-        if args.select
-        else None
-    )
-    findings = lint_paths(args.paths, select=select)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"abdlint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
-
+from abdlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())

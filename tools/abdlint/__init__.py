@@ -1,0 +1,51 @@
+"""abdlint — whole-program static analysis for the ABD-HFL reproduction.
+
+Two passes over the tree:
+
+1. **per-file** (``abdlint.local``): the determinism/numerics rules
+   DET001–DET004, NUM001, INV001, SCN001, each file independent;
+2. **cross-module** (``abdlint.arch`` / ``abdlint.seedflow`` /
+   ``abdlint.registry``): the import-layering contract (ARCH001),
+   seed-provenance dataflow (DET005) and registry-sync checks (REG001),
+   over the project symbol table built in ``abdlint.project``.
+
+Per-file summaries are cached under ``.abdlint_cache/``
+(``abdlint.cache``); findings serialise to SARIF 2.1.0
+(``abdlint.sarif``).  The public surface below is what
+``tools/abdlint.py`` (the CLI shim) and the test suite import.
+"""
+
+from abdlint.cache import ENGINE_VERSION, SummaryCache
+from abdlint.cli import main
+from abdlint.engine import LintResult, discover, lint_paths, run_engine
+from abdlint.findings import PROJECT_RULES, RULES, Finding
+from abdlint.local import lint_source
+from abdlint.project import ModuleSummary, Project, summarize_source
+from abdlint.sarif import to_sarif, write_sarif
+from abdlint.selftest import load_local_fixtures, self_test
+
+#: Back-compat: the fixture pairs used to live inline as ``_FIXTURES``;
+#: they are files now (tools/abdlint/fixtures/local), loaded lazily here
+#: because tests/test_check_lint.py iterates this mapping.
+_FIXTURES = load_local_fixtures()
+
+__all__ = [
+    "ENGINE_VERSION",
+    "Finding",
+    "LintResult",
+    "ModuleSummary",
+    "PROJECT_RULES",
+    "Project",
+    "RULES",
+    "SummaryCache",
+    "discover",
+    "lint_paths",
+    "lint_source",
+    "load_local_fixtures",
+    "main",
+    "run_engine",
+    "self_test",
+    "summarize_source",
+    "to_sarif",
+    "write_sarif",
+]

@@ -1,0 +1,137 @@
+"""ARCH001 — the declared import-layering contract.
+
+The architecture of ``repro`` is a strict layering; each package may
+import its own layer and anything below, never above.  The contract is
+data, not convention:
+
+======  ===============  ==================================================
+layer   name             packages
+======  ===============  ==================================================
+0       foundation       ``utils`` (seeding, flatten, tables)
+1       instrumentation  ``obs``, ``check``
+2       kernels          ``sim``, ``data``, ``topology``, ``nn``,
+                         ``attacks``, ``aggregation``
+3       protocols        ``consensus``, ``faults``, ``parallel``
+4       training         ``core`` (the ACSM/vanilla trainers)
+5       orchestration    ``pipeline``, ``experiments``, ``scenario``
+6       entry            ``cli``
+======  ===============  ==================================================
+
+``repro`` (the package root facade) and ``repro.__main__`` re-export
+across layers by design and are exempt.  ``if TYPE_CHECKING:`` imports
+are type-only — they create no runtime coupling and are ignored (this is
+how ``repro.check.invariants`` annotates ``ConsensusResult`` without a
+``check -> consensus`` runtime edge).
+
+A package missing from the table is itself a violation: the contract
+must grow with the tree, silently unconstrained packages defeat it.
+"""
+
+from __future__ import annotations
+
+from abdlint.findings import Finding, is_suppressed
+from abdlint.project import Project
+
+#: The layering contract, bottom (0) to top.  Order within a layer is
+#: cosmetic; order *of* layers is the contract.
+LAYERS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("foundation", ("utils",)),
+    ("instrumentation", ("obs", "check")),
+    ("kernels", ("sim", "data", "topology", "nn", "attacks", "aggregation")),
+    ("protocols", ("consensus", "faults", "parallel")),
+    ("training", ("core",)),
+    ("orchestration", ("pipeline", "experiments", "scenario")),
+    ("entry", ("cli",)),
+)
+
+#: Top-level modules allowed to import across layers: the public facade
+#: and the ``python -m repro`` bootstrap.
+EXEMPT_MODULES: frozenset[str] = frozenset({"repro", "repro.__main__"})
+
+_LAYER_OF: dict[str, int] = {}
+_LAYER_NAME: dict[str, str] = {}
+for _index, (_name, _packages) in enumerate(LAYERS):
+    for _pkg in _packages:
+        _LAYER_OF[_pkg] = _index
+        _LAYER_NAME[_pkg] = _name
+
+
+def _package_of(module: str) -> str | None:
+    """The repro sub-package a dotted module belongs to (None = root)."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def run(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for summary in project.summaries:
+        module = summary.module
+        if module is None or not module.startswith("repro"):
+            continue
+        if module in EXEMPT_MODULES:
+            continue
+        src_pkg = _package_of(module)
+        if src_pkg is None or src_pkg == "__main__":
+            continue
+        if src_pkg not in _LAYER_OF:
+            findings.append(
+                Finding(
+                    path=summary.path,
+                    line=1,
+                    col=0,
+                    rule="ARCH001",
+                    message=(
+                        f"package repro.{src_pkg} is not in the layering "
+                        "contract; add it to a layer in abdlint.arch.LAYERS "
+                        "(and to the DESIGN.md diagram)"
+                    ),
+                )
+            )
+            continue
+        for target, lineno, type_only, _func_level in summary.imports:
+            if type_only or not target.startswith("repro."):
+                continue
+            tgt_pkg = _package_of(target)
+            if tgt_pkg is None or tgt_pkg == src_pkg or tgt_pkg == "__main__":
+                continue
+            if tgt_pkg == "cli" and target == "repro.cli":
+                tgt_layer = _LAYER_OF["cli"]
+            elif tgt_pkg not in _LAYER_OF:
+                findings.append(
+                    Finding(
+                        path=summary.path,
+                        line=lineno,
+                        col=0,
+                        rule="ARCH001",
+                        message=(
+                            f"import of repro.{tgt_pkg} which is not in the "
+                            "layering contract; add it to abdlint.arch.LAYERS"
+                        ),
+                    )
+                )
+                continue
+            else:
+                tgt_layer = _LAYER_OF[tgt_pkg]
+            src_layer = _LAYER_OF[src_pkg]
+            if src_layer < tgt_layer:
+                if is_suppressed(summary.pragmas, lineno, "ARCH001"):
+                    continue
+                findings.append(
+                    Finding(
+                        path=summary.path,
+                        line=lineno,
+                        col=0,
+                        rule="ARCH001",
+                        message=(
+                            f"upward import repro.{src_pkg} -> repro.{tgt_pkg}: "
+                            f"layer {src_layer} '{_LAYER_NAME[src_pkg]}' may "
+                            f"not import layer {tgt_layer} "
+                            f"'{_LAYER_NAME[tgt_pkg]}' "
+                            "(contract: abdlint.arch.LAYERS, diagram in "
+                            "DESIGN.md 'Static analysis')"
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,100 @@
+"""Command-line front end: ``python tools/abdlint.py`` / ``python -m repro lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from abdlint.cache import CACHE_DIR_NAME, ENGINE_VERSION
+from abdlint.findings import RULES
+from abdlint.engine import run_engine
+from abdlint.sarif import write_sarif
+from abdlint.selftest import load_local_fixtures, self_test
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="abdlint",
+        description="Whole-program determinism/architecture linter for the "
+        "ABD-HFL reproduction (two-pass: per-file rules, then "
+        "cross-module layering/seed-provenance/registry checks).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule subset (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on its seeded fixtures (CI gate)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write findings as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental summary cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=CACHE_DIR_NAME,
+        help=f"summary cache directory (default: {CACHE_DIR_NAME})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}: {description}")
+        return 0
+
+    if args.self_test:
+        failures = self_test()
+        for failure in failures:
+            print(f"SELF-TEST FAILED: {failure}", file=sys.stderr)
+        if not failures:
+            fixtures = load_local_fixtures()
+            n_pairs = sum(len(pairs) for pairs in fixtures.values())
+            print(
+                f"self-test passed: {len(fixtures)} local rules "
+                f"({n_pairs} fixtures) + 3 project rules fire and suppress"
+            )
+        return 1 if failures else 0
+
+    if not args.paths:
+        parser.error("no paths given (or use --self-test / --list-rules)")
+    select = (
+        {rule.strip().upper() for rule in args.select.split(",") if rule.strip()}
+        if args.select
+        else None
+    )
+    try:
+        result = run_engine(
+            args.paths,
+            select=select,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    for finding in result.findings:
+        print(finding.render())
+    if args.sarif:
+        write_sarif(result.findings, args.sarif, ENGINE_VERSION)
+    if result.findings:
+        print(f"abdlint: {len(result.findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

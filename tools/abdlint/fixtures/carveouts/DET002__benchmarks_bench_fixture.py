@@ -1,0 +1,3 @@
+# lint-path: benchmarks/bench_fixture.py
+import time
+start = time.perf_counter()

@@ -1,0 +1,3 @@
+# lint-path: src/repro/obs/profile.py
+import time
+start = time.perf_counter()

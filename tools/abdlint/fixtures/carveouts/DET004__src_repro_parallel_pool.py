@@ -1,0 +1,3 @@
+# lint-path: src/repro/parallel/pool.py
+import multiprocessing
+ctx = multiprocessing.get_context("spawn")

@@ -1,0 +1,7 @@
+# lint-path: src/repro/scenario/grid.py
+def expand(spec):
+    cells = []
+    for defence in spec.defences:
+        for attack in spec.attacks:
+            cells.append((defence, attack))
+    return cells

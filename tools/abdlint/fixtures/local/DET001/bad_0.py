@@ -1,0 +1,2 @@
+import numpy as np
+x = np.random.rand(4)

@@ -1,0 +1,2 @@
+from repro.utils.seeding import seeded_generator
+x = seeded_generator(0).random(4)

@@ -1,0 +1,2 @@
+import time
+start = time.perf_counter()

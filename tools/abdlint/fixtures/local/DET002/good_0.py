@@ -1,0 +1,2 @@
+def run(sim):
+    return sim.now

@@ -1,0 +1,4 @@
+from multiprocessing import Pool
+def fan_out(items):
+    with Pool(4) as pool:
+        return pool.map(str, items)

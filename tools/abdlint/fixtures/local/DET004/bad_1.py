@@ -1,0 +1,4 @@
+import concurrent.futures
+def fan_out(items):
+    with concurrent.futures.ProcessPoolExecutor() as ex:
+        return list(ex.map(str, items))

@@ -1,0 +1,3 @@
+from repro.parallel import parallel_map
+def fan_out(items):
+    return parallel_map(str, items)

@@ -1,0 +1,3 @@
+def quorum(f: int, n: int) -> int:
+    assert 3 * f < n
+    return 2 * f + 1

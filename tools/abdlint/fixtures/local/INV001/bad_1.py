@@ -1,0 +1,2 @@
+def echo_threshold(n: int, f: int) -> int:
+    return (n + f + 1) // 2

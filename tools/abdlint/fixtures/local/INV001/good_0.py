@@ -1,0 +1,4 @@
+from repro.check.invariants import quorum_size, require_fault_bound
+def quorum(f: int, n: int) -> int:
+    require_fault_bound(n, f)
+    return quorum_size(f)

@@ -1,0 +1,5 @@
+from repro.check.invariants import echo_quorum
+def echo_threshold(n: int, f: int) -> int:
+    return echo_quorum(n, f)
+def midpoint(lo: int, hi: int) -> int:
+    return (lo + hi) // 2

@@ -1,0 +1,3 @@
+import numpy as np
+def same(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool((a == b).all())

@@ -1,0 +1,2 @@
+def lost(delivered_at: float) -> bool:
+    return delivered_at == float("nan")

@@ -1,0 +1,2 @@
+def lost(message) -> bool:
+    return message.dropped

@@ -1,0 +1,6 @@
+def sweep(defences, attacks, run):
+    results = []
+    for defence in defences:
+        for attack in attacks:
+            results.append(run(defence, attack))
+    return results

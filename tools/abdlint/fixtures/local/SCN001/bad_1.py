@@ -1,0 +1,6 @@
+def sweep(run):
+    return [
+        run(d, a)
+        for d in DEFAULT_DEFENCES
+        for a in DEFAULT_ATTACKS
+    ]

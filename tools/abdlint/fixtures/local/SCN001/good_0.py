@@ -1,0 +1,6 @@
+from repro.scenario import ScenarioRunner, matrix_spec
+def sweep(defences, attacks):
+    spec = matrix_spec(
+        defences=defences, attacks=attacks, fractions=(0.25,)
+    )
+    return ScenarioRunner().run(spec).cells

@@ -1,0 +1,2 @@
+def sweep(attacks, run):
+    return [run(a) for a in attacks]

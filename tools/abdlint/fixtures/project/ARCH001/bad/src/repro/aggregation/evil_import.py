@@ -1,0 +1,7 @@
+"""A kernel-layer module reaching up into orchestration."""
+
+from repro.pipeline import runner
+
+
+def aggregate(updates):
+    return runner.launch(updates)

@@ -1,0 +1,12 @@
+"""Downward and type-only imports are both within the contract."""
+
+from typing import TYPE_CHECKING
+
+from repro.utils.seeding import derive_seed
+
+if TYPE_CHECKING:
+    from repro.pipeline.runner import Runner  # type-only: no runtime edge
+
+
+def aggregate(updates, root_seed: int):
+    return derive_seed(root_seed, "aggregate"), updates

@@ -1,0 +1,7 @@
+"""The same upward edge, waived by an explicit pragma."""
+
+from repro.pipeline import runner  # abdlint: ignore[ARCH001]
+
+
+def aggregate(updates):
+    return runner.launch(updates)

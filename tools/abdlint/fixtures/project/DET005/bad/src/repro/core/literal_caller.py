@@ -1,0 +1,5 @@
+"""Library code feeding a literal seed across a module boundary."""
+
+from repro.sim.stream_helper import make_stream
+
+stream = make_stream(1234)

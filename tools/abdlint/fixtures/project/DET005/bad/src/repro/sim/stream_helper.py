@@ -1,0 +1,7 @@
+"""The RNG construction lives here; the literal enters elsewhere."""
+
+from repro.utils.seeding import seeded_generator
+
+
+def make_stream(seed):
+    return seeded_generator(seed)

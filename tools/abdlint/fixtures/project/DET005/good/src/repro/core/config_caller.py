@@ -1,0 +1,7 @@
+"""The seed flows from the config — the root of the seed tree."""
+
+from repro.sim.stream_helper import make_stream
+
+
+def build(config):
+    return make_stream(config.seed)

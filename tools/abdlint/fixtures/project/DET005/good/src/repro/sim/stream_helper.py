@@ -1,0 +1,7 @@
+"""Identical helper; provenance is decided at the call sites."""
+
+from repro.utils.seeding import seeded_generator
+
+
+def make_stream(seed):
+    return seeded_generator(seed)

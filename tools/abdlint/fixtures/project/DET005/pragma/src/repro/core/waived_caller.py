@@ -1,0 +1,5 @@
+"""The same literal seed, waived at its entry line."""
+
+from repro.sim.stream_helper import make_stream
+
+stream = make_stream(1234)  # abdlint: ignore[DET005]

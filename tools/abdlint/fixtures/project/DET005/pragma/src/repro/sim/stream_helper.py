@@ -1,0 +1,7 @@
+"""Helper again; the waiver sits where the literal enters."""
+
+from repro.utils.seeding import seeded_generator
+
+
+def make_stream(seed):
+    return seeded_generator(seed)

@@ -1,0 +1,9 @@
+"""An oracle-less aggregator, waived at its registration line."""
+
+from repro.aggregation.registry import register_aggregator
+
+
+@register_aggregator("trimmed_mean_fx")  # abdlint: ignore[REG001]
+class TrimmedMeanFx:
+    def __call__(self, updates):
+        return updates

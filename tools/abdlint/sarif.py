@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 serialisation for CI code-scanning upload.
+
+One run, one driver (``abdlint``), one rule entry per id in
+:data:`abdlint.findings.RULES`, one result per finding.  The output
+validates against the SARIF 2.1.0 schema subset GitHub code scanning
+consumes (``github/codeql-action/upload-sarif``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from abdlint.findings import RULES, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: list[Finding], tool_version: str) -> dict:
+    """The SARIF log dict for ``findings``."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, description in sorted(RULES.items())
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(f.path).as_posix(),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "abdlint",
+                        "informationUri": (
+                            "https://example.invalid/abd-hfl/tools/abdlint"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: list[Finding], out_path: str, tool_version: str
+) -> None:
+    log = to_sarif(findings, tool_version)
+    Path(out_path).write_text(
+        json.dumps(log, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,214 @@
+"""DET005 — seed-provenance dataflow.
+
+Every ``np.random.Generator`` construction in library code must be
+reachable from the seed tree: :func:`repro.utils.seeding.derive_seed`,
+a ``SeedSequenceFactory`` path, or a config/parameter seed.  A literal
+seed (``seeded_generator(42)``) anywhere outside tests/benchmarks is a
+hidden fixed stream — it silently decouples a component from the
+experiment's root seed, which is exactly the class of bug the
+bit-identity contract cannot survive.
+
+The trace is intra-procedural (local assignments are followed) and
+crosses call sites through the project symbol table: when the seed
+expression is a function parameter, every recorded call site of that
+function is inspected and the literal is reported **where it enters**
+— so ``helper(1234)`` in library code is flagged at the ``helper(1234)``
+line even though the ``seeded_generator(seed)`` call lives two modules
+away.
+
+Deliberately trusted (low-noise bias, documented in DESIGN.md):
+
+* attribute reads (``config.seed``, ``self.seed``) — config objects are
+  the seed tree's roots;
+* calls into :mod:`repro.utils.seeding` (``derive_seed``, ``.seed()``,
+  ``iter_run_seeds``) and unknown function calls — producers are checked
+  at *their* construction sites;
+* parameters with no visible call site — the caller owns the seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from abdlint.findings import Finding, is_suppressed
+from abdlint.project import (
+    SEED_PRODUCER_SUFFIXES,
+    _TRANSPARENT_CALLS,
+    ModuleSummary,
+    Project,
+)
+
+_MAX_DEPTH = 8
+
+
+class _Literal:
+    """A literal seed origin: where it is and what it says."""
+
+    __slots__ = ("path", "line", "col", "value", "pragmas")
+
+    def __init__(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        value: object,
+        pragmas: dict[int, list[str] | None],
+    ) -> None:
+        self.path = path
+        self.line = line
+        self.col = col
+        self.value = value
+        self.pragmas = pragmas
+
+
+def _is_exempt(summary: ModuleSummary) -> bool:
+    kind = summary.kind
+    return kind.is_tests or kind.is_benchmarks or kind.is_seeding
+
+
+def _classify(
+    project: Project,
+    summary: ModuleSummary,
+    func: str,
+    desc: list | None,
+    line: int,
+    col: int,
+    depth: int,
+    visited: set[tuple[str, str, str]],
+) -> _Literal | None:
+    """The literal origin a seed expression resolves to, or None (safe)."""
+    if desc is None or depth > _MAX_DEPTH:
+        return None
+    kind = desc[0]
+    if kind == "const":
+        return _Literal(summary.path, line, col, desc[1], summary.pragmas)
+    if kind == "name":
+        name = desc[1]
+        token = (summary.path, func, name)
+        if token in visited:
+            return None
+        visited.add(token)
+        info = summary.functions.get(func) or {}
+        assigns = info.get("assigns", {})
+        if name in assigns:
+            a_desc, a_line = assigns[name]
+            return _classify(
+                project, summary, func, a_desc, a_line, col, depth + 1, visited
+            )
+        if name in info.get("params", []):
+            return _trace_param(project, summary, func, name, depth, visited)
+        module_assigns = summary.functions.get("", {}).get("assigns", {})
+        if name in module_assigns:
+            a_desc, a_line = module_assigns[name]
+            return _classify(
+                project, summary, "", a_desc, a_line, col, depth + 1, visited
+            )
+        return None
+    if kind == "attr":
+        return None  # config/self seeds: trusted roots of the seed tree
+    if kind == "call":
+        callee, args = desc[1], desc[2]
+        if callee.rsplit(".", 1)[-1] in _TRANSPARENT_CALLS and args:
+            return _classify(
+                project, summary, func, args[0], line, col, depth + 1, visited
+            )
+        if callee.endswith(SEED_PRODUCER_SUFFIXES) or ".seeding" in callee:
+            return None
+        return None  # unknown producer: checked at its own RNG sites
+    if kind == "binop":
+        origins = []
+        for operand in desc[1]:
+            origin = _classify(
+                project, summary, func, operand, line, col, depth + 1, visited
+            )
+            if origin is None:
+                return None  # one seed-derived operand launders the rest
+            origins.append(origin)
+        return origins[0] if origins else None
+    return None
+
+
+def _trace_param(
+    project: Project,
+    summary: ModuleSummary,
+    func: str,
+    param: str,
+    depth: int,
+    visited: set[tuple[str, str, str]],
+) -> _Literal | None:
+    """Follow a parameter back through every recorded call site."""
+    if summary.module is None:
+        return None
+    info = summary.functions.get(func) or {}
+    params = info.get("params", [])
+    try:
+        index = params.index(param)
+    except ValueError:
+        return None
+    targets = [f"{summary.module}.{func}"]
+    if func.endswith(".__init__"):
+        # Constructor calls resolve to the class, not to __init__.
+        targets.append(f"{summary.module}.{func[: -len('.__init__')]}")
+    for target in targets:
+        for caller, call in project.call_sites(target):
+            if _is_exempt(caller):
+                continue  # tests/benchmarks may pass ad-hoc literals
+            _callee, c_line, c_col, args, kwargs, c_func = call
+            if index < len(args):
+                arg_desc = args[index]
+            elif param in kwargs:
+                arg_desc = kwargs[param]
+            else:
+                continue  # default applies: a documented config default
+            origin = _classify(
+                project, caller, c_func, arg_desc, c_line, c_col, depth + 1, visited
+            )
+            if origin is not None:
+                return origin
+    return None
+
+
+def run(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    for summary in project.summaries:
+        if _is_exempt(summary):
+            continue
+        for ctor, line, col, seed_desc, func in summary.rng_sites:
+            visited: set[tuple[str, str, str]] = set()
+            origin = _classify(
+                project, summary, func, seed_desc, line, col, 0, visited
+            )
+            if origin is None:
+                continue
+            if is_suppressed(summary.pragmas, line, "DET005"):
+                continue
+            if is_suppressed(origin.pragmas, origin.line, "DET005"):
+                continue
+            short = ctor.rsplit(".", 1)[-1]
+            if origin.path == summary.path and origin.line == line:
+                message = (
+                    f"{short}() seeded from literal {origin.value!r}; derive "
+                    "the seed from the experiment seed tree (derive_seed / "
+                    "SeedSequenceFactory / a config seed) instead"
+                )
+            else:
+                message = (
+                    f"literal seed {origin.value!r} flows into {short}() at "
+                    f"{summary.path}:{line}; derive it from the experiment "
+                    "seed tree (derive_seed / a config seed) instead"
+                )
+            finding = Finding(
+                path=origin.path,
+                line=origin.line,
+                col=origin.col,
+                rule="DET005",
+                message=message,
+            )
+            key = json.dumps(
+                [finding.path, finding.line, finding.col, finding.message]
+            )
+            if key not in seen:
+                seen.add(key)
+                findings.append(finding)
+    return findings
