@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.aggregation import ParameterMatrix, get_aggregator
 from repro.check import sanitize
-from repro.obs import trace
+from repro.obs import audit, trace
 from repro.parallel import parallel_map
 
 SIZES: list[tuple[int, int]] = [
@@ -257,6 +257,73 @@ def check_trace_overhead(n: int, d: int) -> list[str]:
     return failures
 
 
+def bench_audit_overhead(rule: str, n: int, d: int, seed: int = 0) -> dict:
+    """Time one warm aggregation raw / auditing-off / auditing-on.
+
+    Mirrors :func:`bench_trace_overhead` for the :mod:`repro.obs.audit`
+    gate: ``off`` goes through ``__call__`` with no auditor installed —
+    the hook must cost one ``is None`` test; ``on`` assembles the rule's
+    decision evidence from the cached kernels per call.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = _make_updates(n, d, rng)
+    weights = rng.random(n) + 0.5
+    fast = get_aggregator(rule)
+    matrix = ParameterMatrix(list(vectors), weights)
+    fast(matrix)  # prime kernels
+
+    def run_raw() -> np.ndarray:
+        return fast._aggregate(matrix)
+
+    def run_off() -> np.ndarray:
+        return fast(matrix)
+
+    def run_on() -> np.ndarray:
+        with audit.audited():
+            return fast(matrix)
+
+    # Auditing is read-only: enabling it must not change a bit.
+    if not np.array_equal(run_on(), run_off()):
+        raise AssertionError(f"{rule}: auditing changed the aggregate")
+
+    reps = max(10, _reps_for(run_raw)[0])
+    raw_s = _best_of(run_raw, reps)
+    off_s = _best_of(run_off, reps)
+    on_s = _best_of(run_on, reps)
+    return {
+        "rule": rule,
+        "n": n,
+        "d": d,
+        "raw_s": raw_s,
+        "off_s": off_s,
+        "on_s": on_s,
+        "off_overhead": off_s / max(raw_s, 1e-12),
+        "on_overhead": on_s / max(raw_s, 1e-12),
+    }
+
+
+def check_audit_overhead(n: int, d: int) -> list[str]:
+    """CI gate: the disabled-auditing path must be free."""
+    failures = []
+    for rule in SANITIZE_RULES:
+        row = bench_audit_overhead(rule, n, d)
+        print(
+            f"audit    {rule:10s} n={n:4d} d={d:6d}  "
+            f"raw={row['raw_s']*1e3:8.3f}ms  "
+            f"off={row['off_s']*1e3:8.3f}ms ({row['off_overhead']:.3f}x)  "
+            f"on={row['on_s']*1e3:8.3f}ms ({row['on_overhead']:.3f}x)",
+            flush=True,
+        )
+        if row["off_s"] > row["raw_s"] * SANITIZE_OFF_TOLERANCE + SANITIZE_OFF_EPSILON:
+            failures.append(
+                f"{rule}: disabled auditing costs "
+                f"{row['off_overhead']:.3f}x over the raw path at n={n}, "
+                f"d={d} ({row['off_s']:.5f}s vs {row['raw_s']:.5f}s); the "
+                "opt-out must stay one None test"
+            )
+    return failures
+
+
 #: Calls per measurement for the parallel_map dispatch-overhead gate:
 #: enough to expose any per-item cost, few enough to keep --check fast.
 PARALLEL_OVERHEAD_ITEMS = 32
@@ -421,6 +488,12 @@ def main(argv: list[str] | None = None) -> int:
         "and fail if the opt-out path is not free",
     )
     parser.add_argument(
+        "--audit-overhead",
+        action="store_true",
+        help="only measure repro.obs.audit forensics overhead (on/off vs "
+        "raw) and fail if the opt-out path is not free",
+    )
+    parser.add_argument(
         "--parallel-overhead",
         action="store_true",
         help="only measure repro.parallel dispatch overhead (workers=1 "
@@ -454,6 +527,15 @@ def main(argv: list[str] | None = None) -> int:
         print("check passed: disabled tracing adds no measurable overhead")
         return 0
 
+    if args.audit_overhead:
+        failures = check_audit_overhead(*CHECK_SIZE)
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: disabled auditing adds no measurable overhead")
+        return 0
+
     if args.parallel_overhead:
         failures = check_parallel_overhead(*CHECK_SIZE)
         for message in failures:
@@ -478,6 +560,7 @@ def main(argv: list[str] | None = None) -> int:
         failures = check(report)
         failures.extend(check_sanitizer_overhead(*CHECK_SIZE))
         failures.extend(check_trace_overhead(*CHECK_SIZE))
+        failures.extend(check_audit_overhead(*CHECK_SIZE))
         failures.extend(check_parallel_overhead(*CHECK_SIZE))
         for message in failures:
             print(f"CHECK FAILED: {message}", file=sys.stderr)
@@ -486,8 +569,8 @@ def main(argv: list[str] | None = None) -> int:
         print("check passed: fast path faster than reference at "
               f"n={CHECK_SIZE[0]}, d={CHECK_SIZE[1]}; "
               f"{' and '.join(SPEEDUP_RULES)} above {SPEEDUP_FLOOR}x; "
-              "disabled sanitizers, tracing and workers=1 dispatch add "
-              "no measurable overhead")
+              "disabled sanitizers, tracing, auditing and workers=1 "
+              "dispatch add no measurable overhead")
     return 0
 
 

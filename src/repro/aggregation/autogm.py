@@ -74,5 +74,28 @@ class AutoGM(Aggregator):
         refined, _ = self._span_median(sub)
         return refined
 
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        """The outlier screen's decision variables: first-pass distances,
+        the median-distance scale, and the keep mask actually applied
+        (including the refuse-to-exclude-a-majority fallback)."""
+        center, dists = self._span_median(matrix)
+        del center
+        scale = float(np.median(dists))
+        evidence: dict[str, object] = {
+            "z": self.z,
+            "scale": scale,
+            "distance_to_center": dists,
+        }
+        if scale <= 0.0:
+            return evidence, None
+        keep = dists <= self.z * scale
+        if keep.sum() < max(1, matrix.n_updates // 2):
+            # Majority exclusion refused: every input stayed in.
+            keep = np.ones(matrix.n_updates, dtype=bool)
+        evidence["kept"] = keep
+        return evidence, ~keep
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AutoGM(z={self.z})"

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.aggregation.matrix import ParameterMatrix, as_parameter_matrix
 from repro.check import sanitize
-from repro.obs import profile, trace
+from repro.obs import audit, profile, trace
 
 __all__ = [
     "Aggregator",
@@ -123,7 +123,52 @@ class Aggregator(ABC):
                 d=matrix.data.shape[1],
             )
             tr.metrics.counter(f"aggregate.{name}.calls").inc()
+        au = audit.auditor()
+        if au is not None:
+            self._audit_decision(au, matrix, out)
         return out
+
+    def _audit_decision(
+        self, au: audit.Auditor, matrix: ParameterMatrix, out: np.ndarray
+    ) -> None:
+        """Emit one ``decision`` record for this invocation (auditing on).
+
+        The rule's evidence comes from :meth:`_decision_evidence`;
+        ambient provenance supplies the round and aggregating node when
+        the trainer is driving.
+        """
+        evidence, rejected = self._decision_evidence(matrix, out)
+        provenance = sanitize.current_provenance()
+        ambient_round = provenance.get("round_index")
+        node = provenance.get("node_id")
+        fields: dict[str, object] = {
+            "rule": self.name or type(self).__name__,
+            "n": int(matrix.data.shape[0]),
+            "evidence": evidence,
+        }
+        if isinstance(ambient_round, int):
+            fields["step"] = ambient_round
+        if isinstance(node, int):
+            fields["node"] = node
+        if rejected is not None:
+            fields["rejected"] = [bool(r) for r in rejected]
+        au.record("decision", **fields)
+
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        """The rule's per-input evidence and optional rejection mask.
+
+        The default reports each input's distance to the aggregate and
+        makes no accept/reject claim (``None`` mask).  Rules that select
+        or exclude inputs override this to expose their actual decision
+        variables — recomputed from the matrix's *cached* kernels, never
+        from fresh O(n·d) passes beyond what the rule itself used.
+        Only called when auditing is on.
+        """
+        diff = matrix.data - out[None, :]
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return {"distance_to_output": distances}, None
 
     @abstractmethod
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:

@@ -82,11 +82,20 @@ class ClusteringAggregator(Aggregator):
             raise ValueError(f"threshold must be in [-1, 1), got {threshold}")
         self.threshold = float(threshold)
 
-    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+    def _cluster(
+        self, matrix: ParameterMatrix
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Label clusters and pick the winner; returns
+        ``(labels, winner_mask, winner_mean)``.  Shared by the aggregate
+        path and the audit evidence so both report the same choice."""
         updates, weights = matrix.data, matrix.weights
         k = updates.shape[0]
         if k == 1:
-            return updates[0].copy()
+            return (
+                np.zeros(1, dtype=np.int64),
+                np.ones(1, dtype=bool),
+                updates[0].copy(),
+            )
         sim = matrix.cosine
         adjacency = sim >= self.threshold
         np.fill_diagonal(adjacency, True)
@@ -95,6 +104,7 @@ class ClusteringAggregator(Aggregator):
         # cluster mean's lexicographic order — a content-based tie-break,
         # so the rule is invariant to the order updates arrive in.
         best_mean: np.ndarray | None = None
+        best_members: np.ndarray | None = None
         best_key: tuple[float, int] | None = None
         for cid in np.unique(labels):
             members = labels == cid
@@ -112,8 +122,26 @@ class ClusteringAggregator(Aggregator):
             ):
                 best_key = key
                 best_mean = mean
-        assert best_mean is not None
+                best_members = members
+        assert best_mean is not None and best_members is not None
+        return labels, best_members, best_mean
+
+    def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
+        _, _, best_mean = self._cluster(matrix)
         return best_mean
+
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        """Cluster assignment plus the winning-cluster membership mask;
+        anything outside the winner was excluded from the mean."""
+        labels, winner, _ = self._cluster(matrix)
+        evidence: dict[str, object] = {
+            "threshold": self.threshold,
+            "labels": labels,
+            "winner": winner,
+        }
+        return evidence, ~winner
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ClusteringAggregator(threshold={self.threshold})"

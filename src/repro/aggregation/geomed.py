@@ -142,3 +142,24 @@ class GeoMed(Aggregator):
         return geometric_median(
             matrix, max_iter=self.max_iter, tol=self.tol
         )
+
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        """Simplex weights and per-input distances from the span
+        iteration, re-run on the *cached* Gram (O(n^2), no O(n d) work).
+        GeoMed down-weights rather than excludes, so no rejection mask."""
+        lam, anchor, d2 = weiszfeld_span(
+            matrix.gram, matrix.sq_norms, matrix.weights,
+            max_iter=self.max_iter, tol=self.tol,
+        )
+        if anchor >= 0:
+            # The median *is* an input row; its distance row is already
+            # in the cached all-pairs matrix.
+            d2 = matrix.pairwise_sq_dists[anchor]
+        evidence: dict[str, object] = {
+            "weights": lam,
+            "anchor": int(anchor),
+            "distance_to_center": np.sqrt(np.maximum(d2, 0.0)),
+        }
+        return evidence, None

@@ -80,6 +80,35 @@ def _resolve_f(k: int, f: int | None, byzantine_fraction: float) -> int:
     return max(0, min(f, k - 3))
 
 
+def _krum_evidence(
+    matrix: ParameterMatrix,
+    f: int | None,
+    byzantine_fraction: float,
+    m: int,
+) -> "tuple[dict[str, object], np.ndarray] | None":
+    """Scores + selection mask for the audit layer (cached kernels only).
+
+    ``None`` for the k <= 3 median fallback, where no score exists and
+    the caller reverts to the base-class evidence.
+    """
+    updates = matrix.data
+    k = updates.shape[0]
+    if k <= 3:
+        return None
+    resolved = _resolve_f(k, f, byzantine_fraction)
+    scores = krum_scores(updates, resolved, d2=matrix.pairwise_sq_dists)
+    chosen = _stable_order(scores, updates)[:m]
+    rejected = np.ones(k, dtype=bool)
+    rejected[chosen] = False
+    evidence: dict[str, object] = {
+        "f": resolved,
+        "m": m,
+        "scores": scores,
+        "selected": chosen,
+    }
+    return evidence, rejected
+
+
 @register_aggregator("krum")
 class Krum(Aggregator):
     """Select the single update with the lowest Krum score.
@@ -113,6 +142,14 @@ class Krum(Aggregator):
         f = _resolve_f(k, self.f, self.byzantine_fraction)
         scores = krum_scores(updates, f, d2=matrix.pairwise_sq_dists)
         return updates[_stable_order(scores, updates)[0]].copy()
+
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        evidence = _krum_evidence(matrix, self.f, self.byzantine_fraction, m=1)
+        if evidence is not None:
+            return evidence
+        return super()._decision_evidence(matrix, out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Krum(f={self.f}, byzantine_fraction={self.byzantine_fraction})"
@@ -159,6 +196,20 @@ class MultiKrum(Aggregator):
         m = min(m, k)
         chosen = _stable_order(scores, updates)[:m]
         return updates[chosen].mean(axis=0)
+
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        k = matrix.data.shape[0]
+        if k > 3:
+            f = _resolve_f(k, self.f, self.byzantine_fraction)
+            m = self.m if self.m is not None else max(1, k - f)
+            evidence = _krum_evidence(
+                matrix, self.f, self.byzantine_fraction, m=min(m, k)
+            )
+            if evidence is not None:
+                return evidence
+        return super()._decision_evidence(matrix, out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

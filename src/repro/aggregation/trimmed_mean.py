@@ -46,5 +46,26 @@ class TrimmedMean(Aggregator):
         ordered = np.sort(updates, axis=0)
         return ordered[trim : k - trim].mean(axis=0)
 
+    def _decision_evidence(
+        self, matrix: ParameterMatrix, out: np.ndarray
+    ) -> tuple[dict[str, object], "np.ndarray | None"]:
+        """Per-update clip-mask summary: the fraction of its coordinates
+        that fell in a trimmed tail.  An update clipped on the majority of
+        coordinates counts as rejected."""
+        updates = matrix.data
+        k = updates.shape[0]
+        trim = int(self.beta * k)
+        if trim == 0 or 2 * trim >= k:
+            return {"trim": 0}, None
+        order = np.argsort(updates, axis=0, kind="stable")
+        ranks = np.argsort(order, axis=0, kind="stable")
+        clipped = (ranks < trim) | (ranks >= k - trim)
+        clipped_fraction = clipped.mean(axis=1)
+        evidence: dict[str, object] = {
+            "trim": trim,
+            "clipped_fraction": clipped_fraction,
+        }
+        return evidence, clipped_fraction > 0.5
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TrimmedMean(beta={self.beta})"

@@ -11,6 +11,8 @@ Commands map one-to-one onto the experiment runners:
 ``scenario``  — run / list / validate declarative scenario specs
 ``lint``      — run the abdlint static-analysis engine over the tree
 ``report``    — render a trace file into the Table-V-style breakdown
+``audit``     — forensic detection report / cross-run diff from audit
+records
 
 Every command accepts ``--rounds``, ``--seed`` and an optional ``--out``
 directory for persisted results.  Defaults are the reduced scale;
@@ -18,6 +20,9 @@ directory for persisted results.  Defaults are the reduced scale;
 ``--trace PATH`` records a :mod:`repro.obs` trace of the command to
 ``PATH`` (equivalent to running under ``REPRO_TRACE=PATH``); the trace
 can then be inspected with ``python -m repro report PATH``.
+``--audit PATH`` records :mod:`repro.obs.audit` defence decision
+records to ``PATH`` (equivalent to ``REPRO_AUDIT=PATH``) and writes the
+run manifest next to them; inspect with ``python -m repro audit PATH``.
 """
 
 from __future__ import annotations
@@ -49,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record an observability trace (JSONL) of the command to PATH",
+    )
+    parser.add_argument(
+        "--audit",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record defence forensics (audit JSONL + run manifest) of "
+        "the command to PATH",
     )
     parser.add_argument(
         "--workers",
@@ -145,6 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes (bit-identical results for every N)",
     )
+    # SUPPRESS mirrors --workers: the subcommand alias must not clobber
+    # a root-level --out when only the latter is given.
+    sn_run.add_argument(
+        "--out",
+        type=Path,
+        dest="out",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="persist report/cells/manifest (+ audit stream when auditing "
+        "is on) under DIR",
+    )
     sn_sub.add_parser("list", help="list the shipped canonical specs")
     sn_validate = sn_sub.add_parser(
         "validate", help="validate specs without running them"
@@ -192,6 +216,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="additionally export the trace in Chrome trace_event format",
+    )
+    rp.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first unrecognised trace line instead of "
+        "skipping (and counting) it",
+    )
+
+    au = sub.add_parser(
+        "audit", help="forensic detection report from audit records"
+    )
+    au.add_argument(
+        "run",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="audit JSONL file, or a run directory containing audit.jsonl",
+    )
+    au.add_argument(
+        "--diff",
+        type=Path,
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two runs instead: per-cell detection/metric deltas",
+    )
+    au.add_argument(
+        "--check",
+        action="store_true",
+        help="with --diff: exit 1 when any delta exceeds --tol or the "
+        "cell sets differ",
+    )
+    au.add_argument(
+        "--tol",
+        type=float,
+        default=1e-9,
+        help="absolute delta tolerance for --check (default: 1e-9)",
+    )
+    au.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on the first invalid record line instead of skipping it",
+    )
+    au.add_argument(
+        "--no-timelines",
+        action="store_true",
+        help="omit the per-device suspicion timelines",
     )
     return parser
 
@@ -412,10 +483,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     result = ScenarioRunner(workers=getattr(args, "workers", None)).run(spec)
     print(result.table)
     if args.out:
-        path = args.out / f"{spec.name}.txt"
-        args.out.mkdir(parents=True, exist_ok=True)
-        path.write_text(result.table + "\n", encoding="utf-8")
-        print(f"saved {path}")
+        from repro.scenario.runner import persist_result, run_manifest
+
+        paths = persist_result(
+            result,
+            args.out,
+            manifest=run_manifest(spec, command=f"scenario run {args.spec}"),
+        )
+        for path in paths.values():
+            print(f"saved {path}")
     return 0
 
 
@@ -453,13 +529,120 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import load_trace, render_report, write_chrome_trace
+    from repro.obs import (
+        TraceSchemaError,
+        load_trace,
+        load_trace_lenient,
+        render_report,
+        write_chrome_trace,
+    )
 
-    events = load_trace(args.trace_file)
+    if args.strict:
+        try:
+            events = load_trace(args.trace_file)
+        except TraceSchemaError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+    else:
+        events, skipped = load_trace_lenient(args.trace_file)
+        if skipped:
+            lineno, reason = skipped[0]
+            print(
+                f"warning: {args.trace_file}: skipped "
+                f"{len(skipped)} unrecognised line(s), first at line "
+                f"{lineno}: {reason} (use --strict to fail instead)",
+                file=sys.stderr,
+            )
     print(render_report(events))
     if args.chrome is not None:
         path = write_chrome_trace(args.chrome, events)
         print(f"saved Chrome trace {path}")
+    return 0
+
+
+def _resolve_audit_run(ref: Path) -> tuple[Path, Path | None]:
+    """Resolve a run reference to ``(audit JSONL, manifest or None)``.
+
+    A directory means a scenario/CLI artifact directory (``audit.jsonl``
+    next to ``manifest.json``); a file means the JSONL itself, with the
+    manifest looked up at its conventional sibling path.
+    """
+    from repro.obs import audit as _audit
+
+    if ref.is_dir():
+        jsonl = ref / "audit.jsonl"
+        if not jsonl.is_file():
+            raise FileNotFoundError(f"{ref} contains no audit.jsonl")
+    else:
+        jsonl = ref
+    if not jsonl.is_file():
+        raise FileNotFoundError(f"no such audit file: {jsonl}")
+    for candidate in (
+        _audit.manifest_path_for(jsonl),
+        jsonl.parent / "manifest.json",
+    ):
+        if candidate.is_file():
+            return jsonl, candidate
+    return jsonl, None
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs import audit as _audit
+    from repro.obs.audit_report import (
+        build_audit_report,
+        diff_audit,
+        render_audit_report,
+        render_diff,
+    )
+
+    def load(
+        ref: Path,
+    ) -> tuple[list[dict[str, object]], "dict[str, object] | None"]:
+        jsonl, manifest_path = _resolve_audit_run(ref)
+        records, skipped = _audit.load_audit(jsonl, strict=args.strict)
+        if skipped:
+            lineno, reason = skipped[0]
+            print(
+                f"warning: {jsonl}: skipped {len(skipped)} invalid "
+                f"line(s), first at line {lineno}: {reason} "
+                "(use --strict to fail instead)",
+                file=sys.stderr,
+            )
+        manifest = (
+            _audit.load_manifest(manifest_path)
+            if manifest_path is not None
+            else None
+        )
+        return records, manifest
+
+    try:
+        if args.diff is not None:
+            records_a, _ = load(args.diff[0])
+            records_b, _ = load(args.diff[1])
+            diff = diff_audit(records_a, records_b)
+            print(render_diff(diff, tol=args.tol))
+            return 1 if args.check and diff.exceeds(args.tol) else 0
+        if args.run is None:
+            print(
+                "repro audit: a run path (or --diff A B) is required",
+                file=sys.stderr,
+            )
+            return 2
+        records, manifest = load(args.run)
+    except (FileNotFoundError, _audit.AuditSchemaError) as exc:
+        print(f"repro audit: {exc}", file=sys.stderr)
+        return 2
+    if manifest is not None:
+        package = manifest.get("package")
+        parts = [f"schema {manifest.get('schema')}"]
+        if isinstance(package, dict):
+            parts.append(f"{package.get('name')} {package.get('version')}")
+        for key in ("command", "seed"):
+            if key in manifest:
+                parts.append(f"{key} {manifest[key]}")
+        print("manifest: " + ", ".join(parts) + "\n")
+    report = build_audit_report(records)
+    print(render_audit_report(report, timelines=not args.no_timelines))
     return 0
 
 
@@ -473,27 +656,73 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "lint": _cmd_lint,
     "report": _cmd_report,
+    "audit": _cmd_audit,
 }
+
+#: Pure consumers: recording their own activity would be noise.
+_ANALYSIS_COMMANDS = ("report", "audit", "lint")
+
+
+def _command_manifest(args: argparse.Namespace) -> "dict[str, object]":
+    """A provenance manifest for one CLI invocation (``--audit`` mode)."""
+    from repro.experiments.io import collect_registries
+    from repro.obs import audit as _audit
+
+    return _audit.build_manifest(
+        command=args.command,
+        spec=dict(sorted(vars(args).items())),
+        seed=getattr(args, "seed", None),
+        registries=collect_registries(),
+    )
+
+
+def _save_audit(
+    args: argparse.Namespace, auditor: object, path: Path
+) -> None:
+    from repro.obs import audit as _audit
+
+    assert isinstance(auditor, _audit.Auditor)
+    auditor.save(path)
+    _audit.write_manifest(_audit.manifest_path_for(path), _command_manifest(args))
+    print(f"saved audit {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
+    from contextlib import ExitStack
+
+    from repro.obs import audit as _audit
     from repro.obs import trace as _trace
 
     args = build_parser().parse_args(argv)
-    trace_path = getattr(args, "trace", None)
-    if trace_path is not None and args.command != "report":
-        with _trace.traced(trace_path):
-            status = _COMMANDS[args.command](args)
+    analysis = args.command in _ANALYSIS_COMMANDS
+    trace_path = getattr(args, "trace", None) if not analysis else None
+    audit_path = getattr(args, "audit", None) if not analysis else None
+    with ExitStack() as stack:
+        if trace_path is not None:
+            stack.enter_context(_trace.traced(trace_path))
+        cli_auditor = (
+            stack.enter_context(_audit.audited())
+            if audit_path is not None
+            else None
+        )
+        status = _COMMANDS[args.command](args)
+    if trace_path is not None:
         print(f"saved trace {trace_path}")
-        return status
-    status = _COMMANDS[args.command](args)
-    # REPRO_TRACE=<path> installed a process-wide tracer at import time;
-    # persist what it collected once the command is done.
-    env_path = _trace.env_trace_path()
-    tr = _trace.tracer()
-    if args.command != "report" and env_path is not None and tr is not None:
-        tr.save(env_path)
-        print(f"saved trace {env_path}")
+    if audit_path is not None and cli_auditor is not None:
+        _save_audit(args, cli_auditor, audit_path)
+    if not analysis:
+        # REPRO_TRACE/REPRO_AUDIT=<path> installed process-wide
+        # instances at import time; persist what they collected once
+        # the command is done.
+        env_trace = _trace.env_trace_path()
+        tr = _trace.tracer()
+        if trace_path is None and env_trace is not None and tr is not None:
+            tr.save(env_trace)
+            print(f"saved trace {env_trace}")
+        env_audit = _audit.env_audit_path()
+        au = _audit.auditor()
+        if audit_path is None and env_audit is not None and au is not None:
+            _save_audit(args, au, env_audit)
     return status
 
 

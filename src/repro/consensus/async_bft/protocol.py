@@ -230,12 +230,13 @@ class ACSConsensus(ConsensusProtocol):
         # bytes the proposal stack cannot represent: exclude it from the
         # numeric average.
         accepted = np.zeros(n, dtype=bool)
-        equivocated = 0
+        equivocated_slots: list[int] = []
         for j in subset:
             if reference[j] == j:
                 accepted[j] = True
             else:
-                equivocated += 1
+                equivocated_slots.append(j)
+        equivocated = len(equivocated_slots)
         if not accepted.any():  # pragma: no cover - |S| >= 2f+1 > #byz
             raise InvariantViolation("acs: no usable slot in the agreed subset")
 
@@ -257,6 +258,10 @@ class ACSConsensus(ConsensusProtocol):
             "subset": subset,
             "silent": int(silent.sum()),
             "equivocated": equivocated,
+            # Vote evidence for the audit layer: which agreed slots
+            # committed an equivocator's variant instead of the
+            # proposer's true payload.
+            "equivocated_slots": equivocated_slots,
             "aba_rounds": aba_rounds,
             "events": sim.events_processed,
             "sim_time": sim.now,

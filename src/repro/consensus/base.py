@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.aggregation.matrix import ParameterMatrix
 from repro.check import invariants, sanitize
-from repro.obs import trace
+from repro.obs import audit, trace
 
 __all__ = ["ConsensusResult", "CostModel", "ConsensusProtocol"]
 
@@ -147,6 +147,9 @@ class ConsensusProtocol(ABC):
         tr = trace.tracer()
         if tr is not None:
             self._trace_instance(tr, result, n=n, d=proposals.shape[1])
+        au = audit.auditor()
+        if au is not None:
+            self._audit_instance(au, result, byzantine_mask, silent, n=n)
         if checking:
             invariants.check_consensus_result(
                 result, n=n, d=proposals.shape[1], protocol=self.name or type(self).__name__
@@ -232,6 +235,55 @@ class ConsensusProtocol(ABC):
         tr.metrics.histogram(
             "consensus.rejection_rate", bounds=(0.1, 0.2, 0.3, 0.5)
         ).observe(rejection)
+
+    def _audit_instance(
+        self,
+        au: "audit.Auditor",
+        result: ConsensusResult,
+        byzantine_mask: np.ndarray,
+        silent: np.ndarray,
+        n: int,
+    ) -> None:
+        """Emit one ``consensus`` audit record (auditing on, read-only).
+
+        The accepted / silent masks come from the execution itself, the
+        ``byzantine`` mask is the *input* adversary assignment, and any
+        per-member vote evidence a protocol published in ``info`` (PBFT
+        scores, the ACS agreed subset) is carried along verbatim.
+        """
+        name = self.name or type(self).__name__
+        ambient_round = sanitize.current_provenance().get("round_index")
+        evidence: dict[str, object] = {}
+        for key in (
+            "scores",
+            "threshold",
+            "primary",
+            "quorum",
+            "subset",
+            "equivocated_slots",
+            "view_changes",
+            "view_timeouts",
+            "committee",
+        ):
+            value = result.info.get(key)
+            if value is not None:
+                evidence[key] = value
+        equivocated = result.info.get("equivocated")
+        fields: dict[str, object] = {
+            "protocol": name,
+            "n": n,
+            "accepted": [bool(a) for a in result.accepted],
+            "silent": [bool(s) for s in silent],
+            "byzantine": [bool(b) for b in byzantine_mask],
+            "equivocated": equivocated if isinstance(equivocated, int) else 0,
+            "excluded": result.n_excluded,
+            "rejected": [bool(r) for r in ~result.accepted],
+        }
+        if isinstance(ambient_round, int):
+            fields["step"] = ambient_round
+        if evidence:
+            fields["evidence"] = evidence
+        au.record("consensus", **fields)
 
     @abstractmethod
     def _agree(

@@ -133,6 +133,11 @@ class PBFTConsensus(ConsensusProtocol):
                 "view_changes": view_changes,
                 "view_timeouts": view_timeouts,
                 "scores": scores,
+                # Vote evidence for the audit layer: the validation
+                # cut-off every replica applied and the primary whose
+                # view finally committed.
+                "threshold": float(threshold),
+                "primary": int(primary),
                 "quorum": quorum_size(f),
                 "silent": int(silent.sum()),
             },

@@ -106,6 +106,12 @@ class ABDHFLConfig:
         snapshots for this trainer (off process-wide unless
         ``REPRO_TRACE`` is set).  Tracing is read-only like the
         sanitizers: a traced run is bit-identical to an untraced one.
+    audit:
+        Record :mod:`repro.obs.audit` defence decision records — per
+        round, per device: aggregation evidence, consensus masks and
+        injected-fault ground truth (off process-wide unless
+        ``REPRO_AUDIT`` is set).  Auditing is read-only like tracing:
+        an audited run is bit-identical to an unaudited one.
     workers:
         Process count for per-device local training
         (:mod:`repro.parallel`).  ``None`` defers to ``REPRO_WORKERS``
@@ -128,6 +134,7 @@ class ABDHFLConfig:
     global_arrival_iteration: int = 2
     sanitize: bool = False
     trace: bool = False
+    audit: bool = False
     workers: int | None = None
 
     def __post_init__(self) -> None:

@@ -33,7 +33,7 @@ from repro.data.dataset import Dataset
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.faults.rounds import RoundFaultInjector
 from repro.nn.losses import SoftmaxCrossEntropy
-from repro.obs import trace
+from repro.obs import audit, trace
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
 from repro.core.pool import DeviceSpec, LocalTrainingPool, TrainJob
@@ -156,6 +156,10 @@ class ABDHFLTrainer:
         # for the duration of each round (mirroring the per-round
         # sanitized() scope) so process-wide state is never left mutated.
         self.tracer: trace.Tracer | None = trace.Tracer() if config.trace else None
+        # config.audit likewise scopes a private auditor per round.
+        self.auditor: audit.Auditor | None = (
+            audit.Auditor() if config.audit else None
+        )
         self._fault = (
             RoundFaultInjector(fault_plan, hierarchy)
             if fault_plan is not None
@@ -243,14 +247,24 @@ class ABDHFLTrainer:
         """Execute one global round (Algorithm 1)."""
         ctx = sanitize.sanitized(True) if self.config.sanitize else nullcontext()
         tctx = trace.scoped(self.tracer) if self.tracer is not None else nullcontext()
-        with ctx, tctx, sanitize.provenance(round_index=self.round_index):
+        actx = (
+            audit.scoped(self.auditor)
+            if self.auditor is not None
+            else nullcontext()
+        )
+        with ctx, tctx, actx, sanitize.provenance(round_index=self.round_index):
             return self._run_round(evaluate)
 
     def _run_round(self, evaluate: bool) -> RoundRecord:
         tr = trace.tracer()
+        au = audit.auditor()
         t = float(self.round_index)
         if self._fault is not None:
             self._fault.begin_round(self.round_index)
+        if au is not None:
+            # Ground truth *after* this round's crash/recovery transitions
+            # so the silent set matches what the aggregation pipeline sees.
+            self._audit_round_truth(au)
         if tr is not None:
             tr.instant("trainer.local_training", "round", t, round=self.round_index)
         local_models, local_losses = self._local_training()
@@ -277,8 +291,35 @@ class ABDHFLTrainer:
         self.history.append(record)
         if tr is not None:
             self._trace_round(tr, record)
+        if au is not None and evaluate:
+            au.record(
+                "metric",
+                step=self.round_index,
+                name="test_accuracy",
+                value=record.test_accuracy,
+            )
         self.round_index += 1
         return record
+
+    def _audit_round_truth(self, au: "audit.Auditor") -> None:
+        """Record the round's injected-fault ground truth (auditing on):
+        which bottom devices are actually Byzantine and which are
+        crash-silent right now."""
+        bottom = self.hierarchy.bottom_clients()
+        byzantine = [int(d) for d in bottom if self.hierarchy.is_byzantine(d)]
+        crashed = (
+            [int(d) for d in bottom if self._fault.is_crashed(d)]
+            if self._fault is not None
+            else []
+        )
+        au.record(
+            "ground_truth",
+            step=self.round_index,
+            n=len(bottom),
+            members=[int(d) for d in bottom],
+            byzantine=byzantine,
+            silent=crashed,
+        )
 
     def _trace_round(self, tr: "trace.Tracer", record: RoundRecord) -> None:
         """Per-round trace instant + metrics snapshot (tracing active)."""
@@ -514,6 +555,7 @@ class ABDHFLTrainer:
                 contribs: list[np.ndarray] = []
                 w: list[float] = []
                 byz_flags: list[bool] = []
+                ids: list[int] = []
                 lost_weight = 0.0
                 leader = (
                     cluster.leader if cluster.leader is not None else cluster.members[0]
@@ -545,6 +587,7 @@ class ABDHFLTrainer:
                         byz_flags.append(
                             self.protocol_byzantine and hierarchy.is_byzantine(device)
                         )
+                        ids.append(device)
                     else:
                         lost_weight += weight
                 key = (level, cluster.index)
@@ -563,10 +606,20 @@ class ABDHFLTrainer:
                     continue
                 stack = np.stack(contribs)
                 w_arr = np.asarray(w)
-                stack, w_arr, byz_arr = self._apply_quorum(
-                    stack, w_arr, np.asarray(byz_flags)
+                stack, w_arr, byz_arr, ids_arr = self._apply_quorum(
+                    stack, w_arr, np.asarray(byz_flags), np.asarray(ids)
                 )
-                with sanitize.provenance(node_id=leader):
+                au = audit.auditor()
+                actx = (
+                    au.context(
+                        members=[int(i) for i in ids_arr],
+                        level=level,
+                        cluster=cluster.index,
+                    )
+                    if au is not None
+                    else nullcontext()
+                )
+                with sanitize.provenance(node_id=leader), actx:
                     value = self._aggregate_level(level, stack, w_arr, byz_arr)
                 partials[key] = value
                 weights[key] = float(w_arr.sum())
@@ -577,17 +630,19 @@ class ABDHFLTrainer:
         return partials, weights, messages
 
     def _apply_quorum(
-        self, stack: np.ndarray, w: np.ndarray, byz: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        self, stack: np.ndarray, w: np.ndarray, byz: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Keep the first ``ceil(phi * k)`` uploads in random arrival order
-        (Algorithm 4's quorum-or-timeout collection)."""
+        (Algorithm 4's quorum-or-timeout collection).  ``ids`` carries the
+        contributors' device ids through the same permutation so audit
+        records attribute rows to the right devices."""
         phi = self.config.phi
         k = stack.shape[0]
         quorum = max(1, math.ceil(phi * k))
         if quorum >= k:
-            return stack, w, byz
+            return stack, w, byz, ids
         order = self._quorum_rng.permutation(k)[:quorum]
-        return stack[order], w[order], byz[order]
+        return stack[order], w[order], byz[order], ids[order]
 
     def _aggregate_level(
         self, level: int, stack: np.ndarray, w: np.ndarray, byz: np.ndarray
@@ -648,21 +703,44 @@ class ABDHFLTrainer:
                 return record  # no live top node: keep the previous model
             if mask.any():
                 silent = mask
+        au = audit.auditor()
         if spec.kind == "bra":
+            members = list(top.members)
             if silent is not None:
                 stack, w_arr = stack[~silent], w_arr[~silent]
+                members = [m for m, gone in zip(members, silent) if not gone]
             aggregator = self._level_bra[0]
-            self.global_model = aggregator(ParameterMatrix(stack, w_arr))
+            actx = (
+                au.context(
+                    members=[int(m) for m in members],
+                    level=0,
+                    cluster=top.index,
+                )
+                if au is not None
+                else nullcontext()
+            )
+            with actx:
+                self.global_model = aggregator(ParameterMatrix(stack, w_arr))
             n = stack.shape[0]
             record.model_messages += 2 * (n - 1)  # collect + broadcast
         else:
             protocol = self._level_cba[0]
-            result = protocol.agree(
-                ParameterMatrix(stack, w_arr),
-                byzantine_mask=byz_arr,
-                silent_mask=silent,
-                rng=self._consensus_rng,
+            actx = (
+                au.context(
+                    members=[int(m) for m in top.members],
+                    level=0,
+                    cluster=top.index,
+                )
+                if au is not None
+                else nullcontext()
             )
+            with actx:
+                result = protocol.agree(
+                    ParameterMatrix(stack, w_arr),
+                    byzantine_mask=byz_arr,
+                    silent_mask=silent,
+                    rng=self._consensus_rng,
+                )
             self.global_model = result.value
             record.top_excluded = result.n_excluded
             record.consensus_cost = result.cost

@@ -18,6 +18,7 @@ bit-identical to the spec-driven path by
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +28,7 @@ from repro.attacks.base import get_attack
 from repro.consensus import get_consensus
 from repro.consensus.base import ConsensusProtocol
 from repro.faults.plan import FaultPlan
+from repro.obs import audit
 from repro.scenario.options import defence_options_for
 from repro.scenario.runner import ScenarioRunner
 from repro.scenario.spec import matrix_spec
@@ -152,36 +154,80 @@ def gradient_gap(
     n_drop = int(drop_fraction * n_honest)
     if n_drop >= n_honest:
         raise ValueError("drop_fraction leaves no live honest member")
-    gaps = []
-    for _ in range(n_trials):
-        true_mean = rng.standard_normal(dim)
-        honest = true_mean[None, :] + noise * rng.standard_normal((n_honest, dim))
-        if attacker is not None and n_byz > 0:
-            byz = attacker(honest, n_byz, rng)
-            updates = np.concatenate([honest, byz], axis=0)
-        else:
-            updates = honest
-        n = updates.shape[0]
-        byz_mask = np.zeros(n, dtype=bool)
-        byz_mask[n_honest:] = True
-        silent = np.zeros(n, dtype=bool)
-        if n_drop:
-            # The highest-index honest members crash (deterministic
-            # choice; which members crash is not what the cell measures).
-            silent[n_honest - n_drop : n_honest] = True
-        if protocol is not None:
-            result = protocol.agree(
-                updates,
-                byzantine_mask=byz_mask,
-                silent_mask=silent if silent.any() else None,
-                rng=rng,
+    au = audit.auditor()
+    cell_ctx = (
+        au.context(
+            cell={
+                "defence": defence,
+                "attack": attack,
+                "fraction": byzantine_fraction,
+                "consensus": consensus,
+            }
+        )
+        if au is not None
+        else nullcontext()
+    )
+    with cell_ctx:
+        gaps = []
+        for trial in range(n_trials):
+            true_mean = rng.standard_normal(dim)
+            honest = true_mean[None, :] + noise * rng.standard_normal(
+                (n_honest, dim)
             )
-            survivors = updates[result.accepted]
-        else:
-            survivors = updates[~silent]
-        agg = aggregator(survivors)
-        gaps.append(float(np.linalg.norm(agg - true_mean)) / noise)
-    return float(np.mean(gaps))
+            if attacker is not None and n_byz > 0:
+                byz = attacker(honest, n_byz, rng)
+                updates = np.concatenate([honest, byz], axis=0)
+            else:
+                updates = honest
+            n = updates.shape[0]
+            byz_mask = np.zeros(n, dtype=bool)
+            byz_mask[n_honest:] = True
+            silent = np.zeros(n, dtype=bool)
+            if n_drop:
+                # The highest-index honest members crash (deterministic
+                # choice; which members crash is not what the cell measures).
+                silent[n_honest - n_drop : n_honest] = True
+            if au is not None:
+                au.record(
+                    "ground_truth",
+                    step=trial,
+                    n=n,
+                    members=list(range(n)),
+                    byzantine=[int(i) for i in np.flatnonzero(byz_mask)],
+                    silent=[int(i) for i in np.flatnonzero(silent)],
+                )
+            if protocol is not None:
+                if au is not None:
+                    with au.context(step=trial, members=list(range(n))):
+                        result = protocol.agree(
+                            updates,
+                            byzantine_mask=byz_mask,
+                            silent_mask=silent if silent.any() else None,
+                            rng=rng,
+                        )
+                else:
+                    result = protocol.agree(
+                        updates,
+                        byzantine_mask=byz_mask,
+                        silent_mask=silent if silent.any() else None,
+                        rng=rng,
+                    )
+                survivor_ids = np.flatnonzero(result.accepted)
+            else:
+                survivor_ids = np.flatnonzero(~silent)
+            survivors = updates[survivor_ids]
+            if au is not None:
+                with au.context(
+                    step=trial, members=[int(i) for i in survivor_ids]
+                ):
+                    agg = aggregator(survivors)
+            else:
+                agg = aggregator(survivors)
+            gaps.append(float(np.linalg.norm(agg - true_mean)) / noise)
+        gap = float(np.mean(gaps))
+        if au is not None:
+            au.record("metric", step=n_trials, name="gradient_gap", value=gap)
+        return gap
 
 
 def breakdown_curve(

@@ -17,6 +17,7 @@ silence is what the leader's timeout degrades around.
 from __future__ import annotations
 
 from repro.faults.plan import FaultPlan, FaultStats
+from repro.obs import audit
 from repro.topology.dynamics import join_cluster, leave_cluster
 from repro.topology.tree import Hierarchy
 
@@ -32,12 +33,14 @@ class RoundFaultInjector:
         self.stats = FaultStats()
         self._rng = plan.rng("rounds")
         self._crashed: set[int] = set()
+        self._round = 0
         # device -> (bottom cluster index, byzantine flag) for re-join
         self._removed: dict[int, tuple[int, bool]] = {}
 
     # ------------------------------------------------------------------
     def begin_round(self, round_index: int) -> None:
         """Apply crash/recovery transitions effective for this round."""
+        self._round = round_index
         now = float(round_index)
         for device in self.plan.crashes.devices():
             crashed_now = self.plan.crashes.crashed(device, now)
@@ -74,9 +77,16 @@ class RoundFaultInjector:
             return False
         return cluster.leader == device
 
+    def _audit_event(self, event: str, device: int) -> None:
+        """Ground-truth tag for the audit layer (zero-cost when off)."""
+        au = audit.auditor()
+        if au is not None:
+            au.record("fault", step=self._round, event=event, device=device)
+
     def _crash(self, device: int) -> None:
         self._crashed.add(device)
         self.stats.crashes += 1
+        self._audit_event("crash", device)
         if device not in self.hierarchy.nodes or not self._leads(device):
             return  # silent member: quorum timeouts degrade around it
         bottom = self.hierarchy.bottom_level
@@ -92,6 +102,7 @@ class RoundFaultInjector:
     def _recover(self, device: int) -> None:
         self._crashed.discard(device)
         self.stats.recoveries += 1
+        self._audit_event("recover", device)
         if device in self._removed:
             cluster_index, byzantine = self._removed.pop(device)
             join_cluster(

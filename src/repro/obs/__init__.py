@@ -11,15 +11,43 @@ checks live in ``tools/abdlint.py``, runtime correctness in
   histograms snapshotted into the trace stream;
 * :mod:`repro.obs.export` — JSONL schema validation and Chrome
   ``trace_event`` export for ``about://tracing``;
+* :mod:`repro.obs.audit` — defence forensics: per-device decision
+  records (aggregation evidence, consensus masks, injected-fault ground
+  truth) and run manifests, gated exactly like the tracer;
+* :mod:`repro.obs.audit_report` — detection precision/recall tables and
+  cross-run regression diffs behind ``python -m repro audit``;
 * :mod:`repro.obs.report` — the Table-V-style wait/compute/comm
   breakdown behind ``python -m repro report``;
 * :mod:`repro.obs.profile` — wall-clock hooks on the numeric kernels,
   activatable only explicitly (benchmarks), DET002-carved-out.
 """
 
+from repro.obs.audit import (
+    AUDIT_SCHEMA_VERSION,
+    AuditSchemaError,
+    Auditor,
+    audited,
+    auditor,
+    build_manifest,
+    load_audit,
+    load_manifest,
+    manifest_path_for,
+    validate_record,
+    write_manifest,
+)
+from repro.obs.audit_report import (
+    AuditDiff,
+    AuditReport,
+    DetectionStats,
+    build_audit_report,
+    diff_audit,
+    render_audit_report,
+    render_diff,
+)
 from repro.obs.export import (
     TraceSchemaError,
     load_trace,
+    load_trace_lenient,
     to_chrome_trace,
     validate_event,
     write_chrome_trace,
@@ -40,8 +68,27 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "AuditSchemaError",
+    "Auditor",
+    "audited",
+    "auditor",
+    "build_manifest",
+    "load_audit",
+    "load_manifest",
+    "manifest_path_for",
+    "validate_record",
+    "write_manifest",
+    "AuditDiff",
+    "AuditReport",
+    "DetectionStats",
+    "build_audit_report",
+    "diff_audit",
+    "render_audit_report",
+    "render_diff",
     "TraceSchemaError",
     "load_trace",
+    "load_trace_lenient",
     "to_chrome_trace",
     "validate_event",
     "write_chrome_trace",

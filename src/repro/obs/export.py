@@ -21,6 +21,7 @@ __all__ = [
     "TraceSchemaError",
     "validate_event",
     "load_trace",
+    "load_trace_lenient",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
@@ -87,6 +88,37 @@ def load_trace(path: "str | Path") -> list[dict[str, object]]:
                 raise TraceSchemaError(f"{context}: invalid JSON: {exc}") from None
             events.append(validate_event(obj, context=context))
     return events
+
+
+def load_trace_lenient(
+    path: "str | Path",
+) -> tuple[list[dict[str, object]], list[tuple[int, str]]]:
+    """Load a JSONL trace, collecting invalid lines instead of raising.
+
+    Returns ``(events, skipped)`` where ``skipped`` lists
+    ``(line_number, reason)`` for every line that failed to parse or
+    validate.  ``python -m repro report`` uses this so a trace with a few
+    foreign or corrupt lines still yields a report — while *telling* the
+    user how many lines were ignored (``--strict`` restores the
+    all-or-nothing behaviour of :func:`load_trace`).
+    """
+    events: list[dict[str, object]] = []
+    skipped: list[tuple[int, str]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                skipped.append((lineno, f"invalid JSON: {exc}"))
+                continue
+            try:
+                events.append(validate_event(obj))
+            except TraceSchemaError as exc:
+                skipped.append((lineno, str(exc)))
+    return events, skipped
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ from importlib import resources
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.obs import audit
 from repro.parallel import parallel_map
 from repro.scenario.grid import ScenarioCell, cell_task, expand_cells
 from repro.scenario.io import load_scenario, loads_scenario
@@ -30,6 +31,8 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "run_scenario",
+    "run_manifest",
+    "persist_result",
     "shipped_spec_names",
     "load_shipped_spec",
     "resolve_spec",
@@ -73,6 +76,60 @@ def run_scenario(
 ) -> ScenarioResult:
     """Convenience wrapper: ``ScenarioRunner(workers).run(spec)``."""
     return ScenarioRunner(workers=workers).run(spec)
+
+
+# ----------------------------------------------------------------------
+# run artifacts
+# ----------------------------------------------------------------------
+def run_manifest(
+    spec: ScenarioSpec, command: str | None = None
+) -> dict[str, Any]:
+    """The provenance manifest for one spec run (see
+    :mod:`repro.obs.audit`): full spec dict, seed-tree root, registered
+    rule/protocol/attack names, package version."""
+    # Experiment-layer import kept lazy: experiments.matrix imports this
+    # module, so a top-level import would be a cycle.
+    from repro.experiments.io import collect_registries
+
+    return audit.build_manifest(
+        command=command,
+        spec=spec.to_dict(),
+        seed=spec.seed,
+        registries=collect_registries(),
+    )
+
+
+def persist_result(
+    result: ScenarioResult,
+    out_dir: "str | Path",
+    manifest: "dict[str, Any] | None" = None,
+) -> dict[str, Path]:
+    """Write a run's artifacts under ``out_dir`` and return their paths.
+
+    Always: the rendered report (``report.txt``) and the result cells as
+    both JSON and CSV (``cells.json`` / ``cells.csv``, via
+    :mod:`repro.experiments.io`).  When ``manifest`` is given it lands in
+    ``manifest.json``; when an ambient auditor holds records they land in
+    ``audit.jsonl``, making the directory a self-contained forensic unit
+    ``python -m repro audit <dir>`` consumes.
+    """
+    from repro.experiments.io import save_records_csv, save_records_json
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+    report_path = out / "report.txt"
+    report_path.write_text(result.table + "\n", encoding="utf-8")
+    paths["report"] = report_path
+    if result.cells:
+        paths["cells_json"] = save_records_json(out / "cells.json", result.cells)
+        paths["cells_csv"] = save_records_csv(out / "cells.csv", result.cells)
+    if manifest is not None:
+        paths["manifest"] = audit.write_manifest(out / "manifest.json", manifest)
+    auditor = audit.auditor()
+    if auditor is not None and auditor.records:
+        paths["audit"] = auditor.save(out / "audit.jsonl")
+    return paths
 
 
 # ----------------------------------------------------------------------

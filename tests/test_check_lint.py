@@ -99,11 +99,11 @@ class TestDET002:
 
 class TestDET003:
     def test_for_over_set_literal(self):
-        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        src = "for x in {1, 2, 3}:\n    go(x)\n"
         assert rules_at(src) == {"DET003"}
 
     def test_for_over_set_call(self):
-        src = "for x in set(items):\n    print(x)\n"
+        src = "for x in set(items):\n    go(x)\n"
         assert rules_at(src) == {"DET003"}
 
     def test_tracked_set_variable(self):
@@ -289,6 +289,39 @@ class TestSCN001:
             "    for attack in attacks:  # abdlint: ignore[SCN001]\n"
             "        run(defence, attack)\n"
         )
+        assert rules_at(src) == set()
+
+
+class TestOBS001:
+    PRINTING = "def announce(gap):\n    print(f'gap {gap:.3f}')\n"
+
+    def test_print_in_library_code(self):
+        assert rules_at(self.PRINTING) == {"OBS001"}
+
+    def test_builtins_print_alias(self):
+        src = "import builtins\nbuiltins.print('x')\n"
+        assert rules_at(src) == {"OBS001"}
+
+    def test_emission_modules_exempt(self):
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/obs/report.py",
+            "src/repro/utils/reporting.py",
+        ):
+            assert rules_at(self.PRINTING, path=path) == set(), path
+
+    def test_outside_src_is_clean(self):
+        assert rules_at(self.PRINTING, path="examples/demo.py") == set()
+        assert rules_at(self.PRINTING, path="tests/test_x.py") == set()
+        assert rules_at(self.PRINTING, path="benchmarks/bench_x.py") == set()
+
+    def test_shadowed_print_is_clean(self):
+        # A local callable named something else entirely never fires.
+        src = "def announce(gap, emit):\n    emit(gap)\n"
+        assert rules_at(src) == set()
+
+    def test_pragma_suppresses(self):
+        src = "def announce(gap):\n    print(gap)  # abdlint: ignore[OBS001]\n"
         assert rules_at(src) == set()
 
 

@@ -106,6 +106,7 @@ def _run_child(
     env.pop("PYTHONHASHSEED", None)
     env.pop("REPRO_SANITIZE", None)
     env.pop("REPRO_TRACE", None)
+    env.pop("REPRO_AUDIT", None)
     env.pop("REPRO_WORKERS", None)
     if sanitize:
         env["REPRO_SANITIZE"] = "1"

@@ -31,6 +31,9 @@ RULES: dict[str, str] = {
     "SCN001": "hand-rolled experiment sweep outside repro/scenario; "
     "describe the grid as a ScenarioSpec and run it through "
     "ScenarioRunner",
+    "OBS001": "print() in library code; only the CLI/report emission "
+    "modules may write to stdout — everything else goes through the "
+    "trace/audit streams",
     "ARCH001": "import-layering violation; a lower architectural layer "
     "may not import an upper one (see DESIGN.md 'Static analysis')",
     "REG001": "registry out of sync; every registered name needs its "
@@ -102,6 +105,12 @@ class FileKind:
     is_profiling: bool
     is_parallel: bool
     is_scenario: bool
+    in_src: bool
+    is_emission: bool
+
+    #: Basenames allowed to print() in library code (OBS001): the CLI
+    #: itself, the trace-report renderer, and the shared stdout helpers.
+    _EMISSION_BASENAMES = frozenset({"cli.py", "report.py", "reporting.py"})
 
     @classmethod
     def from_path(cls, path: str) -> "FileKind":
@@ -123,6 +132,10 @@ class FileKind:
             # The single sweep-loop carve-out: the scenario layer owns
             # grid expansion (SCN001).
             is_scenario="repro/scenario" in posix,
+            # Library code (under a src/ tree) may not print (OBS001)
+            # except in the designated emission modules.
+            in_src="src" in parts[:-1],
+            is_emission=name in cls._EMISSION_BASENAMES,
         )
 
 

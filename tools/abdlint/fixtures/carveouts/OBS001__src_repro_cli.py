@@ -1,0 +1,3 @@
+# lint-path: src/repro/cli.py
+def emit(table: str) -> None:
+    print(table)

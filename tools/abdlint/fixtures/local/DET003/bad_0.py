@@ -1,3 +1,3 @@
 pending = {3, 1, 2}
 for node in pending:
-    print(node)
+    handle(node)

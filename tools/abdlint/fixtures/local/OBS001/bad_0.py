@@ -1,0 +1,2 @@
+def announce(round_index: int, accuracy: float) -> None:
+    print(f"round {round_index}: accuracy {accuracy:.3f}")

@@ -1,0 +1,2 @@
+def announce(round_index: int, accuracy: float) -> str:
+    return f"round {round_index}: accuracy {accuracy:.3f}"

@@ -1,4 +1,4 @@
-"""Pass-1 per-file rules (DET001-DET004, NUM001, INV001, SCN001).
+"""Pass-1 per-file rules (DET001-DET004, NUM001, INV001, SCN001, OBS001).
 
 These rules only need one file's AST; they are exactly the rules the
 original single-file ``tools/abdlint.py`` enforced.  The cross-module
@@ -256,13 +256,34 @@ class Linter(ast.NodeVisitor):
         return False
 
     # ------------------------------------------------------------------
-    # DET001 / DET002
+    # DET001 / DET002 / OBS001
     def visit_Call(self, node: ast.Call) -> None:
         dotted = self.resolve_call(node.func)
         if dotted is not None:
             self._check_rng(node, dotted)
             self._check_clock(node, dotted)
+        self._check_print(node)
         self.generic_visit(node)
+
+    def _check_print(self, node: ast.Call) -> None:
+        """OBS001: library code writes records, not stdout."""
+        if not self.kind.in_src or self.kind.is_emission:
+            return
+        if self.kind.is_tests or self.kind.is_benchmarks:
+            return
+        func = node.func
+        is_print = (isinstance(func, ast.Name) and func.id == "print") or (
+            self.resolve_call(func) == "builtins.print"
+        )
+        if is_print:
+            self.report(
+                node,
+                "OBS001",
+                "print() in library code; route user-facing output "
+                "through the CLI/report emission modules (cli.py, "
+                "report.py, utils/reporting.py) or the trace/audit "
+                "streams",
+            )
 
     def _check_rng(self, node: ast.Call, dotted: str) -> None:
         if self.kind.is_seeding:

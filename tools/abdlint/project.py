@@ -145,6 +145,8 @@ class ModuleSummary:
                 "is_profiling": self.kind.is_profiling,
                 "is_parallel": self.kind.is_parallel,
                 "is_scenario": self.kind.is_scenario,
+                "in_src": self.kind.in_src,
+                "is_emission": self.kind.is_emission,
             },
             "imports": self.imports,
             "functions": self.functions,
