@@ -45,6 +45,10 @@ class AutoGM(Aggregator):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
 
+    # Both Weiszfeld passes run on the Gram/squared norms; the pairwise
+    # matrix is touched only when the median anchors on an input row.
+    kernels = frozenset({"sq_norms", "gram", "pairwise_sq_dists"})
+
     def _span_median(self, matrix: ParameterMatrix) -> tuple[np.ndarray, np.ndarray]:
         """One span-form Weiszfeld pass; returns (center, dists-to-center)."""
         lam, anchor, d2 = weiszfeld_span(

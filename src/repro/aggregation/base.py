@@ -29,6 +29,7 @@ __all__ = [
     "get_aggregator",
     "available_aggregators",
     "validate_updates",
+    "validate_weights",
 ]
 
 _REGISTRY: dict[str, Callable[..., "Aggregator"]] = {}
@@ -50,19 +51,26 @@ def validate_updates(
         raise ValueError("cannot aggregate zero updates")
     if not np.isfinite(updates).all():
         raise ValueError("updates contain NaN or Inf")
+    return updates, validate_weights(k, weights)
+
+
+def validate_weights(k: int, weights: np.ndarray | None) -> np.ndarray:
+    """Coerce/normalise a weight vector for ``k`` rows (uniform default).
+
+    Split out of :func:`validate_updates` so the incremental matrix path
+    can re-validate weights without re-scanning unchanged rows.
+    """
     if weights is None:
-        weights = np.full(k, 1.0 / k)
-    else:
-        weights = np.asarray(weights, dtype=np.float64)
-        if weights.shape != (k,):
-            raise ValueError(f"weights shape {weights.shape} != ({k},)")
-        if (weights < 0).any():
-            raise ValueError("weights must be non-negative")
-        total = weights.sum()
-        if total <= 0:
-            raise ValueError("weights must not all be zero")
-        weights = weights / total
-    return updates, weights
+        return np.full(k, 1.0 / k)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (k,):
+        raise ValueError(f"weights shape {weights.shape} != ({k},)")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    return weights / total
 
 
 class Aggregator(ABC):
@@ -77,6 +85,28 @@ class Aggregator(ABC):
 
     #: name under which the rule is registered (set by the decorator)
     name: str = ""
+
+    #: Kernel plan: the :class:`ParameterMatrix` cached kernels this
+    #: rule's ``_aggregate`` may consume (closure included — ``cosine``
+    #: implies ``gram``/``norms``).  Rules that never touch the pairwise
+    #: geometry (fedavg, median, trimmed mean, centered clipping,
+    #: lipschitz) declare the empty plan and therefore never pay the
+    #: Gram build — the matrix only materialises declared kernels when
+    #: :meth:`plan` pre-warms and, because kernels are lazy, undeclared
+    #: ones are never built by accident either.  Enforced by
+    #: ``tests/test_aggregation_incremental.py``, which instruments the
+    #: matrix and asserts each rule touches only its declared kernels.
+    kernels: frozenset[str] = frozenset()
+
+    def plan(self, matrix: ParameterMatrix) -> None:
+        """Pre-warm exactly this rule's declared kernels on ``matrix``.
+
+        Optional — kernels are lazy, so calling a rule cold is always
+        correct — but lets a caller that runs several rules on one
+        matrix (or a benchmark separating kernel cost from rule cost)
+        materialise the shared geometry once, up front.
+        """
+        matrix.ensure(self.kernels)
 
     def __call__(
         self,

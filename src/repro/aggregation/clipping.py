@@ -44,6 +44,10 @@ class CenteredClipping(Aggregator):
         self.stateful = bool(stateful)
         self._center: np.ndarray | None = None
 
+    # Distances go to the running centre (blocked sq_dists_to), never to
+    # each other: no cached pairwise kernel is consumed.
+    kernels = frozenset()
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         updates, weights = matrix.data, matrix.weights
         if self.stateful and self._center is not None and self._center.shape == updates.shape[1:]:

@@ -82,6 +82,10 @@ class ClusteringAggregator(Aggregator):
             raise ValueError(f"threshold must be in [-1, 1), got {threshold}")
         self.threshold = float(threshold)
 
+    # Single-linkage runs on the cosine matrix (which implies the Gram and
+    # both norm kernels); pairwise distances are never assembled.
+    kernels = frozenset({"sq_norms", "norms", "gram", "cosine"})
+
     def _cluster(
         self, matrix: ParameterMatrix
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

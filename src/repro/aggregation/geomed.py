@@ -138,6 +138,10 @@ class GeoMed(Aggregator):
         self.max_iter = int(max_iter)
         self.tol = float(tol)
 
+    # Span-form Weiszfeld iterates on the Gram and squared norms only; the
+    # full pairwise matrix is never assembled on the aggregate path.
+    kernels = frozenset({"sq_norms", "gram"})
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         return geometric_median(
             matrix, max_iter=self.max_iter, tol=self.tol

@@ -23,6 +23,10 @@ from repro.aggregation.norms import pairwise_sq_distances
 
 __all__ = ["krum_scores", "Krum", "MultiKrum"]
 
+# Scores consume the full cached pairwise matrix (and hence the Gram and
+# squared-norm kernels it is assembled from).
+_KRUM_KERNELS = frozenset({"sq_norms", "gram", "pairwise_sq_dists"})
+
 
 def krum_scores(
     updates: np.ndarray, f: int, d2: np.ndarray | None = None
@@ -130,6 +134,8 @@ class Krum(Aggregator):
         self.f = f
         self.byzantine_fraction = float(byzantine_fraction)
 
+    kernels = _KRUM_KERNELS
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         updates = matrix.data
         k = updates.shape[0]
@@ -182,6 +188,8 @@ class MultiKrum(Aggregator):
         self.f = f
         self.m = m
         self.byzantine_fraction = float(byzantine_fraction)
+
+    kernels = _KRUM_KERNELS
 
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         updates = matrix.data

@@ -53,6 +53,10 @@ class LipschitzFilter(Aggregator):
         self._prev_updates: np.ndarray | None = None
         self._prev_aggregate: np.ndarray | None = None
 
+    # Coefficients come from row norms of the round-over-round *difference*
+    # stack, not from any kernel cached on the matrix itself.
+    kernels = frozenset()
+
     def reset(self) -> None:
         """Forget history (e.g. when the client set changes)."""
         self._prev_updates = None

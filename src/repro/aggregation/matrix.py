@@ -23,11 +23,24 @@ import numpy as np
 from repro.aggregation.norms import (
     cosine_from_gram,
     gram_matrix,
+    gram_update_rows,
     pairwise_sq_distances_from,
     row_sq_norms,
 )
 
-__all__ = ["ParameterMatrix", "as_parameter_matrix"]
+__all__ = [
+    "ParameterMatrix",
+    "as_parameter_matrix",
+    "incremental_from",
+    "KERNEL_NAMES",
+]
+
+#: Every cached kernel a rule may declare in its ``Aggregator.kernels`` plan.
+KERNEL_NAMES = ("sq_norms", "norms", "gram", "pairwise_sq_dists", "cosine")
+
+#: Columns probed first when diffing two stacks: a row whose leading
+#: slice differs is changed without scanning its full d entries.
+_PROBE_COLS = 16
 
 
 class ParameterMatrix:
@@ -115,6 +128,20 @@ class ParameterMatrix:
             self._cos = cosine_from_gram(self.gram, self.norms)
         return self._cos
 
+    def ensure(self, kernels: "frozenset[str] | Sequence[str]") -> None:
+        """Materialise the named cached kernels (see :data:`KERNEL_NAMES`).
+
+        The kernel-planning entry point: a caller that knows which
+        kernels its rules consume (``Aggregator.kernels``) warms exactly
+        those, and nothing else, in one place.
+        """
+        for name in kernels:
+            if name not in KERNEL_NAMES:
+                raise ValueError(
+                    f"unknown kernel {name!r}; known: {KERNEL_NAMES}"
+                )
+            getattr(self, name)
+
     # ------------------------------------------------------------------
     # derived matrices
     def with_weights(self, weights: np.ndarray | None) -> "ParameterMatrix":
@@ -176,6 +203,113 @@ class ParameterMatrix:
             child._cos = self._cos[ix].copy()
         return child
 
+    def with_updated_rows(
+        self,
+        rows: np.ndarray,
+        new_rows: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> "ParameterMatrix":
+        """A new matrix equal to this one with ``rows`` replaced, kernels
+        updated *incrementally* — bit-identical to a from-scratch build.
+
+        Every cached kernel the parent holds is carried over and patched
+        only where the changed rows touch it: squared norms per changed
+        row (row-independent reduction), the Gram via the canonical
+        block-pair recompute (:func:`~repro.aggregation.norms.gram_update_rows`),
+        and the pairwise-distance/cosine matrices entrywise from the
+        patched Gram — the exact elementwise formulas the full assembly
+        applies per entry, so no bits can move anywhere.  Only the new
+        rows are finiteness-checked (the parent already validated the
+        rest).
+
+        ``weights`` follows the constructor's semantics exactly (raw
+        weights normalised once, ``None`` meaning uniform), so the result
+        equals ``ParameterMatrix(patched_stack, weights)`` bit for bit —
+        including the weight vector.
+        """
+        from repro.aggregation.base import validate_weights
+
+        rows = np.asarray(rows, dtype=np.intp).ravel()
+        n = self.n_updates
+        if rows.size == 0:
+            return self.with_weights_only(validate_weights(n, weights))
+        if rows.size != np.unique(rows).size:
+            raise ValueError("rows must be unique")
+        if rows.min() < 0 or rows.max() >= n:
+            raise ValueError(f"rows out of range for n={n}")
+        new_rows = np.asarray(new_rows, dtype=np.float64)
+        if new_rows.shape != (rows.size, self.dim):
+            raise ValueError(
+                f"new_rows shape {new_rows.shape} != ({rows.size}, {self.dim})"
+            )
+        if not np.isfinite(new_rows).all():
+            raise ValueError("updates contain NaN or Inf")
+        data = self.data.copy()
+        data[rows] = new_rows
+        child = ParameterMatrix.__new__(ParameterMatrix)
+        child.data = data
+        child.weights = validate_weights(n, weights)
+        child._sq_norms = None
+        child._norms = None
+        child._gram = None
+        child._d2 = None
+        child._cos = None
+        if self._sq_norms is not None:
+            sq = self._sq_norms.copy()
+            sq[rows] = row_sq_norms(np.ascontiguousarray(data[rows]))
+            child._sq_norms = sq
+        if self._norms is not None and child._sq_norms is not None:
+            norms = self._norms.copy()
+            norms[rows] = np.sqrt(child._sq_norms[rows])
+            child._norms = norms
+        if self._gram is not None:
+            child._gram = gram_update_rows(self._gram, data, rows)
+        if (
+            self._d2 is not None
+            and child._gram is not None
+            and child._sq_norms is not None
+        ):
+            sq = child._sq_norms
+            sub = sq[rows][:, None] + sq[None, :] - 2.0 * child._gram[rows, :]
+            np.maximum(sub, 0.0, out=sub)
+            d2 = self._d2.copy()
+            d2[rows, :] = sub
+            d2[:, rows] = sub.T
+            d2[rows, rows] = 0.0
+            child._d2 = d2
+        if (
+            self._cos is not None
+            and child._gram is not None
+            and child._norms is not None
+        ):
+            safe = np.maximum(child._norms, 1e-12)
+            sub = child._gram[rows, :] / (safe[rows][:, None] * safe[None, :])
+            np.clip(sub, -1.0, 1.0, out=sub)
+            cos = self._cos.copy()
+            cos[rows, :] = sub
+            cos[:, rows] = sub.T
+            cos[rows, rows] = 1.0
+            child._cos = cos
+        return child
+
+    def with_weights_only(self, weights: np.ndarray) -> "ParameterMatrix":
+        """Clone sharing data and caches with pre-validated ``weights``.
+
+        Unlike :meth:`with_weights` this performs *no* re-validation of
+        the data rows — the incremental path's zero-changed-rows case,
+        where a full finiteness re-scan would cost more than the reuse
+        saves.
+        """
+        clone = ParameterMatrix.__new__(ParameterMatrix)
+        clone.data = self.data
+        clone.weights = weights
+        clone._sq_norms = self._sq_norms
+        clone._norms = self._norms
+        clone._gram = self._gram
+        clone._d2 = self._d2
+        clone._cos = self._cos
+        return clone
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cached = [
             name
@@ -206,3 +340,69 @@ def as_parameter_matrix(
     if isinstance(updates, ParameterMatrix):
         return updates if weights is None else updates.with_weights(weights)
     return ParameterMatrix(updates, weights)
+
+
+def _changed_rows(prev: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Indices of rows whose *bits* differ between two same-shape stacks.
+
+    Compares the int64 bit patterns (distinguishing ``-0.0``/``0.0`` and
+    never tripping on NaN semantics) with a cheap leading-column probe:
+    a row whose first :data:`_PROBE_COLS` entries differ is changed
+    without scanning its remaining d entries — and a trained SGD update
+    practically always differs in its first coordinates — so the scan
+    cost concentrates on rows that really are unchanged.
+    """
+    a = prev.view(np.int64)
+    b = new.view(np.int64)
+    d = a.shape[1]
+    probe = min(_PROBE_COLS, d)
+    maybe_same = (a[:, :probe] == b[:, :probe]).all(axis=1)
+    changed = ~maybe_same
+    for r in np.flatnonzero(maybe_same):
+        if d > probe and not np.array_equal(a[r, probe:], b[r, probe:]):
+            changed[r] = True
+    return np.flatnonzero(changed)
+
+
+def incremental_from(
+    prev: "ParameterMatrix | None",
+    updates: "np.ndarray | Sequence[np.ndarray]",
+    weights: np.ndarray | None = None,
+    max_changed_fraction: float = 0.5,
+) -> ParameterMatrix:
+    """Build the matrix for ``updates``, reusing ``prev``'s kernels when
+    few rows changed — bit-identical to ``ParameterMatrix(updates, weights)``.
+
+    The cross-round entry point: hand it last round's matrix and this
+    round's stack, and rows that kept their exact bits keep their cached
+    kernel entries (Gram block pairs, distance/cosine rows) instead of
+    being recomputed.  Falls back to a full build when shapes changed
+    (membership churn), ``prev`` is ``None``, or more than
+    ``max_changed_fraction`` of the rows moved (at which point the
+    incremental recompute stops paying for itself).
+    """
+    from repro.aggregation.base import validate_weights
+
+    if isinstance(updates, ParameterMatrix):
+        return updates if weights is None else updates.with_weights(weights)
+    if isinstance(updates, np.ndarray) and updates.ndim == 2:
+        stacked = np.ascontiguousarray(updates, dtype=np.float64)
+    else:
+        stacked = np.stack([np.asarray(u, dtype=np.float64) for u in updates])
+    if (
+        prev is None
+        or prev.data.shape != stacked.shape
+        or not prev.data.flags.c_contiguous
+    ):
+        return ParameterMatrix(stacked, weights)
+    changed = _changed_rows(prev.data, stacked)
+    if changed.size > max_changed_fraction * stacked.shape[0]:
+        return ParameterMatrix(stacked, weights)
+    # The raw weights pass through so they are normalised exactly once,
+    # as in the full constructor (re-normalising an already-normalised
+    # vector would divide by a sum that is only ~1.0 and shift bits).
+    if changed.size == 0:
+        return prev.with_weights_only(
+            validate_weights(stacked.shape[0], weights)
+        )
+    return prev.with_updated_rows(changed, stacked[changed], weights=weights)

@@ -24,5 +24,7 @@ class FedAvg(Aggregator):
     so the per-vector reference oracle reproduces it exactly.
     """
 
+    kernels = frozenset()  # pure column reduction: no pairwise geometry
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         return weighted_combine(matrix.weights, matrix.data)

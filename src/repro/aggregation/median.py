@@ -20,5 +20,7 @@ __all__ = ["Median"]
 class Median(Aggregator):
     """Element-wise median over the update axis."""
 
+    kernels = frozenset()  # pure column reduction: no pairwise geometry
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         return np.median(matrix.data, axis=0)

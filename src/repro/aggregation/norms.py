@@ -28,6 +28,7 @@ __all__ = [
     "pairwise_sq_distances",
     "pairwise_sq_distances_from",
     "gram_matrix",
+    "gram_update_rows",
     "row_sq_norms",
     "l2_norms",
     "sq_dists_to",
@@ -39,6 +40,15 @@ __all__ = [
 # on large d without changing results (blocking is over independent axes).
 _COMBINE_BLOCK_COLS = 8192
 _DIST_BLOCK_ROWS = 64
+# row_sq_norms blocks rows so the squared temporary stays ~4 MB at any d.
+_SQ_NORM_BLOCK_FLOATS = 512 * 1024
+# The Gram matrix is assembled from (block, block) row-pair gemms.  The
+# block size is part of the kernel *definition* (it fixes every entry's
+# summation schedule), so it must be a constant: n <= _GRAM_BLOCK rows —
+# every aggregation site in the trainer — degenerates to the single
+# ``A @ A.T`` gemm, and larger stacks get the pair assembly that makes
+# row-incremental updates bit-stable (see :func:`gram_update_rows`).
+_GRAM_BLOCK = 128
 
 
 def row_sq_norms(updates: np.ndarray) -> np.ndarray:
@@ -47,24 +57,104 @@ def row_sq_norms(updates: np.ndarray) -> np.ndarray:
     ``(A * A).sum(axis=1)`` performs an independent 1-D pairwise sum per
     contiguous row — the same reduction the per-vector loop performs —
     so slicing one row out and recomputing gives the identical bits.
+    Rows are processed in blocks so the squared temporary never
+    materialises the full ``(n, d)`` copy (the cold-path killer at large
+    d); blocking is over the independent row axis, so no bits move.
     """
     updates = np.asarray(updates, dtype=np.float64)
     if updates.ndim != 2:
         raise ValueError(f"updates must be [k, d], got {updates.shape}")
-    return (updates * updates).sum(axis=1)
+    n, d = updates.shape
+    block = max(1, _SQ_NORM_BLOCK_FLOATS // max(1, d))
+    if n <= block:
+        return (updates * updates).sum(axis=1)
+    out = np.empty(n, dtype=np.float64)
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        blk = updates[lo:hi]
+        out[lo:hi] = (blk * blk).sum(axis=1)
+    return out
+
+
+def _gram_pairs(n: int, blocks: "list[int] | None" = None) -> "list[tuple[int, int]]":
+    """Upper-triangle block-pair indices of the canonical Gram assembly.
+
+    With ``blocks`` given, only the pairs touching one of those row
+    blocks — the set an incremental row update must recompute.
+    """
+    n_blocks = (n + _GRAM_BLOCK - 1) // _GRAM_BLOCK
+    if blocks is None:
+        return [(i, j) for i in range(n_blocks) for j in range(i, n_blocks)]
+    dirty = set(blocks)
+    return [
+        (i, j)
+        for i in range(n_blocks)
+        for j in range(i, n_blocks)
+        if i in dirty or j in dirty
+    ]
+
+
+def _gram_fill_pairs(
+    out: np.ndarray, updates: np.ndarray, pairs: "list[tuple[int, int]]"
+) -> None:
+    """Compute each block pair with an identically-shaped gemm and mirror it."""
+    b = _GRAM_BLOCK
+    n = updates.shape[0]
+    for bi, bj in pairs:
+        i0, i1 = bi * b, min((bi + 1) * b, n)
+        j0, j1 = bj * b, min((bj + 1) * b, n)
+        blk = updates[i0:i1] @ updates[j0:j1].T
+        out[i0:i1, j0:j1] = blk
+        if bi != bj:
+            out[j0:j1, i0:i1] = blk.T
 
 
 def gram_matrix(updates: np.ndarray) -> np.ndarray:
     """Inner-product Gram matrix ``A @ A.T`` (shared BLAS kernel).
 
-    The summation order inside the matmul is BLAS-implementation defined,
+    The summation order inside a matmul is BLAS-implementation defined,
     so callers needing exact agreement must share *this* kernel rather
-    than recompute dot products row by row.
+    than recompute dot products row by row.  The kernel is canonically
+    *block-pair assembled*: the upper triangle is covered by
+    ``(_GRAM_BLOCK, _GRAM_BLOCK)`` row-pair gemms and the lower triangle
+    is the mirrored transpose.  For ``n <= _GRAM_BLOCK`` (every trainer
+    aggregation site) that is exactly one ``A @ A.T`` gemm; beyond it,
+    the fixed pair shapes are what makes :func:`gram_update_rows`
+    bit-identical to a full rebuild.
     """
     updates = np.asarray(updates, dtype=np.float64)
     if updates.ndim != 2:
         raise ValueError(f"updates must be [k, d], got {updates.shape}")
-    return updates @ updates.T
+    n = updates.shape[0]
+    if n <= _GRAM_BLOCK:
+        return updates @ updates.T
+    out = np.empty((n, n), dtype=np.float64)
+    _gram_fill_pairs(out, updates, _gram_pairs(n))
+    return out
+
+
+def gram_update_rows(
+    gram: np.ndarray, updates: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Gram of ``updates`` given the Gram of a stack differing only in ``rows``.
+
+    Recomputes exactly the block pairs whose row block contains a changed
+    row — the same gemm call, shape and operand layout the full
+    :func:`gram_matrix` assembly uses for those pairs — and keeps every
+    untouched pair's bits, so the result equals a from-scratch
+    ``gram_matrix(updates)`` bit for bit.
+    """
+    updates = np.asarray(updates, dtype=np.float64)
+    n = updates.shape[0]
+    if gram.shape != (n, n):
+        raise ValueError(f"gram shape {gram.shape} != ({n}, {n})")
+    out = gram.copy()
+    blocks = sorted({int(r) // _GRAM_BLOCK for r in np.asarray(rows).ravel()})
+    if n <= _GRAM_BLOCK:
+        # Single-block regime: the canonical kernel is one full gemm.
+        return updates @ updates.T
+    _gram_fill_pairs(out, updates, _gram_pairs(n, blocks))
+    return out
 
 
 def pairwise_sq_distances_from(gram: np.ndarray, sq: np.ndarray) -> np.ndarray:

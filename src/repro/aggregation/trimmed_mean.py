@@ -31,6 +31,8 @@ class TrimmedMean(Aggregator):
             raise ValueError(f"beta must be in [0, 0.5), got {beta}")
         self.beta = float(beta)
 
+    kernels = frozenset()  # pure column reduction: no pairwise geometry
+
     def _aggregate(self, matrix: ParameterMatrix) -> np.ndarray:
         updates = matrix.data
         k = updates.shape[0]

@@ -121,6 +121,41 @@ class LocalTrainer:
         self.rng.bit_generator.state = state["rng"]
         self.optimizer.import_state(state["optimizer"])  # type: ignore[arg-type]
 
+    def export_state_delta(self) -> tuple[object, ...]:
+        """The round-trip state as a compact positional tuple.
+
+        What actually changes between rounds is the PCG64 stream
+        *position* (two integers plus the cached-uint32 pair) and the
+        optimiser slots (step counter, momentum buffers) — everything
+        else in :meth:`export_state`'s nested dicts is structural
+        boilerplate re-copied per job.  The delta form ships exactly
+        those five fields, with no defensive copies (the tuple is
+        serialised immediately); :meth:`import_state_delta` rebuilds the
+        full state on the far side.
+        """
+        st = self.rng.bit_generator.state
+        inner = st["state"]
+        step_count, velocity = self.optimizer.export_slots()
+        return (
+            inner["state"],
+            inner["inc"],
+            st["has_uint32"],
+            st["uinteger"],
+            step_count,
+            velocity,
+        )
+
+    def import_state_delta(self, delta: tuple[object, ...]) -> None:
+        """Restore a :meth:`export_state_delta` tuple."""
+        state, inc, has_uint32, uinteger, step_count, velocity = delta
+        self.rng.bit_generator.state = {
+            "bit_generator": "PCG64",
+            "state": {"state": state, "inc": inc},
+            "has_uint32": has_uint32,
+            "uinteger": uinteger,
+        }
+        self.optimizer.import_slots(step_count, velocity)  # type: ignore[arg-type]
+
     def train_round(
         self,
         start_vector: np.ndarray,

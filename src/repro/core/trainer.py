@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aggregation.base import Aggregator, get_aggregator
-from repro.aggregation.matrix import ParameterMatrix
+from repro.aggregation.matrix import ParameterMatrix, incremental_from
 from repro.attacks.base import ModelAttack
 from repro.check import sanitize
 from repro.consensus import (
@@ -225,6 +225,14 @@ class ABDHFLTrainer:
         self.workers = resolve_workers(config.workers)
         self._pool: LocalTrainingPool | None = None
 
+        # Cross-round kernel reuse: last round's ParameterMatrix per
+        # aggregation site, keyed by (level, cluster) and guarded by the
+        # exact contributor-id tuple.  ``incremental_from`` is
+        # bit-identical to a fresh build, so this is a pure perf cache.
+        self._matrix_cache: dict[
+            tuple[int, int], tuple[tuple[int, ...], ParameterMatrix]
+        ] = {}
+
         # Flag model per bottom cluster (pipeline mode).
         self._flag_models: dict[int, np.ndarray] = {}
         self._total_samples = sum(t.n_samples for t in self.trainers.values())
@@ -380,6 +388,8 @@ class ABDHFLTrainer:
         # Flag models may reference clusters whose membership changed;
         # fall back to the global model for the next round.
         self._flag_models.clear()
+        # Stale contributor sets: every cached kernel matrix is suspect.
+        self._matrix_cache.clear()
         # Worker replicas hold the old device set; rebuild on next round.
         self.close()
         return joined, departed
@@ -463,7 +473,7 @@ class ABDHFLTrainer:
                         device_id=device,
                         start_vector=start,
                         arrival=arrival,
-                        state=self.trainers[device].export_state(),
+                        state=self.trainers[device].export_state_delta(),
                     )
                 )
         results = self._pool.train_round(jobs)
@@ -472,7 +482,7 @@ class ABDHFLTrainer:
         for job in jobs:  # fixed reduction order == serial iteration order
             result = results[job.device_id]
             trainer = self.trainers[job.device_id]
-            trainer.import_state(result.state)
+            trainer.import_state_delta(result.state)
             trainer.model.set_flat(result.vector)
             trainer.last_losses = list(result.losses)
             local_models[job.device_id] = result.vector
@@ -620,7 +630,14 @@ class ABDHFLTrainer:
                     else nullcontext()
                 )
                 with sanitize.provenance(node_id=leader), actx:
-                    value = self._aggregate_level(level, stack, w_arr, byz_arr)
+                    value = self._aggregate_level(
+                        level,
+                        stack,
+                        w_arr,
+                        byz_arr,
+                        site=key,
+                        ids=tuple(int(i) for i in ids_arr),
+                    )
                 partials[key] = value
                 weights[key] = float(w_arr.sum())
                 # Uploads to the leader + broadcast of the partial model
@@ -645,11 +662,26 @@ class ABDHFLTrainer:
         return stack[order], w[order], byz[order], ids[order]
 
     def _aggregate_level(
-        self, level: int, stack: np.ndarray, w: np.ndarray, byz: np.ndarray
+        self,
+        level: int,
+        stack: np.ndarray,
+        w: np.ndarray,
+        byz: np.ndarray,
+        site: tuple[int, int] | None = None,
+        ids: tuple[int, ...] = (),
     ) -> np.ndarray:
         # Stack + validate once; every rule/protocol below shares the
-        # matrix's cached geometry kernels.
-        matrix = ParameterMatrix(stack, w)
+        # matrix's cached geometry kernels.  With a site key, last
+        # round's matrix for the same contributor set seeds an
+        # incremental build (bit-identical to a fresh one), so device
+        # vectors that kept their bits keep their kernel rows too.
+        if site is not None:
+            cached = self._matrix_cache.get(site)
+            prev = cached[1] if cached is not None and cached[0] == ids else None
+            matrix = incremental_from(prev, stack, w)
+            self._matrix_cache[site] = (ids, matrix)
+        else:
+            matrix = ParameterMatrix(stack, w)
         spec = self.config.aggregation_for(level)
         if spec.kind == "bra":
             aggregator = self._level_bra[level]

@@ -145,7 +145,7 @@ class VanillaFLTrainer:
                     device_id=cid,
                     start_vector=self.global_model,
                     arrival=None,
-                    state=self.trainers[cid].export_state(),
+                    state=self.trainers[cid].export_state_delta(),
                 )
                 for cid in self._client_order
             ]
@@ -153,7 +153,7 @@ class VanillaFLTrainer:
             for cid in self._client_order:  # fixed reduction order
                 result = results[cid]
                 trainer = self.trainers[cid]
-                trainer.import_state(result.state)
+                trainer.import_state_delta(result.state)
                 trainer.model.set_flat(result.vector)
                 trainer.last_losses = list(result.losses)
                 uploads[cid] = result.vector

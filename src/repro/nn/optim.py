@@ -93,6 +93,31 @@ class SGD:
             velocity = [v.copy() for v in self._velocity]
         return {"step_count": self.step_count, "velocity": velocity}
 
+    def export_slots(self) -> tuple[int, "list[np.ndarray] | None"]:
+        """The mutable slots *without* defensive copies, for transport.
+
+        Used by the parallel pool's state-delta path: the tuple is
+        serialised (or its buffers shipped) immediately, so copying the
+        momentum arrays first — as :meth:`export_state` must, to produce
+        an independent snapshot — would only double the traffic.  The
+        caller must not mutate the returned buffers.
+        """
+        return self.step_count, self._velocity
+
+    def import_slots(
+        self, step_count: int, velocity: "list[np.ndarray] | None"
+    ) -> None:
+        """Adopt slots produced by :meth:`export_slots` on the far side.
+
+        The arrays arrive freshly deserialised and unaliased, so they
+        are adopted without copying.
+        """
+        self.step_count = int(step_count)
+        if velocity is None:
+            self._velocity = None
+        else:
+            self._velocity = [np.asarray(v, dtype=np.float64) for v in velocity]
+
     def import_state(self, state: dict[str, object]) -> None:
         """Restore a snapshot taken by :meth:`export_state`."""
         self.step_count = int(state["step_count"])  # type: ignore[arg-type]

@@ -48,6 +48,7 @@ from repro.parallel.config import (
     resolve_workers,
 )
 from repro.parallel.pool import parallel_map, spawn_context
+from repro.parallel.shm import ParameterSlab
 
 __all__ = [
     "ENV_VAR",
@@ -56,4 +57,5 @@ __all__ = [
     "resolve_workers",
     "parallel_map",
     "spawn_context",
+    "ParameterSlab",
 ]

@@ -1,0 +1,240 @@
+"""Incremental kernel reuse and per-rule kernel planning.
+
+The cross-round fast path (:func:`repro.aggregation.matrix.incremental_from`)
+reuses last round's cached kernels for rows whose bits did not move.  The
+contract is the same bit-equivalence the differential suite pins for the
+rules themselves: an incrementally-updated :class:`ParameterMatrix` must
+be indistinguishable — data, weights, and every cached kernel, byte for
+byte — from a from-scratch build of the new stack.  These tests sweep
+that contract across the single-block and block-pair Gram regimes
+(``_GRAM_BLOCK = 128``), changed-row subsets, signed zeros, probe-tail
+changes, membership churn, and every registered rule's output.
+
+The second half pins the kernel *plans*: each rule declares in
+``Aggregator.kernels`` exactly the cached kernels its ``_aggregate`` may
+consume, so rules that never touch the pairwise geometry never pay the
+Gram build.  Lazy caching makes the check direct — after running a rule
+on a fresh matrix, any undeclared kernel slot must still be ``None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    ParameterMatrix,
+    available_aggregators,
+    get_aggregator,
+)
+from repro.aggregation.matrix import KERNEL_NAMES, _changed_rows, incremental_from
+from repro.aggregation.norms import _GRAM_BLOCK, gram_matrix, gram_update_rows
+
+ALL_RULES = available_aggregators()
+
+#: kernel name -> the ParameterMatrix cache slot it materialises
+SLOT_OF = {
+    "sq_norms": "_sq_norms",
+    "norms": "_norms",
+    "gram": "_gram",
+    "pairwise_sq_dists": "_d2",
+    "cosine": "_cos",
+}
+
+# Sizes straddling the canonical Gram block: single-gemm regime,
+# exactly one block, and multi-block-pair assembly.
+SIZES = [(6, 5), (10, 33), (_GRAM_BLOCK, 17), (150, 40), (300, 9)]
+
+
+def perturb(base: np.ndarray, rows: np.ndarray, seed: int) -> np.ndarray:
+    new = base.copy()
+    rng = np.random.default_rng(seed)
+    new[rows] += 0.3 * rng.standard_normal((len(rows), base.shape[1]))
+    return new
+
+
+def assert_matrices_bit_equal(inc: ParameterMatrix, fresh: ParameterMatrix) -> None:
+    __tracebackhide__ = True
+    assert inc.data.tobytes() == fresh.data.tobytes(), "data diverged"
+    assert inc.weights.tobytes() == fresh.weights.tobytes(), "weights diverged"
+    for name in KERNEL_NAMES:
+        got = getattr(inc, name)
+        want = getattr(fresh, name)
+        assert got.tobytes() == want.tobytes(), f"kernel {name!r} diverged"
+
+
+class TestIncrementalKernels:
+    @pytest.mark.parametrize("n,d", SIZES)
+    @pytest.mark.parametrize("frac", [0.1, 0.45])
+    def test_kernels_bit_identical_to_fresh_build(self, n, d, frac):
+        rng = np.random.default_rng(7 * n + d)
+        base = rng.standard_normal((n, d))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        k = max(1, int(frac * n))
+        rows = rng.choice(n, size=k, replace=False)
+        new = perturb(base, rows, seed=n + d)
+        inc = incremental_from(prev, new)
+        assert_matrices_bit_equal(inc, ParameterMatrix(new.copy()))
+
+    @pytest.mark.parametrize("n,d", SIZES)
+    def test_cold_prev_without_cached_kernels(self, n, d):
+        """Reusing a matrix that never materialised its kernels is legal:
+        the child simply computes them lazily, like a fresh build."""
+        rng = np.random.default_rng(n + 3 * d)
+        base = rng.standard_normal((n, d))
+        prev = ParameterMatrix(base.copy())  # no ensure(): caches empty
+        new = perturb(base, np.array([0, n - 1]), seed=d)
+        inc = incremental_from(prev, new)
+        assert_matrices_bit_equal(inc, ParameterMatrix(new.copy()))
+
+    @pytest.mark.parametrize("n", [64, 200, 300])
+    def test_gram_update_rows_matches_full_assembly(self, n):
+        rng = np.random.default_rng(n)
+        a = rng.standard_normal((n, 21))
+        b = a.copy()
+        rows = np.array([0, n // 2, n - 1])
+        b[rows] = rng.standard_normal((3, 21))
+        patched = gram_update_rows(gram_matrix(a), b, rows)
+        assert patched.tobytes() == gram_matrix(b).tobytes()
+
+    def test_zero_changed_rows_shares_kernel_objects(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((9, 12))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        inc = incremental_from(prev, base.copy())
+        assert inc.data is prev.data
+        for slot in SLOT_OF.values():
+            assert getattr(inc, slot) is getattr(prev, slot)
+
+    def test_signed_zero_counts_as_changed(self):
+        base = np.zeros((4, 8))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        new = base.copy()
+        new[2, 5] = -0.0  # equal under ==, different bit pattern
+        assert list(_changed_rows(prev.data, new)) == [2]
+        assert_matrices_bit_equal(
+            incremental_from(prev, new), ParameterMatrix(new.copy())
+        )
+
+    def test_change_past_probe_columns_detected(self):
+        """A row identical through the 16-column probe but differing in
+        its tail must still be treated as changed."""
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal((5, 40))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        new = base.copy()
+        new[3, 39] += 1.0
+        assert list(_changed_rows(prev.data, new)) == [3]
+        assert_matrices_bit_equal(
+            incremental_from(prev, new), ParameterMatrix(new.copy())
+        )
+
+    def test_membership_churn_falls_back_to_full_build(self):
+        rng = np.random.default_rng(2)
+        prev = ParameterMatrix(rng.standard_normal((8, 10)))
+        prev.ensure(KERNEL_NAMES)
+        grown = rng.standard_normal((9, 10))  # one device joined
+        inc = incremental_from(prev, grown)
+        assert_matrices_bit_equal(inc, ParameterMatrix(grown.copy()))
+
+    def test_too_many_changed_rows_rebuilds(self):
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((10, 6))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        new = perturb(base, np.arange(8), seed=4)  # 80% > default 50%
+        inc = incremental_from(prev, new)
+        # A full rebuild starts cold: no kernel may be pre-materialised.
+        for slot in SLOT_OF.values():
+            assert getattr(inc, slot) is None
+        assert_matrices_bit_equal(inc, ParameterMatrix(new.copy()))
+
+    def test_raw_weights_normalised_exactly_once(self):
+        """The incremental path must hand *raw* weights to one single
+        normalisation, like the constructor — re-normalising an
+        already-normalised vector shifts bits."""
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((7, 9))
+        raw = rng.uniform(0.5, 3.0, size=7)  # deliberately not summing to 1
+        prev = ParameterMatrix(base.copy(), raw.copy())
+        prev.ensure(KERNEL_NAMES)
+        new = perturb(base, np.array([1, 4]), seed=6)
+        inc = incremental_from(prev, new, weights=raw.copy())
+        fresh = ParameterMatrix(new.copy(), raw.copy())
+        assert inc.weights.tobytes() == fresh.weights.tobytes()
+        # ...and with weights omitted, both sides mean uniform.
+        inc_u = incremental_from(prev, new)
+        assert inc_u.weights.tobytes() == ParameterMatrix(new.copy()).weights.tobytes()
+
+    def test_non_finite_replacement_rows_rejected(self):
+        rng = np.random.default_rng(8)
+        base = rng.standard_normal((6, 5))
+        prev = ParameterMatrix(base.copy())
+        bad = base.copy()
+        bad[2, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            incremental_from(prev, bad)
+
+
+class TestRulesOnIncrementalMatrices:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    @pytest.mark.parametrize("n,d", [(12, 33), (150, 24)])
+    def test_rule_output_bitwise_equal(self, rule, n, d):
+        rng = np.random.default_rng(11 * n + d)
+        base = rng.standard_normal((n, d))
+        prev = ParameterMatrix(base.copy())
+        prev.ensure(KERNEL_NAMES)
+        rows = rng.choice(n, size=max(1, n // 4), replace=False)
+        new = perturb(base, rows, seed=n)
+        out_inc = get_aggregator(rule)(incremental_from(prev, new))
+        out_fresh = get_aggregator(rule)(ParameterMatrix(new.copy()))
+        assert np.array_equal(out_inc, out_fresh), (
+            f"{rule}: output diverged on incrementally-updated matrix"
+        )
+
+
+class TestKernelPlans:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_plan_warms_exactly_declared_kernels(self, rule):
+        agg = get_aggregator(rule)
+        rng = np.random.default_rng(13)
+        matrix = ParameterMatrix(rng.standard_normal((10, 8)))
+        agg.plan(matrix)
+        built = {
+            name
+            for name, slot in SLOT_OF.items()
+            if getattr(matrix, slot) is not None
+        }
+        # Declared plans include their closure (cosine implies gram and
+        # norms), so pre-warming materialises the declared set exactly.
+        assert built == set(agg.kernels)
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_aggregate_touches_only_declared_kernels(self, rule):
+        agg = get_aggregator(rule)
+        rng = np.random.default_rng(17)
+        matrix = ParameterMatrix(rng.standard_normal((10, 8)))
+        agg(matrix)
+        for name, slot in SLOT_OF.items():
+            if name not in agg.kernels:
+                assert getattr(matrix, slot) is None, (
+                    f"{rule} built undeclared kernel {name!r} — extend its "
+                    f"kernels declaration or drop the access"
+                )
+
+    def test_ensure_rejects_unknown_kernel_names(self):
+        matrix = ParameterMatrix(np.eye(3))
+        with pytest.raises(ValueError, match="unknown kernel"):
+            matrix.ensure(frozenset({"hessian"}))
+
+    def test_column_reduction_rules_declare_empty_plans(self):
+        """The rules that motivated planning — pure column reductions and
+        center-iteration rules — must keep declaring no pairwise kernels,
+        or the cold-path regression this PR fixes comes back silently."""
+        for rule in ("fedavg", "median", "trimmed_mean"):
+            if rule in ALL_RULES:
+                assert get_aggregator(rule).kernels == frozenset()

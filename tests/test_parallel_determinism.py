@@ -17,13 +17,19 @@ Marked ``slow``: spawn pools pay a fresh-interpreter import per worker.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.config import ABDHFLConfig
+from repro.core.local import LocalTrainer
+from repro.core.pool import DeviceSpec, LocalTrainingPool, TrainJob, _train_shard
 from repro.core.trainer import ABDHFLTrainer
 from repro.experiments.matrix import run_defence_matrix
 from repro.obs import Tracer, trace
+from repro.parallel import ParameterSlab
+from repro.utils.seeding import seeded_generator
 from test_core_trainer import default_config, small_setup
 from test_determinism_subprocess import (
     TRACE_HASH_SUFFIX,
@@ -156,6 +162,208 @@ def test_matrix_trace_is_byte_identical_across_worker_counts():
         return tr.to_jsonl()
 
     assert jsonl(1) == jsonl(2)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", name))
+
+
+ON_POSIX_SHM = os.path.isdir("/dev/shm")
+
+
+class TestParameterSlab:
+    """Unit coverage for the shared-memory slab the pool rides on."""
+
+    def test_attach_sees_owner_bytes_and_generation(self):
+        with ParameterSlab.create(3, 5) as owner:
+            owner.array[:] = np.arange(15, dtype=np.float64).reshape(3, 5)
+            owner.generation = 7
+            peer = ParameterSlab.attach(owner.name, 3, 5)
+            try:
+                assert peer.generation == 7
+                np.testing.assert_array_equal(peer.array, owner.array)
+                peer.array[1, 2] = -4.5  # writes flow back to the owner
+                assert owner.array[1, 2] == -4.5
+            finally:
+                peer.close()
+
+    def test_close_is_idempotent_and_access_after_close_raises(self):
+        slab = ParameterSlab.create(2, 2)
+        slab.unlink()
+        slab.close()
+        slab.close()
+        for attr in ("array", "generation", "name"):
+            with pytest.raises(RuntimeError, match="closed"):
+                getattr(slab, attr)
+
+    def test_unlink_after_close_is_a_programming_error(self):
+        slab = ParameterSlab.create(2, 2)
+        name = slab.name
+        slab.close()
+        with pytest.raises(RuntimeError, match="unlink first"):
+            slab.unlink()
+        # The segment leaked by construction here; reap it directly.
+        if ON_POSIX_SHM and _segment_exists(name):
+            os.unlink(os.path.join("/dev/shm", name))
+
+    def test_attacher_never_unlinks(self):
+        owner = ParameterSlab.create(2, 3)
+        name = owner.name
+        peer = ParameterSlab.attach(name, 2, 3)
+        with peer:  # exit calls unlink() then close(); unlink must no-op
+            pass
+        if ON_POSIX_SHM:
+            assert _segment_exists(name), "attacher removed the segment"
+        owner.unlink()
+        owner.close()
+        if ON_POSIX_SHM:
+            assert not _segment_exists(name)
+
+    def test_rejects_empty_shapes(self):
+        with pytest.raises(ValueError, match="positive shape"):
+            ParameterSlab.create(0, 4)
+
+
+def _fanout_parents(
+    specs: list[DeviceSpec], model
+) -> dict[int, LocalTrainer]:
+    return {
+        spec.device_id: LocalTrainer(
+            device_id=spec.device_id,
+            dataset=spec.dataset,
+            model=model.clone(),
+            config=spec.config,
+            rng=seeded_generator(1000 + spec.device_id),
+        )
+        for spec in specs
+    }
+
+
+def _run_fanout_rounds(
+    model,
+    specs: list[DeviceSpec],
+    pool: LocalTrainingPool | None,
+    n_rounds: int = 2,
+) -> tuple[dict[int, np.ndarray], dict[int, LocalTrainer]]:
+    """Drive ``n_rounds`` of per-device SGD serially or through ``pool``,
+    chaining each round's start from the mean of the previous round."""
+    parents = _fanout_parents(specs, model)
+    start = model.get_flat()
+    vectors: dict[int, np.ndarray] = {}
+    for _ in range(n_rounds):
+        if pool is None:
+            for spec in specs:
+                vectors[spec.device_id] = parents[spec.device_id].train_round(
+                    start, None
+                )
+        else:
+            jobs = [
+                TrainJob(
+                    device_id=spec.device_id,
+                    start_vector=start,
+                    arrival=None,
+                    state=parents[spec.device_id].export_state_delta(),
+                )
+                for spec in specs
+            ]
+            results = pool.train_round(jobs)
+            for spec in specs:
+                result = results[spec.device_id]
+                parents[spec.device_id].import_state_delta(result.state)
+                parents[spec.device_id].last_losses = list(result.losses)
+                vectors[spec.device_id] = result.vector
+        start = np.mean(np.stack([vectors[s.device_id] for s in specs]), axis=0)
+    return vectors, parents
+
+
+@pytest.mark.slow
+def test_shm_and_pickled_transports_bit_identical_to_serial():
+    """The transport (shared-memory slabs vs pickled vectors) and the
+    worker count only move bytes: per-device vectors, losses and RNG /
+    optimiser states must match the serial run bit for bit."""
+    hierarchy, datasets, model, test = small_setup(seed=11)
+    cfg = default_config().training
+    specs = [DeviceSpec(cid, datasets[cid], cfg) for cid in sorted(datasets)[:6]]
+
+    serial_vecs, serial_parents = _run_fanout_rounds(model, specs, pool=None)
+    for use_shm in (True, False):
+        pool = LocalTrainingPool(model, specs, workers=3, use_shm=use_shm)
+        slab_names = (
+            [slab.name for slab in pool._slabs] if pool.uses_shm else []
+        )
+        try:
+            assert pool.uses_shm is use_shm
+            vecs, parents = _run_fanout_rounds(model, specs, pool=pool)
+        finally:
+            pool.close()
+        for name in slab_names:  # leak check: close() must unlink
+            if ON_POSIX_SHM:
+                assert not _segment_exists(name), f"leaked segment {name}"
+        for spec in specs:
+            cid = spec.device_id
+            label = f"device {cid} (use_shm={use_shm})"
+            assert serial_vecs[cid].tobytes() == vecs[cid].tobytes(), label
+            assert (
+                serial_parents[cid].last_losses == parents[cid].last_losses
+            ), label
+            assert (
+                serial_parents[cid].export_state_delta()[:5]
+                == parents[cid].export_state_delta()[:5]
+            ), label
+
+
+@pytest.mark.slow
+def test_stale_generation_jobs_fail_loudly():
+    """A job whose generation does not match the slab stamp must be
+    refused by the worker, not silently trained on stale bytes."""
+    hierarchy, datasets, model, test = small_setup(seed=13)
+    cfg = default_config().training
+    specs = [DeviceSpec(cid, datasets[cid], cfg) for cid in sorted(datasets)[:2]]
+    pool = LocalTrainingPool(model, specs, workers=2, use_shm=True)
+    try:
+        parents = _fanout_parents(specs, model)
+        start = model.get_flat()
+        jobs = [
+            TrainJob(
+                device_id=spec.device_id,
+                start_vector=start,
+                arrival=None,
+                state=parents[spec.device_id].export_state_delta(),
+            )
+            for spec in specs
+        ]
+        pool.train_round(jobs)  # legitimate round: generation = 1
+        stale = TrainJob(
+            device_id=specs[0].device_id,
+            start_vector=None,
+            arrival=None,
+            state=parents[specs[0].device_id].export_state_delta(),
+            row=0,
+            generation=999,
+        )
+        assert pool._pool is not None
+        with pytest.raises(RuntimeError, match="stale-generation"):
+            pool._pool.apply(_train_shard, (([stale], False),))
+    finally:
+        pool.close()
+
+
+@pytest.mark.slow
+def test_pool_close_unlinks_segments_and_is_idempotent():
+    hierarchy, datasets, model, test = small_setup(seed=17)
+    cfg = default_config().training
+    specs = [DeviceSpec(cid, datasets[cid], cfg) for cid in sorted(datasets)[:2]]
+    pool = LocalTrainingPool(model, specs, workers=2, use_shm=True)
+    assert pool.uses_shm
+    names = [slab.name for slab in pool._slabs]
+    if ON_POSIX_SHM:
+        assert all(_segment_exists(name) for name in names)
+    pool.close()
+    pool.close()  # idempotent
+    if ON_POSIX_SHM:
+        assert not any(_segment_exists(name) for name in names)
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.train_round([])
 
 
 @pytest.mark.slow

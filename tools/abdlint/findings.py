@@ -22,6 +22,9 @@ RULES: dict[str, str] = {
     "use an ordered container",
     "DET004": "process fan-out outside repro.parallel; use parallel_map/"
     "LocalTrainingPool (ordered, deterministic reduction)",
+    "PAR001": "multiprocessing.shared_memory outside the slab owners; "
+    "only repro/parallel and repro/core/pool.py may touch shared-memory "
+    "segments (ParameterSlab owns creation, attach and unlink)",
     "DET005": "RNG seeded from a literal outside tests/benchmarks; every "
     "generator must derive from derive_seed or a config seed",
     "NUM001": "bare ==/!= on a float ndarray; use np.array_equal or "
@@ -104,6 +107,7 @@ class FileKind:
     is_invariants: bool
     is_profiling: bool
     is_parallel: bool
+    is_shm_owner: bool
     is_scenario: bool
     in_src: bool
     is_emission: bool
@@ -129,6 +133,10 @@ class FileKind:
             # The single process-fan-out carve-out: the deterministic
             # pool backend itself.
             is_parallel="repro/parallel" in posix,
+            # The shared-memory carve-out (PAR001): the slab module and
+            # the one pool that rides it own every segment lifecycle.
+            is_shm_owner="repro/parallel" in posix
+            or posix.endswith("repro/core/pool.py"),
             # The single sweep-loop carve-out: the scenario layer owns
             # grid expansion (SCN001).
             is_scenario="repro/scenario" in posix,

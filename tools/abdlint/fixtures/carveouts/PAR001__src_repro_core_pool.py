@@ -1,0 +1,3 @@
+# lint-path: src/repro/core/pool.py
+import multiprocessing.shared_memory
+seg = multiprocessing.shared_memory.SharedMemory(create=True, size=64)

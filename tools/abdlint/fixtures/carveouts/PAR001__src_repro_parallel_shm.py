@@ -1,0 +1,3 @@
+# lint-path: src/repro/parallel/shm.py
+from multiprocessing import shared_memory
+seg = shared_memory.SharedMemory(create=True, size=64)

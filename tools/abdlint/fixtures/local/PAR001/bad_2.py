@@ -1,0 +1,3 @@
+from multiprocessing.shared_memory import SharedMemory
+def attach(name):
+    return SharedMemory(name=name)

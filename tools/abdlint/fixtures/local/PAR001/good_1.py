@@ -1,0 +1,5 @@
+from repro.parallel import ParameterSlab
+def publish(vec):
+    slab = ParameterSlab.create(1, vec.size)
+    slab.array[0] = vec
+    return slab.name

@@ -1,0 +1,3 @@
+from repro.parallel import ParameterSlab
+def attach(name, rows, dim):
+    return ParameterSlab.attach(name, rows, dim)

@@ -1,4 +1,5 @@
-"""Pass-1 per-file rules (DET001-DET004, NUM001, INV001, SCN001, OBS001).
+"""Pass-1 per-file rules (DET001-DET004, PAR001, NUM001, INV001, SCN001,
+OBS001).
 
 These rules only need one file's AST; they are exactly the rules the
 original single-file ``tools/abdlint.py`` enforced.  The cross-module
@@ -122,6 +123,36 @@ class Linter(ast.NodeVisitor):
                 "LocalTrainingPool) so reduction order stays deterministic",
             )
 
+    def _check_shm_import(
+        self, node: ast.AST, module: str, names: Sequence[str] = ()
+    ) -> None:
+        """PAR001: shared-memory segments only through the slab owners.
+
+        Fires on any import form reaching ``multiprocessing.shared_memory``
+        (the module itself, ``from multiprocessing import shared_memory``,
+        or names out of it) anywhere except :mod:`repro.parallel` and
+        ``repro/core/pool.py`` — a stray ``SharedMemory`` elsewhere would
+        bypass the :class:`ParameterSlab` lifecycle (single-owner unlink,
+        generation stamping) and can leak ``/dev/shm`` segments.
+        """
+        if self.kind.is_shm_owner or self.type_only_depth:
+            return
+        parts = module.split(".")
+        if parts[0] != "multiprocessing":
+            return
+        touches_shm = "shared_memory" in parts or (
+            module == "multiprocessing" and "shared_memory" in names
+        )
+        if touches_shm:
+            self.report(
+                node,
+                "PAR001",
+                f"import reaching multiprocessing.shared_memory ({module!r}) "
+                "outside repro.parallel / repro.core.pool; go through "
+                "ParameterSlab so segment creation, attach and unlink stay "
+                "single-owner",
+            )
+
     def visit_If(self, node: ast.If) -> None:
         test = node.test
         is_type_checking = (
@@ -140,6 +171,7 @@ class Linter(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self._check_pool_import(node, alias.name)
+            self._check_shm_import(node, alias.name)
             if alias.asname:
                 self.aliases[alias.asname] = alias.name
             else:
@@ -150,6 +182,9 @@ class Linter(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module and node.level == 0:
             self._check_pool_import(node, node.module)
+            self._check_shm_import(
+                node, node.module, [alias.name for alias in node.names]
+            )
             for alias in node.names:
                 self.aliases[alias.asname or alias.name] = (
                     f"{node.module}.{alias.name}"

@@ -144,6 +144,7 @@ class ModuleSummary:
                 "is_invariants": self.kind.is_invariants,
                 "is_profiling": self.kind.is_profiling,
                 "is_parallel": self.kind.is_parallel,
+                "is_shm_owner": self.kind.is_shm_owner,
                 "is_scenario": self.kind.is_scenario,
                 "in_src": self.kind.in_src,
                 "is_emission": self.kind.is_emission,
